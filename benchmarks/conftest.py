@@ -1,0 +1,31 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one figure or table of the paper via the
+corresponding experiment runner and attaches the produced rows to the
+benchmark's ``extra_info`` so the numbers appear in the pytest-benchmark
+report (``pytest benchmarks/ --benchmark-only``).
+
+The experiment runners are deterministic but expensive, so each benchmark
+uses ``benchmark.pedantic`` with a single round/iteration: the timing is a
+by-product; the scientific output is the row data.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+
+@pytest.fixture
+def run_and_record(benchmark):
+    """Fixture: run an experiment once under the benchmark and record its rows."""
+
+    def _run(runner, **kwargs):
+        result = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+        benchmark.extra_info["experiment"] = result.name
+        benchmark.extra_info["metadata"] = json.loads(json.dumps(result.metadata, default=str))
+        benchmark.extra_info["rows"] = json.loads(json.dumps(result.rows, default=float))
+        return result
+
+    return _run

@@ -1,0 +1,48 @@
+"""Ablation benchmarks: step size, localized computation, protocol overhead."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_alpha_ablation,
+    run_localized_ablation,
+    run_protocol_overhead,
+)
+
+
+@pytest.mark.benchmark(group="ablation-alpha")
+def test_ablation_alpha(run_and_record):
+    result = run_and_record(
+        run_alpha_ablation, alphas=(0.25, 0.5, 1.0), node_count=30, k=2, max_rounds=150
+    )
+    rows = {row["alpha"]: row for row in result.rows}
+    # Smaller steps converge more slowly (the paper's remark on alpha).
+    assert rows[0.25]["rounds"] >= rows[1.0]["rounds"]
+    # All step sizes land at a comparable objective value.
+    best = min(row["max_sensing_range"] for row in result.rows)
+    worst = max(row["max_sensing_range"] for row in result.rows)
+    assert worst <= 1.3 * best
+
+
+@pytest.mark.benchmark(group="ablation-localized")
+def test_ablation_localized(run_and_record):
+    result = run_and_record(run_localized_ablation, node_count=30, k_values=(1, 2, 3))
+    for row in result.rows:
+        # Lemma 1: the expanding-ring computation is exact.
+        assert row["max_range_difference"] < 1e-6
+        # And it is genuinely local: only a few hops ever get involved.
+        assert row["mean_neighbors_used"] < row["node_count"] - 1
+    hops = [row["mean_hops"] for row in result.rows]
+    assert hops == sorted(hops)
+
+
+@pytest.mark.benchmark(group="ablation-protocol")
+def test_ablation_protocol_overhead(run_and_record):
+    result = run_and_record(
+        run_protocol_overhead, node_count=25, k=2, max_rounds=50
+    )
+    assert result.metadata["total_messages"] > 0
+    # Communication per round shrinks as the deployment settles (the
+    # expanding rings stop growing once regions are local).
+    first = result.rows[0]["messages"]
+    last = result.rows[-1]["messages"]
+    assert last <= first

@@ -1,0 +1,24 @@
+"""Benchmark / regeneration of Figure 1: k-order Voronoi partitions.
+
+Checks that the recovered cells tile the area and that cell counts stay
+within the O(k(N-k)) bound while timing the diagram construction.
+"""
+
+import pytest
+
+from repro.experiments.fig1_voronoi import run_fig1_voronoi
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_voronoi(run_and_record):
+    result = run_and_record(
+        run_fig1_voronoi, node_count=30, k_values=(1, 2, 3, 4), seed_resolution=50
+    )
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert row["total_cell_area"] == pytest.approx(row["region_area"], rel=0.03)
+        # The k-order dominating regions tile the area with multiplicity k.
+        assert row["mean_dominating_area"] * 30 == pytest.approx(
+            row["k"] * row["region_area"], rel=0.02
+        )
+    assert result.filter_rows(k=1)[0]["num_cells"] == 30

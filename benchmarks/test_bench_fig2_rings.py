@@ -1,0 +1,21 @@
+"""Benchmark / regeneration of Figure 2: locality of the dominating-region computation."""
+
+import pytest
+
+from repro.experiments.fig2_rings import run_fig2_rings
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_rings(run_and_record):
+    result = run_and_record(run_fig2_rings, k_values=tuple(range(1, 13)))
+    hops = {row["k"]: row["hops"] for row in result.rows}
+    # Paper's Figure 2 shape: 1 hop suffices for k=1, 2 hops for k=2..4,
+    # and a bounded number (<= 4) of hops up to k = 12.
+    assert hops[1] == 1
+    assert all(hops[k] == 2 for k in (2, 3, 4))
+    assert all(hops[k] >= 3 for k in range(5, 13))
+    assert max(hops.values()) <= 4
+    # Dominating-region area grows linearly with k on a regular lattice.
+    areas = [row["dominating_area"] for row in result.rows]
+    assert areas == sorted(areas)
+    assert areas[11] == pytest.approx(12 * areas[0], rel=0.05)

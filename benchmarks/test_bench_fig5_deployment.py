@@ -1,0 +1,27 @@
+"""Benchmark / regeneration of Figure 5: corner-cluster k-coverage deployments."""
+
+import pytest
+
+from repro.experiments.fig5_deployment import run_fig5_deployment
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_deployment(run_and_record):
+    result = run_and_record(
+        run_fig5_deployment,
+        node_count=40,
+        k_values=(1, 2, 3, 4),
+        max_rounds=120,
+        coverage_resolution=50,
+    )
+    rows = {row["k"]: row for row in result.rows if "coverage_fraction" in row}
+    assert set(rows) == {1, 2, 3, 4}
+    for k, row in rows.items():
+        # Full k-coverage of the area for every coverage order.
+        assert row["coverage_fraction"] == 1.0
+        assert row["min_coverage"] >= k
+    # Higher k needs larger sensing ranges.
+    ranges = [rows[k]["max_sensing_range"] for k in (1, 2, 3, 4)]
+    assert ranges == sorted(ranges)
+    # Even clustering: the nearest-neighbour statistic shrinks with k.
+    assert rows[3]["clustering_statistic"] < rows[1]["clustering_statistic"]

@@ -1,0 +1,27 @@
+"""Benchmark / regeneration of Figure 6: convergence of the max/min circumradii."""
+
+import pytest
+
+from repro.experiments.fig6_convergence import run_fig6_convergence
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_convergence(run_and_record):
+    result = run_and_record(
+        run_fig6_convergence, node_count=40, k_values=(1, 2, 3, 4), max_rounds=120
+    )
+    summaries = result.metadata["summaries"]
+    for k in ("1", "2", "3", "4"):
+        summary = summaries[k]
+        # Paper's observations: monotone decreasing maximum circumradius,
+        # and max ≈ min at convergence (load balance), tighter for larger k.
+        assert summary["max_trace_monotone"]
+        assert summary["final_gap_relative"] < 0.35
+    assert summaries["4"]["final_max_circumradius"] > summaries["1"]["final_max_circumradius"]
+    # The traces start from comparable values (all nodes begin at the
+    # corner, so the initial max circumradius is boundary-dominated).
+    first_rounds = {
+        k: result.filter_rows(k=int(k), round=0)[0]["max_circumradius"]
+        for k in ("1", "4")
+    }
+    assert first_rounds["4"] == pytest.approx(first_rounds["1"], rel=0.35)

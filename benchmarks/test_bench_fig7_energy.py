@@ -1,0 +1,38 @@
+"""Benchmark / regeneration of Figure 7: sensing load vs network size."""
+
+import pytest
+
+from repro.experiments.fig7_energy import run_fig7_energy
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_energy(run_and_record):
+    result = run_and_record(
+        run_fig7_energy,
+        node_counts=(20, 60, 100),
+        k_values=(1, 2, 3),
+        max_rounds=60,
+        coverage_resolution=40,
+    )
+
+    def row(n, k):
+        return result.filter_rows(node_count=n, k=k)[0]
+
+    # Figure 7(a): the maximum load decreases with N and increases with k.
+    for k in (1, 2, 3):
+        assert row(100, k)["max_load"] < row(20, k)["max_load"]
+    for n in (20, 60, 100):
+        assert row(n, 1)["max_load"] < row(n, 2)["max_load"] < row(n, 3)["max_load"]
+
+    # The max-load ratio between coverage orders is roughly k1/k2 (paper's
+    # observation that every node ends up covering about k|A|/N).
+    ratio = row(100, 2)["max_load"] / row(100, 1)["max_load"]
+    assert 1.4 < ratio < 2.8
+
+    # Figure 7(b): the total load decreases with N for every k.
+    for k in (1, 2, 3):
+        assert row(100, k)["total_load"] < row(20, k)["total_load"]
+
+    # Every run is a valid k-coverage deployment.
+    for entry in result.rows:
+        assert entry["coverage_fraction"] == 1.0

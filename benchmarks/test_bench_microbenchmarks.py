@@ -1,0 +1,49 @@
+"""Micro-benchmarks of the geometric kernels LAACAD spends its time in.
+
+These are conventional timing benchmarks (multiple rounds) for the two
+inner loops: the budgeted-clipping dominating-region computation and
+Welzl's smallest enclosing circle.  They are what you would profile when
+porting the engine to a faster backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.welzl import welzl_disk
+from repro.regions.shapes import unit_square
+from repro.voronoi.dominating import compute_dominating_region
+from repro.core.dominating import localized_dominating_region
+from repro.network.network import SensorNetwork
+
+
+@pytest.fixture(scope="module")
+def sites_100():
+    region = unit_square()
+    rng = np.random.default_rng(2)
+    return region, region.random_points(100, rng=rng)
+
+
+@pytest.mark.benchmark(group="micro-dominating")
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_dominating_region_speed(benchmark, sites_100, k):
+    region, sites = sites_100
+    others = sites[1:]
+    result = benchmark(lambda: compute_dominating_region(sites[0], others, region, k))
+    assert result.area > 0
+
+
+@pytest.mark.benchmark(group="micro-localized")
+def test_localized_dominating_region_speed(benchmark, sites_100):
+    region, sites = sites_100
+    network = SensorNetwork(region, sites, comm_range=0.2)
+    result = benchmark(lambda: localized_dominating_region(network, 0, 2))
+    assert result.region.area > 0
+
+
+@pytest.mark.benchmark(group="micro-welzl")
+@pytest.mark.parametrize("size", [10, 100, 1000])
+def test_welzl_speed(benchmark, size):
+    rng = np.random.default_rng(size)
+    points = [tuple(p) for p in rng.uniform(0, 1, size=(size, 2))]
+    circle = benchmark(lambda: welzl_disk(points))
+    assert circle.radius > 0

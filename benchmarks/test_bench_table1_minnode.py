@@ -1,0 +1,22 @@
+"""Benchmark / regeneration of Table I: LAACAD vs the Bai et al. 2-coverage bound."""
+
+import pytest
+
+from repro.experiments.table1_minnode import run_table1_minnode
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_minnode(run_and_record):
+    result = run_and_record(
+        run_table1_minnode, node_counts=(150, 200, 250), max_rounds=50, comm_range=0.12
+    )
+    assert len(result.rows) == 3
+    for row in result.rows:
+        # LAACAD needs more nodes than the boundary-free optimal density,
+        # but stays within a modest factor (the paper reports about +15%;
+        # the reduced scale has a relatively larger boundary, so allow up
+        # to ~1.6x).
+        assert 1.0 < row["laacad_over_bound"] < 1.6
+    # Larger networks achieve smaller sensing ranges.
+    ranges = [row["max_sensing_range"] for row in result.rows]
+    assert ranges == sorted(ranges, reverse=True)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Running LAACAD as a message-passing protocol, with failures.
+
+The distributed runtime executes Algorithm 1+2 through explicit ring
+queries and position replies, so every round has a communication cost.
+This script runs the protocol on a small network, reports the message
+overhead, then kills a few nodes mid-run and shows that (a) the deployment
+still converges and (b) k-coverage survives thanks to the redundancy the
+coverage order provides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LaacadConfig, SensorNetwork, evaluate_coverage, unit_square
+from repro.runtime.failures import FailureInjector
+from repro.runtime.protocol import DistributedLaacadRunner
+
+
+def main() -> None:
+    region = unit_square()
+    k = 3
+
+    # --- loss-free run -------------------------------------------------
+    network = SensorNetwork.from_random(
+        region, count=36, comm_range=0.3, rng=np.random.default_rng(8)
+    )
+    config = LaacadConfig(k=k, alpha=1.0, epsilon=1e-3, max_rounds=80)
+    runner = DistributedLaacadRunner(network, config)
+    result, comm = runner.run()
+    coverage = evaluate_coverage(
+        result.final_positions, result.sensing_ranges, region, k, resolution=50
+    )
+    print("=== loss-free protocol run ===")
+    print(f"rounds: {result.rounds_executed}, converged: {result.converged}")
+    print(f"messages: {comm.messages}, transmissions: {comm.transmissions}, "
+          f"bytes: {comm.bytes_sent}")
+    print(f"{k}-coverage fraction: {coverage.fraction_k_covered:.4f}")
+    print(f"R* = {result.max_sensing_range:.4f}")
+
+    # --- run with node failures ----------------------------------------
+    network = SensorNetwork.from_random(
+        region, count=36, comm_range=0.3, rng=np.random.default_rng(8)
+    )
+    injector = FailureInjector(scheduled={10: [0, 1], 20: [2]})
+    runner = DistributedLaacadRunner(
+        network, config, failure_injector=injector, drop_probability=0.02
+    )
+    result, comm = runner.run()
+    alive_positions = [n.position for n in network.alive_nodes()]
+    alive_ranges = [n.sensing_range for n in network.alive_nodes()]
+    coverage_k = evaluate_coverage(alive_positions, alive_ranges, region, k, resolution=50)
+    coverage_k1 = evaluate_coverage(alive_positions, alive_ranges, region, k - 1, resolution=50)
+    print("\n=== run with 3 node crashes and 2% message loss ===")
+    print(f"nodes killed: {injector.total_killed()}, rounds: {result.rounds_executed}")
+    print(f"messages dropped: {comm.dropped}/{comm.messages}")
+    print(f"{k}-coverage fraction of survivors   : {coverage_k.fraction_k_covered:.4f}")
+    print(f"{k-1}-coverage fraction of survivors : {coverage_k1.fraction_k_covered:.4f}")
+    print("(the survivors re-balance, so coverage degrades gracefully)")
+
+
+if __name__ == "__main__":
+    main()

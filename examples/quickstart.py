@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: 2-cover a unit square with 40 mobile sensor nodes.
+
+Runs LAACAD from a random initial deployment, prints the per-round
+convergence of the maximum circumradius, verifies the resulting
+2-coverage on a grid, and reports the sensing-load balance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    LaacadConfig,
+    LaacadRunner,
+    SensorNetwork,
+    evaluate_coverage,
+    unit_square,
+)
+from repro.analysis.energy import energy_report
+
+
+def main() -> None:
+    region = unit_square()
+    rng = np.random.default_rng(2026)
+    network = SensorNetwork.from_random(region, count=40, comm_range=0.25, rng=rng)
+
+    config = LaacadConfig(k=2, alpha=1.0, epsilon=1e-3, max_rounds=80)
+    result = LaacadRunner(network, config).run()
+
+    print(f"converged            : {result.converged} ({result.rounds_executed} rounds)")
+    print(f"max sensing range R* : {result.max_sensing_range:.4f} km")
+    print(f"min sensing range    : {result.min_sensing_range:.4f} km")
+
+    print("\nmax circumradius per round (every 5th round):")
+    for stats in result.history[::5]:
+        bar = "#" * int(stats.max_circumradius * 120)
+        print(f"  round {stats.round_index:3d}  {stats.max_circumradius:.4f}  {bar}")
+
+    coverage = evaluate_coverage(
+        result.final_positions, result.sensing_ranges, region, k=2, resolution=60
+    )
+    print(f"\n2-coverage fraction  : {coverage.fraction_k_covered:.4f}")
+    print(f"min coverage level   : {coverage.min_coverage}")
+
+    energy = energy_report(result.sensing_ranges)
+    print(f"max sensing load     : {energy.max_load:.4f}")
+    print(f"total sensing load   : {energy.total_load:.4f}")
+    print(f"load imbalance       : {energy.imbalance:.3f} (1.0 = perfectly balanced)")
+
+
+if __name__ == "__main__":
+    main()

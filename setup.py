@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists only
+so that ``pip install -e .`` works on environments without the ``wheel``
+package (legacy ``setup.py develop`` editable installs).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — a reproduction of LAACAD (ICDCS 2012).
+
+LAACAD (Load bAlancing k-Area Coverage through Autonomous Deployment)
+moves mobile sensor nodes so that every point of a target area is covered
+by at least ``k`` nodes while the largest sensing range any node needs is
+minimised.  This package implements the algorithm, every substrate it
+relies on (computational geometry, k-order Voronoi diagrams, a WSN and
+message-passing simulator), the baselines it is compared against, and
+runners regenerating every figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import LaacadConfig, SensorNetwork, LaacadRunner, unit_square
+
+    region = unit_square()
+    network = SensorNetwork.from_corner_cluster(region, 60)
+    result = LaacadRunner(network, LaacadConfig(k=2)).run()
+    print(result.max_sensing_range, result.converged)
+"""
+
+from repro.core.config import LaacadConfig
+from repro.core.laacad import LaacadResult, LaacadRunner, RoundStats, run_laacad
+from repro.core.dominating import localized_dominating_region
+from repro.core.minnode import MinNodeSizer
+from repro.network.network import SensorNetwork
+from repro.network.energy import EnergyModel
+from repro.regions.region import Region
+from repro.regions.shapes import (
+    cross_region,
+    l_shaped_region,
+    rectangle_region,
+    square_region,
+    unit_square,
+)
+from repro.voronoi.dominating import DominatingRegion, compute_dominating_region
+from repro.voronoi.korder import KOrderVoronoiDiagram
+from repro.analysis.coverage import evaluate_coverage, is_k_covered
+from repro.runtime.protocol import DistributedLaacadRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LaacadConfig",
+    "LaacadResult",
+    "LaacadRunner",
+    "RoundStats",
+    "run_laacad",
+    "localized_dominating_region",
+    "MinNodeSizer",
+    "SensorNetwork",
+    "EnergyModel",
+    "Region",
+    "square_region",
+    "rectangle_region",
+    "unit_square",
+    "l_shaped_region",
+    "cross_region",
+    "DominatingRegion",
+    "compute_dominating_region",
+    "KOrderVoronoiDiagram",
+    "evaluate_coverage",
+    "is_k_covered",
+    "DistributedLaacadRunner",
+    "__version__",
+]

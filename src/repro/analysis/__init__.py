@@ -1,0 +1,38 @@
+"""Deployment analysis: coverage verification, energy, fairness, connectivity.
+
+These are the measurement instruments behind every figure and table of
+the evaluation: grid-based k-coverage checks, the sensing-load statistics
+of Figure 7, min-max fairness indicators and communication-graph
+connectivity checks.
+"""
+
+from repro.analysis.coverage import (
+    CoverageReport,
+    coverage_counts,
+    coverage_fraction,
+    evaluate_coverage,
+    is_k_covered,
+)
+from repro.analysis.energy import EnergyReport, energy_report
+from repro.analysis.fairness import jain_index, min_max_ratio
+from repro.analysis.connectivity import connectivity_report, ConnectivityReport
+from repro.analysis.lifetime import LifetimeReport, lifetime_report
+from repro.analysis.traces import is_monotone_nonincreasing, rounds_to_threshold
+
+__all__ = [
+    "CoverageReport",
+    "coverage_counts",
+    "coverage_fraction",
+    "evaluate_coverage",
+    "is_k_covered",
+    "EnergyReport",
+    "energy_report",
+    "jain_index",
+    "min_max_ratio",
+    "connectivity_report",
+    "ConnectivityReport",
+    "LifetimeReport",
+    "lifetime_report",
+    "is_monotone_nonincreasing",
+    "rounds_to_threshold",
+]

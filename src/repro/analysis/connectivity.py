@@ -1,0 +1,68 @@
+"""Connectivity analysis of the converged deployment (Sec. IV-C).
+
+The paper argues that a k-covered deployment with transmission range at
+least the sensing range is automatically connected with node degree at
+least 6.  These helpers measure exactly those quantities so the claim can
+be checked experimentally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import networkx as nx
+
+from repro.geometry.primitives import Point, distance
+
+
+@dataclasses.dataclass(frozen=True)
+class ConnectivityReport:
+    """Connectivity summary of a deployment under a given transmission range.
+
+    Attributes:
+        connected: whether the communication graph is connected.
+        components: number of connected components.
+        min_degree: minimum node degree.
+        mean_degree: average node degree.
+        node_connectivity: size of a minimum vertex cut (0 for a
+            disconnected graph, n-1 for a complete graph).
+    """
+
+    connected: bool
+    components: int
+    min_degree: int
+    mean_degree: float
+    node_connectivity: int
+
+
+def build_graph(positions: Sequence[Point], comm_range: float) -> nx.Graph:
+    """Unit-disk graph over the given positions."""
+    if comm_range <= 0:
+        raise ValueError("comm_range must be positive")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(positions)))
+    for i in range(len(positions)):
+        for j in range(i + 1, len(positions)):
+            if distance(positions[i], positions[j]) <= comm_range:
+                graph.add_edge(i, j)
+    return graph
+
+
+def connectivity_report(
+    positions: Sequence[Point], comm_range: float
+) -> ConnectivityReport:
+    """Compute the connectivity summary for a deployment."""
+    graph = build_graph(positions, comm_range)
+    n = graph.number_of_nodes()
+    if n == 0:
+        return ConnectivityReport(True, 0, 0, 0.0, 0)
+    degrees = [d for _, d in graph.degree()]
+    connected = nx.is_connected(graph) if n > 1 else True
+    return ConnectivityReport(
+        connected=connected,
+        components=nx.number_connected_components(graph),
+        min_degree=min(degrees),
+        mean_degree=sum(degrees) / n,
+        node_connectivity=int(nx.node_connectivity(graph)) if connected and n > 1 else 0,
+    )

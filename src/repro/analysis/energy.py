@@ -1,0 +1,47 @@
+"""Sensing-load statistics (the quantities of Figure 7)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.network.energy import EnergyModel
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyReport:
+    """Aggregate sensing-load numbers for a deployment.
+
+    Attributes:
+        max_load: largest per-node sensing energy (Figure 7a).
+        min_load: smallest per-node sensing energy.
+        total_load: sum of per-node sensing energies (Figure 7b).
+        mean_load: average per-node sensing energy.
+        imbalance: max-to-min load ratio.
+        node_count: number of nodes included.
+    """
+
+    max_load: float
+    min_load: float
+    total_load: float
+    mean_load: float
+    imbalance: float
+    node_count: int
+
+
+def energy_report(
+    ranges: Sequence[float], model: Optional[EnergyModel] = None
+) -> EnergyReport:
+    """Compute the Figure 7 sensing-load aggregates for a set of ranges."""
+    model = model or EnergyModel()
+    loads = model.sensing_loads(ranges)
+    if not loads:
+        return EnergyReport(0.0, 0.0, 0.0, 0.0, 1.0, 0)
+    return EnergyReport(
+        max_load=max(loads),
+        min_load=min(loads),
+        total_load=sum(loads),
+        mean_load=sum(loads) / len(loads),
+        imbalance=model.load_imbalance(ranges),
+        node_count=len(loads),
+    )

@@ -1,0 +1,46 @@
+"""Fairness indicators for the min-max fair discussion of Sec. IV-C."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def min_max_ratio(values: Sequence[float]) -> float:
+    """Ratio of the smallest to the largest value (1.0 = perfectly balanced).
+
+    Returns 1.0 for an empty sequence and 0.0 when the largest value is
+    positive but the smallest is zero.
+    """
+    vals = list(values)
+    if not vals:
+        return 1.0
+    hi = max(vals)
+    lo = min(vals)
+    if hi <= 0.0:
+        return 1.0
+    return max(0.0, lo / hi)
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means all values equal; ``1/n`` is the most unfair allocation.
+    Returns 1.0 for empty or all-zero inputs.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return 1.0
+    total = sum(vals)
+    square_sum = sum(v * v for v in vals)
+    if square_sum <= 0.0:
+        return 1.0
+    return (total * total) / (len(vals) * square_sum)
+
+
+def range_spread(values: Sequence[float]) -> float:
+    """Max minus min — the gap the paper observes closing as LAACAD converges."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    return max(vals) - min(vals)

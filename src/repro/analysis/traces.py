@@ -1,0 +1,45 @@
+"""Utilities for inspecting per-round convergence traces (Figure 6)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def is_monotone_nonincreasing(values: Sequence[float], tolerance: float = 1e-9) -> bool:
+    """True when the sequence never increases by more than ``tolerance``.
+
+    The convergence proof (Proposition 4) guarantees that the maximum
+    circumradius trace is non-increasing for ``alpha = 1``; the tolerance
+    absorbs floating-point noise from the clipping cascades.
+    """
+    for earlier, later in zip(values, values[1:]):
+        if later > earlier + tolerance:
+            return False
+    return True
+
+
+def rounds_to_threshold(values: Sequence[float], threshold: float) -> Optional[int]:
+    """First round index at which the trace drops to or below ``threshold``.
+
+    Returns ``None`` when the trace never reaches the threshold.
+    """
+    for index, value in enumerate(values):
+        if value <= threshold:
+            return index
+    return None
+
+
+def relative_gap(max_trace: Sequence[float], min_trace: Sequence[float]) -> float:
+    """Final relative gap between the max and min traces.
+
+    The paper observes that the maximum and minimum circumradii nearly
+    coincide at convergence (load balance); this returns
+    ``(max - min) / max`` of the final round, or 0.0 for empty traces.
+    """
+    if not max_trace or not min_trace:
+        return 0.0
+    final_max = max_trace[-1]
+    final_min = min_trace[-1]
+    if final_max <= 0.0:
+        return 0.0
+    return (final_max - final_min) / final_max

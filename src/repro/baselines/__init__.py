@@ -1,0 +1,32 @@
+"""Baselines and comparison deployments.
+
+The paper compares LAACAD against:
+
+* the optimal 2-coverage density of Bai et al. [3] (Table I),
+* the Reuleaux-triangle lens deployment of Ammari & Das [15] (Table II),
+
+and discusses it relative to classical 1-coverage movement strategies
+(VOR/Minimax of Wang et al. [9]).  All three are implemented here, along
+with random and lattice deployments used as initial conditions and as
+sanity baselines.
+"""
+
+from repro.baselines.random_deploy import random_deployment, corner_deployment
+from repro.baselines.lattice import square_lattice, triangular_lattice, hexagonal_lattice
+from repro.baselines.bai import bai_minimum_nodes, bai_optimal_density, bai_strip_deployment
+from repro.baselines.ammari import ammari_node_count, ammari_lens_deployment
+from repro.baselines.minimax1 import MinimaxVoronoiMover
+
+__all__ = [
+    "random_deployment",
+    "corner_deployment",
+    "square_lattice",
+    "triangular_lattice",
+    "hexagonal_lattice",
+    "bai_minimum_nodes",
+    "bai_optimal_density",
+    "bai_strip_deployment",
+    "ammari_node_count",
+    "ammari_lens_deployment",
+    "MinimaxVoronoiMover",
+]

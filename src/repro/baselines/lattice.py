@@ -1,0 +1,118 @@
+"""Regular lattice deployments.
+
+Regular deployments are the "blueprint" alternatives the paper contrasts
+autonomous deployment against: they need centralized placement but serve
+as strong baselines for coverage efficiency on regular areas.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.geometry.primitives import Point
+from repro.regions.region import Region
+
+
+def square_lattice(region: Region, spacing: float) -> List[Point]:
+    """Grid points with the given spacing that fall inside the free area."""
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    xmin, ymin, xmax, ymax = region.bbox
+    points: List[Point] = []
+    y = ymin + spacing / 2.0
+    while y <= ymax:
+        x = xmin + spacing / 2.0
+        while x <= xmax:
+            p = (x, y)
+            if region.contains(p):
+                points.append(p)
+            x += spacing
+        y += spacing
+    return points
+
+
+def triangular_lattice(region: Region, spacing: float) -> List[Point]:
+    """Equilateral-triangle lattice (hexagonal packing of points).
+
+    This is the density-optimal arrangement for 1-coverage with identical
+    disks of radius ``spacing / sqrt(3)``.
+    """
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    xmin, ymin, xmax, ymax = region.bbox
+    row_height = spacing * math.sqrt(3.0) / 2.0
+    points: List[Point] = []
+    row = 0
+    y = ymin + row_height / 2.0
+    while y <= ymax:
+        offset = (spacing / 2.0) if row % 2 else 0.0
+        x = xmin + spacing / 2.0 + offset
+        while x <= xmax:
+            p = (x, y)
+            if region.contains(p):
+                points.append(p)
+            x += spacing
+        y += row_height
+        row += 1
+    return points
+
+
+def hexagonal_lattice(region: Region, spacing: float) -> List[Point]:
+    """Honeycomb (hexagon-vertex) lattice with the given edge length."""
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    xmin, ymin, xmax, ymax = region.bbox
+    points: List[Point] = []
+    dx = spacing * 3.0
+    dy = spacing * math.sqrt(3.0) / 2.0
+    row = 0
+    y = ymin
+    while y <= ymax:
+        base = xmin + (1.5 * spacing if row % 2 else 0.0)
+        x = base
+        while x <= xmax:
+            for candidate in ((x, y), (x + spacing, y)):
+                if region.contains(candidate):
+                    points.append(candidate)
+            x += dx
+        y += dy
+        row += 1
+    return points
+
+
+def lattice_for_count(
+    region: Region, count: int, kind: str = "triangular", tolerance: int = 0
+) -> List[Point]:
+    """A lattice of roughly ``count`` nodes, found by bisection on the spacing.
+
+    Args:
+        region: the target area.
+        count: desired node count.
+        kind: ``"square"`` or ``"triangular"``.
+        tolerance: acceptable deviation from ``count`` (0 = pick the
+            closest achievable).
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    builders = {"square": square_lattice, "triangular": triangular_lattice}
+    if kind not in builders:
+        raise ValueError(f"unknown lattice kind: {kind!r}")
+    build = builders[kind]
+    lo = region.diameter / (10.0 * math.sqrt(count) + 10.0)
+    hi = region.diameter
+    best: List[Point] = build(region, hi)
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        pts = build(region, mid)
+        if abs(len(pts) - count) <= abs(len(best) - count):
+            best = pts
+        if len(pts) > count:
+            lo = mid
+        elif len(pts) < count:
+            hi = mid
+        else:
+            return pts
+        if abs(len(best) - count) <= tolerance:
+            break
+    return best

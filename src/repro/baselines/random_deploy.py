@@ -1,0 +1,57 @@
+"""Random and corner-cluster deployments (initial conditions)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.primitives import Point
+from repro.regions.region import Region
+
+
+def random_deployment(
+    region: Region, count: int, rng: Optional[np.random.Generator] = None
+) -> List[Point]:
+    """Uniform random node positions over the free area."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    return region.random_points(count, rng=rng)
+
+
+def corner_deployment(
+    region: Region,
+    count: int,
+    cluster_fraction: float = 0.15,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Point]:
+    """The Figure 5(a) initial condition: nodes clustered at the bottom-left corner.
+
+    Args:
+        region: the target area.
+        count: number of nodes.
+        cluster_fraction: side of the cluster square relative to the
+            bounding-box extent.
+        rng: random generator.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    if not 0 < cluster_fraction <= 1.0:
+        raise ValueError("cluster_fraction must be in (0, 1]")
+    if rng is None:
+        rng = np.random.default_rng()
+    xmin, ymin, xmax, ymax = region.bbox
+    side = cluster_fraction * max(xmax - xmin, ymax - ymin)
+    points: List[Point] = []
+    attempts = 0
+    while len(points) < count and attempts < 100000:
+        attempts += 1
+        p = (float(rng.uniform(xmin, xmin + side)), float(rng.uniform(ymin, ymin + side)))
+        if region.contains(p):
+            points.append(p)
+    if len(points) < count:
+        raise RuntimeError(
+            "could not place the corner cluster inside the free area; "
+            "increase cluster_fraction"
+        )
+    return points

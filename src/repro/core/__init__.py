@@ -1,0 +1,31 @@
+"""The paper's primary contribution: the LAACAD algorithm.
+
+* :mod:`repro.core.config` — run configuration (k, alpha, epsilon, ...).
+* :mod:`repro.core.dominating` — Algorithm 2: localized dominating-region
+  computation via an expanding ring.
+* :mod:`repro.core.laacad` — Algorithm 1: the iterative deployment driver
+  (centralized-geometry variant; the message-passing variant lives in
+  :mod:`repro.runtime.protocol`).
+* :mod:`repro.core.convergence` — convergence tracking and stopping rules.
+* :mod:`repro.core.minnode` — the Sec. IV-C transform towards min-node
+  k-coverage.
+"""
+
+from repro.core.config import LaacadConfig
+from repro.core.laacad import LaacadRunner, LaacadResult, RoundStats, run_laacad
+from repro.core.dominating import localized_dominating_region, LocalizedComputation
+from repro.core.convergence import ConvergenceTracker
+from repro.core.minnode import MinNodeSizer, MinNodeResult
+
+__all__ = [
+    "LaacadConfig",
+    "LaacadRunner",
+    "LaacadResult",
+    "RoundStats",
+    "run_laacad",
+    "localized_dominating_region",
+    "LocalizedComputation",
+    "ConvergenceTracker",
+    "MinNodeSizer",
+    "MinNodeResult",
+]

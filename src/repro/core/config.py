@@ -1,0 +1,80 @@
+"""Configuration of a LAACAD run."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class LaacadConfig:
+    """All knobs of Algorithm 1 / Algorithm 2.
+
+    Attributes:
+        k: required coverage order (``k``-coverage).
+        alpha: motion step size in ``(0, 1]`` (line 5 of Algorithm 1).
+        epsilon: stopping tolerance on the node-to-Chebyshev-center
+            distance (``ε`` in Algorithm 1).
+        max_rounds: hard cap on the number of rounds executed, so that
+            parameter sweeps always terminate in bounded time even for
+            adversarial configurations.
+        tau_ms: the nominal period of one round in milliseconds; only
+            used for reporting (the simulation is round-driven).
+        ring_granularity: the expanding-ring step of Algorithm 2, in
+            units of the transmission range ``gamma``; the paper argues
+            for exactly ``1.0`` (one hop) and that is the default.
+        circle_check_samples: how many sample points to place on the
+            half-radius circle in Algorithm 2's domination check.
+        use_localized: when True the per-node dominating regions are
+            computed with Algorithm 2 (expanding ring); when False the
+            exact engine with global knowledge is used.  Both produce the
+            same regions (Lemma 1); the localized path additionally
+            reports ring radii and is what the distributed runtime uses.
+        prefilter: enable the expanding-radius competitor pre-filter in
+            the exact engine (no effect on results, only on speed).
+        seed: RNG seed for reproducibility (Welzl shuffling, noise, ...).
+        record_positions: store the full position history in the result
+            (memory-heavy for large sweeps, so off by default).
+        convergence_patience: number of consecutive rounds with all
+            displacements below ``epsilon`` required before declaring
+            convergence; 1 reproduces the paper's stopping rule.
+    """
+
+    k: int = 1
+    alpha: float = 1.0
+    epsilon: float = 1e-3
+    max_rounds: int = 200
+    tau_ms: float = 100.0
+    ring_granularity: float = 1.0
+    circle_check_samples: int = 72
+    use_localized: bool = False
+    prefilter: bool = True
+    seed: Optional[int] = 0
+    record_positions: bool = False
+    convergence_patience: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("coverage order k must be >= 1")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("step size alpha must be in (0, 1]")
+        if self.epsilon <= 0:
+            raise ValueError("stopping tolerance epsilon must be positive")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        if self.tau_ms <= 0:
+            raise ValueError("tau_ms must be positive")
+        if self.ring_granularity <= 0:
+            raise ValueError("ring_granularity must be positive")
+        if self.circle_check_samples < 8:
+            raise ValueError("circle_check_samples must be at least 8")
+        if self.convergence_patience < 1:
+            raise ValueError("convergence_patience must be at least 1")
+
+    def with_k(self, k: int) -> "LaacadConfig":
+        """A copy of this configuration with a different coverage order."""
+        return dataclasses.replace(self, k=k)
+
+    def with_alpha(self, alpha: float) -> "LaacadConfig":
+        """A copy of this configuration with a different step size."""
+        return dataclasses.replace(self, alpha=alpha)

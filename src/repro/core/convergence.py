@@ -1,0 +1,56 @@
+"""Convergence tracking for the LAACAD iteration."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+
+@dataclasses.dataclass
+class ConvergenceTracker:
+    """Tracks displacements across rounds and decides when to stop.
+
+    The paper's stopping rule is "every node is within ``epsilon`` of the
+    Chebyshev center of its dominating region".  ``patience`` requires
+    that condition to hold for a number of *consecutive* rounds, which
+    guards against stopping on a round where oscillating nodes happen to
+    pass near their targets (only relevant for exotic configurations;
+    ``patience = 1`` reproduces the paper exactly).
+    """
+
+    epsilon: float
+    patience: int = 1
+    _streak: int = 0
+    max_displacement_history: List[float] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if self.patience < 1:
+            raise ValueError("patience must be at least 1")
+
+    def observe(self, displacements: Sequence[float]) -> bool:
+        """Record one round of node-to-target distances; return True when converged."""
+        max_disp = max(displacements) if displacements else 0.0
+        self.max_displacement_history.append(max_disp)
+        if max_disp <= self.epsilon:
+            self._streak += 1
+        else:
+            self._streak = 0
+        return self._streak >= self.patience
+
+    @property
+    def converged(self) -> bool:
+        """Whether the last observed rounds satisfied the stopping rule."""
+        return self._streak >= self.patience
+
+    @property
+    def rounds_observed(self) -> int:
+        """How many rounds have been recorded."""
+        return len(self.max_displacement_history)
+
+    def last_max_displacement(self) -> Optional[float]:
+        """Maximum displacement of the most recent round (None before any round)."""
+        if not self.max_displacement_history:
+            return None
+        return self.max_displacement_history[-1]

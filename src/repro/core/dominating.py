@@ -1,0 +1,180 @@
+"""Algorithm 2: localized computation of the dominating region.
+
+A node expands a search ring in steps of the transmission range
+``gamma``.  After each expansion it checks whether it still dominates any
+point of the circle of radius ``rho / 2`` around itself (restricted to
+the target area — the boundary-node adaptation of Figure 3): if some
+circle point has fewer than ``k`` strictly closer ring members, the node
+may still dominate area beyond the circle and the ring keeps growing.
+When the check passes, Lemma 1 guarantees that the ring members fully
+determine the dominating region, which is then computed exactly with the
+budgeted clipping engine using only those members.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.primitives import Point, distance
+from repro.network.localization import build_local_coordinates
+from repro.network.network import SensorNetwork
+from repro.voronoi.dominating import DominatingRegion, dominating_pieces
+
+
+@dataclasses.dataclass
+class LocalizedComputation:
+    """Result of one Algorithm 2 execution at a single node.
+
+    Attributes:
+        region: the node's dominating region.
+        ring_radius: the final search-ring radius ``rho``.
+        ring_expansions: how many times the ring was expanded.
+        neighbors_used: how many ring members participated.
+        hops: multi-hop communication depth needed to collect the ring
+            (``ceil(rho / gamma)``).
+        used_localization: whether MDS-reconstructed coordinates (rather
+            than ground-truth positions) were used.
+    """
+
+    region: DominatingRegion
+    ring_radius: float
+    ring_expansions: int
+    neighbors_used: int
+    hops: int
+    used_localization: bool = False
+
+
+def _circle_samples(center: Point, radius: float, count: int) -> List[Point]:
+    """Evenly spaced sample points on a circle."""
+    return [
+        (
+            center[0] + radius * math.cos(2.0 * math.pi * i / count),
+            center[1] + radius * math.sin(2.0 * math.pi * i / count),
+        )
+        for i in range(count)
+    ]
+
+
+def _circle_fully_dominated_by_others(
+    center: Point,
+    radius: float,
+    neighbor_positions: Sequence[Point],
+    k: int,
+    network: SensorNetwork,
+    samples: int,
+) -> bool:
+    """Line 5-8 of Algorithm 2: is every in-area circle point k-dominated by others?
+
+    A circle point outside the target area does not need coverage (the
+    area boundary acts as the natural boundary of the dominating region,
+    Sec. IV-B1), so such samples are skipped.  If every sample inside the
+    area already has at least ``k`` ring members strictly closer than the
+    querying node, the node cannot dominate anything at or beyond the
+    circle and the ring may stop expanding.
+    """
+    any_inside = False
+    for sample in _circle_samples(center, radius, samples):
+        if not network.region.contains(sample):
+            continue
+        any_inside = True
+        own_distance = distance(center, sample)
+        closer = 0
+        for pos in neighbor_positions:
+            if distance(pos, sample) < own_distance - 1e-12:
+                closer += 1
+                if closer >= k:
+                    break
+        if closer < k:
+            return False
+    # If the whole circle lies outside the area, the dominating region is
+    # certainly confined to the in-area part of the disk, so stopping is
+    # safe as well.
+    return True if any_inside else True
+
+
+def localized_dominating_region(
+    network: SensorNetwork,
+    node_id: int,
+    k: int,
+    ring_granularity: float = 1.0,
+    circle_check_samples: int = 72,
+    use_localization: bool = False,
+    localization_noise_std: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    max_radius: Optional[float] = None,
+) -> LocalizedComputation:
+    """Run Algorithm 2 for one node of the network.
+
+    Args:
+        network: the sensor network (provides positions and the area).
+        node_id: the node executing the computation.
+        k: required coverage order.
+        ring_granularity: ring expansion step in units of ``gamma``.
+        circle_check_samples: samples on the half-radius circle.
+        use_localization: reconstruct neighbour coordinates with MDS from
+            pairwise ranges instead of reading ground-truth positions.
+        localization_noise_std: Gaussian range-noise level for the MDS
+            reconstruction.
+        rng: random generator for the range noise.
+        max_radius: hard cap on the ring radius; defaults to twice the
+            area diameter, which always includes the entire network.
+
+    Returns:
+        A :class:`LocalizedComputation` with the region and ring metrics.
+    """
+    if k < 1:
+        raise ValueError("coverage order k must be >= 1")
+    node = network.node(node_id)
+    gamma = network.comm_range
+    step = gamma * ring_granularity
+    if max_radius is None:
+        max_radius = 2.0 * network.region.diameter + step
+
+    rho = 0.0
+    expansions = 0
+    neighbor_ids: List[int] = []
+    while True:
+        rho += step
+        expansions += 1
+        neighbor_ids = network.nodes_within(node_id, rho)
+        neighbor_positions = [network.node(j).position for j in neighbor_ids]
+        if _circle_fully_dominated_by_others(
+            node.position, rho / 2.0, neighbor_positions, k, network, circle_check_samples
+        ):
+            break
+        if rho >= max_radius:
+            break
+
+    positions = [network.node(j).position for j in neighbor_ids]
+    used_localization = False
+    if use_localization and positions:
+        # Reconstruct the ring's coordinates from (possibly noisy) ranges.
+        all_positions = [node.position] + positions
+        reconstructed = build_local_coordinates(
+            0, all_positions, noise_std=localization_noise_std, rng=rng
+        )
+        positions = reconstructed[1:]
+        used_localization = True
+
+    pieces = dominating_pieces(
+        node.position, positions, network.region.convex_pieces(), k
+    )
+    region = DominatingRegion(
+        site=node.position,
+        k=k,
+        pieces=pieces,
+        competitors_used=len(positions),
+        search_radius=rho,
+    )
+    return LocalizedComputation(
+        region=region,
+        ring_radius=rho,
+        ring_expansions=expansions,
+        neighbors_used=len(neighbor_ids),
+        hops=int(math.ceil(rho / gamma - 1e-9)),
+        used_localization=used_localization,
+    )

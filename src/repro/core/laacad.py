@@ -1,0 +1,275 @@
+"""Algorithm 1: the LAACAD deployment iteration.
+
+The runner executes synchronous rounds: every (alive) node computes its
+k-order dominating region with respect to the node positions at the
+start of the round, derives the Chebyshev center, and then all nodes move
+simultaneously by ``alpha`` towards their centers.  The iteration stops
+when every node is within ``epsilon`` of its Chebyshev center (or after
+``max_rounds``).  On termination each node's sensing range is set to the
+circumradius of its dominating region measured from its final position,
+which guarantees k-coverage of the whole area (Proposition 4's argument).
+
+Two region back-ends are available, selected by
+``LaacadConfig.use_localized``:
+
+* the exact engine with the global node set (plus the Lemma-1 pre-filter
+  for speed), and
+* the faithful Algorithm 2 expanding-ring computation, which only ever
+  reads positions of ring members and additionally reports ring radii /
+  hop counts.
+
+Both produce identical regions; the equivalence is covered by tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import LaacadConfig
+from repro.core.convergence import ConvergenceTracker
+from repro.core.dominating import localized_dominating_region
+from repro.geometry.primitives import Point, distance
+from repro.network.mobility import MobilityModel
+from repro.network.network import SensorNetwork
+from repro.regions.region import Region
+from repro.voronoi.dominating import DominatingRegion, compute_dominating_region
+
+
+@dataclasses.dataclass
+class RoundStats:
+    """Per-round summary of the deployment state.
+
+    Attributes:
+        round_index: zero-based round number.
+        max_circumradius: largest smallest-enclosing-circle radius over
+            all dominating regions (the quantity plotted in Figure 6).
+        min_circumradius: smallest such radius.
+        max_range_from_position: the paper's ``R-hat`` — the largest
+            distance from a node's *current* position to the farthest
+            point of its dominating region.
+        min_range_from_position: the smallest such distance.
+        max_displacement: largest node-to-Chebyshev-center distance this
+            round (the stopping-rule quantity).
+        mean_displacement: average of those distances.
+        max_ring_hops: deepest expanding-ring search this round (only
+            populated by the localized back-end; 0 otherwise).
+    """
+
+    round_index: int
+    max_circumradius: float
+    min_circumradius: float
+    max_range_from_position: float
+    min_range_from_position: float
+    max_displacement: float
+    mean_displacement: float
+    max_ring_hops: int = 0
+
+
+@dataclasses.dataclass
+class LaacadResult:
+    """Outcome of a LAACAD run."""
+
+    config: LaacadConfig
+    initial_positions: List[Point]
+    final_positions: List[Point]
+    sensing_ranges: List[float]
+    converged: bool
+    rounds_executed: int
+    history: List[RoundStats]
+    position_history: Optional[List[List[Point]]] = None
+
+    @property
+    def max_sensing_range(self) -> float:
+        """The optimisation objective ``R*`` (maximum sensing range)."""
+        return max(self.sensing_ranges) if self.sensing_ranges else 0.0
+
+    @property
+    def min_sensing_range(self) -> float:
+        """The smallest sensing range in the final deployment."""
+        return min(self.sensing_ranges) if self.sensing_ranges else 0.0
+
+    @property
+    def range_spread(self) -> float:
+        """Max minus min sensing range — the load-balance indicator of Sec. V-A."""
+        return self.max_sensing_range - self.min_sensing_range
+
+    def max_circumradius_trace(self) -> List[float]:
+        """Per-round maximum circumradius (the upper curves of Figure 6)."""
+        return [s.max_circumradius for s in self.history]
+
+    def min_circumradius_trace(self) -> List[float]:
+        """Per-round minimum circumradius (the lower curves of Figure 6)."""
+        return [s.min_circumradius for s in self.history]
+
+    def total_distance_traveled(self) -> float:
+        """Total movement of all nodes from start to final positions (straight-line lower bound)."""
+        return sum(
+            distance(a, b) for a, b in zip(self.initial_positions, self.final_positions)
+        )
+
+
+class LaacadRunner:
+    """Drives Algorithm 1 on a :class:`~repro.network.network.SensorNetwork`.
+
+    The runner mutates the supplied network: node positions evolve every
+    round and the final sensing ranges are written back to the nodes, so
+    the network afterwards *is* the converged deployment.
+    """
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        config: LaacadConfig,
+        mobility: Optional[MobilityModel] = None,
+    ) -> None:
+        if len(network.alive_nodes()) < config.k:
+            raise ValueError(
+                "the network needs at least k alive nodes to attempt k-coverage"
+            )
+        self.network = network
+        self.config = config
+        self.mobility = mobility if mobility is not None else MobilityModel()
+        self._rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------
+    # Region computation back-ends
+    # ------------------------------------------------------------------
+    def _compute_regions(self) -> Tuple[Dict[int, DominatingRegion], int]:
+        """Dominating regions of every alive node; returns (regions, max ring hops)."""
+        regions: Dict[int, DominatingRegion] = {}
+        max_hops = 0
+        alive = self.network.alive_nodes()
+        if self.config.use_localized:
+            for node in alive:
+                computation = localized_dominating_region(
+                    self.network,
+                    node.node_id,
+                    self.config.k,
+                    ring_granularity=self.config.ring_granularity,
+                    circle_check_samples=self.config.circle_check_samples,
+                )
+                regions[node.node_id] = computation.region
+                max_hops = max(max_hops, computation.hops)
+        else:
+            positions = {n.node_id: n.position for n in alive}
+            for node in alive:
+                others = [p for j, p in positions.items() if j != node.node_id]
+                regions[node.node_id] = compute_dominating_region(
+                    node.position,
+                    others,
+                    self.network.region,
+                    self.config.k,
+                    prefilter=self.config.prefilter,
+                )
+        return regions, max_hops
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> LaacadResult:
+        """Execute Algorithm 1 until convergence or the round cap."""
+        config = self.config
+        network = self.network
+        initial_positions = list(network.positions())
+        tracker = ConvergenceTracker(epsilon=config.epsilon, patience=config.convergence_patience)
+        history: List[RoundStats] = []
+        position_history: Optional[List[List[Point]]] = (
+            [list(network.positions())] if config.record_positions else None
+        )
+
+        converged = False
+        rounds = 0
+        last_regions: Dict[int, DominatingRegion] = {}
+        for round_index in range(config.max_rounds):
+            rounds = round_index + 1
+            regions, max_hops = self._compute_regions()
+            last_regions = regions
+
+            centers: Dict[int, Point] = {}
+            circumradii: List[float] = []
+            ranges_from_position: List[float] = []
+            displacements: List[float] = []
+            for node_id, region in regions.items():
+                node = network.node(node_id)
+                center, radius = region.chebyshev_center()
+                centers[node_id] = center
+                circumradii.append(radius)
+                ranges_from_position.append(region.circumradius(node.position))
+                displacements.append(distance(node.position, center))
+
+            stats = RoundStats(
+                round_index=round_index,
+                max_circumradius=max(circumradii) if circumradii else 0.0,
+                min_circumradius=min(circumradii) if circumradii else 0.0,
+                max_range_from_position=max(ranges_from_position) if ranges_from_position else 0.0,
+                min_range_from_position=min(ranges_from_position) if ranges_from_position else 0.0,
+                max_displacement=max(displacements) if displacements else 0.0,
+                mean_displacement=(sum(displacements) / len(displacements)) if displacements else 0.0,
+                max_ring_hops=max_hops,
+            )
+            history.append(stats)
+
+            if tracker.observe(displacements):
+                converged = True
+                break
+
+            # Synchronous move: every node steps alpha of the way to its
+            # Chebyshev center, constrained by the mobility model.
+            for node_id, center in centers.items():
+                node = network.node(node_id)
+                if distance(node.position, center) <= config.epsilon:
+                    continue
+                target = (
+                    node.position[0] + config.alpha * (center[0] - node.position[0]),
+                    node.position[1] + config.alpha * (center[1] - node.position[1]),
+                )
+                constrained = self.mobility.constrain(network.region, node.position, target)
+                network.move_node(node_id, constrained, clamp_to_region=True)
+            if config.record_positions and position_history is not None:
+                position_history.append(list(network.positions()))
+
+        # Final sensing ranges: the circumradius of each node's dominating
+        # region measured from its final position.  Recompute the regions
+        # if the last move changed positions after the last measurement.
+        if not converged:
+            last_regions, _ = self._compute_regions()
+        sensing_ranges: List[float] = []
+        for node in network.nodes:
+            if not node.alive:
+                sensing_ranges.append(0.0)
+                continue
+            region = last_regions.get(node.node_id)
+            if region is None:
+                sensing_ranges.append(0.0)
+                continue
+            r = region.circumradius(node.position)
+            network.set_sensing_range(node.node_id, r)
+            sensing_ranges.append(r)
+
+        return LaacadResult(
+            config=config,
+            initial_positions=initial_positions,
+            final_positions=list(network.positions()),
+            sensing_ranges=sensing_ranges,
+            converged=converged,
+            rounds_executed=rounds,
+            history=history,
+            position_history=position_history,
+        )
+
+
+def run_laacad(
+    region: Region,
+    initial_positions: Sequence[Point],
+    config: LaacadConfig,
+    comm_range: float = 0.25,
+    mobility: Optional[MobilityModel] = None,
+) -> LaacadResult:
+    """Convenience wrapper: build a network from positions and run LAACAD."""
+    network = SensorNetwork(region, list(initial_positions), comm_range=comm_range)
+    runner = LaacadRunner(network, config, mobility=mobility)
+    return runner.run()

@@ -1,0 +1,153 @@
+"""Sec. IV-C: approximating min-node k-coverage with LAACAD.
+
+The min-node k-coverage problem fixes a common sensing range ``r_s`` and
+asks for the fewest nodes that k-cover the area.  LAACAD solves the dual
+(fix the node count, minimise the worst sensing range), so the paper's
+transform runs LAACAD repeatedly, adding nodes while the achieved
+``R*`` exceeds ``r_s`` and removing nodes while it is below, stopping at
+the smallest node count whose ``R*`` still fits.
+
+The search below is a monotone bracket-plus-bisection on the node count:
+``R*(N)`` decreases (statistically) with ``N``, so an exponential bracket
+followed by bisection finds the threshold with O(log N) LAACAD runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import LaacadConfig
+from repro.core.laacad import LaacadResult, run_laacad
+from repro.regions.region import Region
+
+
+@dataclasses.dataclass
+class MinNodeResult:
+    """Outcome of the min-node search.
+
+    Attributes:
+        node_count: smallest node count found whose max sensing range is
+            at most the target.
+        achieved_range: the ``R*`` obtained at that node count.
+        target_range: the fixed sensing range ``r_s`` being matched.
+        evaluations: map from node count to achieved ``R*`` for every
+            LAACAD run performed during the search.
+    """
+
+    node_count: int
+    achieved_range: float
+    target_range: float
+    evaluations: Dict[int, float]
+
+
+class MinNodeSizer:
+    """Search for the fewest nodes achieving k-coverage with a fixed range."""
+
+    def __init__(
+        self,
+        region: Region,
+        k: int,
+        config: Optional[LaacadConfig] = None,
+        comm_range: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ValueError("coverage order k must be >= 1")
+        self.region = region
+        self.k = k
+        self.config = (config or LaacadConfig()).with_k(k)
+        self.comm_range = comm_range
+        self.seed = seed
+        self._cache: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def analytic_estimate(self, target_range: float) -> int:
+        """First guess for the node count: ``k |A| / (pi r_s^2)``.
+
+        This is the density a perfectly balanced deployment would need
+        (each node covering ``k |A| / N`` of area with a disk of radius
+        ``r_s``); the search uses it only as a starting bracket.
+        """
+        if target_range <= 0:
+            raise ValueError("target_range must be positive")
+        estimate = self.k * self.region.area / (math.pi * target_range**2)
+        return max(self.k, int(math.ceil(estimate)))
+
+    def required_range(self, node_count: int) -> float:
+        """Run LAACAD with ``node_count`` random nodes and return the achieved ``R*``."""
+        if node_count < self.k:
+            raise ValueError("node_count must be at least k")
+        if node_count in self._cache:
+            return self._cache[node_count]
+        rng = np.random.default_rng(self.seed + node_count)
+        positions = self.region.random_points(node_count, rng=rng)
+        result = run_laacad(self.region, positions, self.config, comm_range=self.comm_range)
+        self._cache[node_count] = result.max_sensing_range
+        return self._cache[node_count]
+
+    # ------------------------------------------------------------------
+    def find_min_nodes(
+        self,
+        target_range: float,
+        max_evaluations: int = 12,
+        growth_factor: float = 1.5,
+    ) -> MinNodeResult:
+        """Smallest node count whose LAACAD ``R*`` is at most ``target_range``.
+
+        Args:
+            target_range: the fixed sensing range ``r_s``.
+            max_evaluations: cap on the number of LAACAD runs.
+            growth_factor: multiplicative step of the exponential bracket.
+        """
+        if target_range <= 0:
+            raise ValueError("target_range must be positive")
+        if growth_factor <= 1.0:
+            raise ValueError("growth_factor must exceed 1")
+
+        evaluations: Dict[int, float] = {}
+
+        def evaluate(n: int) -> float:
+            r = self.required_range(n)
+            evaluations[n] = r
+            return r
+
+        count = self.analytic_estimate(target_range)
+        achieved = evaluate(count)
+        budget = max_evaluations - 1
+
+        # Exponential bracket: find a feasible upper end.
+        upper = count
+        upper_range = achieved
+        while upper_range > target_range and budget > 0:
+            upper = max(upper + 1, int(math.ceil(upper * growth_factor)))
+            upper_range = evaluate(upper)
+            budget -= 1
+        if upper_range > target_range:
+            # Ran out of budget without reaching feasibility; report the
+            # best attempt so callers can decide to retry with more budget.
+            return MinNodeResult(upper, upper_range, target_range, evaluations)
+
+        # Find an infeasible lower end (or learn that even `k` nodes work).
+        lower = min(count, upper)
+        lower_range = evaluations.get(lower, upper_range)
+        while lower > self.k and lower_range <= target_range and budget > 0:
+            lower = max(self.k, int(lower / growth_factor))
+            lower_range = evaluate(lower)
+            budget -= 1
+        if lower_range <= target_range:
+            return MinNodeResult(lower, lower_range, target_range, evaluations)
+
+        # Bisection between infeasible `lower` and feasible `upper`.
+        while upper - lower > 1 and budget > 0:
+            mid = (upper + lower) // 2
+            mid_range = evaluate(mid)
+            budget -= 1
+            if mid_range <= target_range:
+                upper, upper_range = mid, mid_range
+            else:
+                lower, lower_range = mid, mid_range
+        return MinNodeResult(upper, upper_range, target_range, evaluations)

@@ -1,0 +1,25 @@
+"""Experiment runners reproducing every figure and table of the paper.
+
+Each module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` (rows of plain
+dictionaries — the same series the paper plots or tabulates) and is
+wired both to a benchmark (``benchmarks/``) and to the CLI
+(``python -m repro.experiments.cli`` or the ``laacad-experiments``
+console script).
+
+| Paper artefact | Module |
+| -------------- | ------ |
+| Figure 1       | :mod:`repro.experiments.fig1_voronoi` |
+| Figure 2       | :mod:`repro.experiments.fig2_rings` |
+| Figure 5       | :mod:`repro.experiments.fig5_deployment` |
+| Figure 6       | :mod:`repro.experiments.fig6_convergence` |
+| Figure 7       | :mod:`repro.experiments.fig7_energy` |
+| Table I        | :mod:`repro.experiments.table1_minnode` |
+| Table II       | :mod:`repro.experiments.table2_ammari` |
+| Figure 8       | :mod:`repro.experiments.fig8_obstacles` |
+| Ablations      | :mod:`repro.experiments.ablations` |
+"""
+
+from repro.experiments.common import ExperimentResult, resolve_scale
+
+__all__ = ["ExperimentResult", "resolve_scale"]

@@ -1,0 +1,128 @@
+"""Command-line entry point for the experiment runners.
+
+Examples::
+
+    laacad-experiments list
+    laacad-experiments run fig6_convergence
+    laacad-experiments run all --output-dir results
+    REPRO_FULL_SCALE=1 laacad-experiments run table1_minnode
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.ablations import (
+    run_alpha_ablation,
+    run_localized_ablation,
+    run_protocol_overhead,
+)
+from repro.experiments.common import ExperimentResult, default_output_dir
+from repro.experiments.fig1_voronoi import run_fig1_voronoi
+from repro.experiments.fig2_rings import run_fig2_rings
+from repro.experiments.fig5_deployment import run_fig5_deployment
+from repro.experiments.fig6_convergence import run_fig6_convergence
+from repro.experiments.fig7_energy import run_fig7_energy
+from repro.experiments.fig8_obstacles import run_fig8_obstacles
+from repro.experiments.lifetime_comparison import run_lifetime_comparison
+from repro.experiments.table1_minnode import run_table1_minnode
+from repro.experiments.table2_ammari import run_table2_ammari
+
+#: Registry of every runnable experiment, keyed by its CLI name.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fig1_voronoi": run_fig1_voronoi,
+    "fig2_rings": run_fig2_rings,
+    "fig5_deployment": run_fig5_deployment,
+    "fig6_convergence": run_fig6_convergence,
+    "fig7_energy": run_fig7_energy,
+    "table1_minnode": run_table1_minnode,
+    "table2_ammari": run_table2_ammari,
+    "fig8_obstacles": run_fig8_obstacles,
+    "ablation_alpha": run_alpha_ablation,
+    "ablation_localized": run_localized_ablation,
+    "ablation_protocol_overhead": run_protocol_overhead,
+    "lifetime_comparison": run_lifetime_comparison,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="laacad-experiments",
+        description="Reproduce the figures and tables of the LAACAD paper (ICDCS 2012).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="List available experiments")
+
+    run_parser = sub.add_parser("run", help="Run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        help="Experiment name (see 'list') or 'all'",
+    )
+    run_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="Directory for CSV/JSON output (default: ./results)",
+    )
+    run_parser.add_argument(
+        "--no-files",
+        action="store_true",
+        help="Only print the table, do not write CSV/JSON files",
+    )
+    run_parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=40,
+        help="Maximum number of rows to print (default: 40)",
+    )
+    return parser
+
+
+def _run_one(
+    name: str, output_dir: Optional[Path], write_files: bool, max_rows: int
+) -> ExperimentResult:
+    runner = EXPERIMENTS[name]
+    print(f"== running {name} ==")
+    result = runner()
+    print(result.format_table(max_rows=max_rows))
+    if write_files:
+        out = output_dir if output_dir is not None else default_output_dir()
+        csv_path = result.to_csv(out / f"{name}.csv")
+        json_path = result.to_json(out / f"{name}.json")
+        print(f"wrote {csv_path} and {json_path}")
+    print()
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    if args.command == "run":
+        if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+            print(
+                f"unknown experiment {args.experiment!r}; use 'list' to see choices",
+                file=sys.stderr,
+            )
+            return 2
+        names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        for name in names:
+            _run_one(name, args.output_dir, not args.no_files, args.max_rows)
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces valid commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Shared infrastructure for the experiment runners."""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+#: Environment variable that switches the runners to the paper's full
+#: problem sizes (large node counts, long round budgets).  The default
+#: "reduced" scale preserves the qualitative shapes while completing in
+#: CI-friendly time; see DESIGN.md.
+FULL_SCALE_ENV = "REPRO_FULL_SCALE"
+
+
+def resolve_scale() -> str:
+    """Return ``"full"`` when REPRO_FULL_SCALE is set to a truthy value, else ``"reduced"``."""
+    value = os.environ.get(FULL_SCALE_ENV, "").strip().lower()
+    if value in {"1", "true", "yes", "full"}:
+        return "full"
+    return "reduced"
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Rows + metadata produced by one experiment runner.
+
+    Attributes:
+        name: experiment identifier (e.g. ``"fig6_convergence"``).
+        description: one-line description of what the rows contain.
+        rows: list of flat dictionaries — one per output series point.
+        metadata: run parameters (node counts, k values, seeds, scale).
+    """
+
+    name: str
+    description: str
+    rows: List[Dict[str, Any]]
+    metadata: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def columns(self) -> List[str]:
+        """Union of row keys, in first-appearance order."""
+        cols: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def to_csv(self, path: Path | str) -> Path:
+        """Write the rows to a CSV file; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.columns())
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+        return path
+
+    def to_json(self, path: Path | str) -> Path:
+        """Write rows + metadata to a JSON file; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "name": self.name,
+            "description": self.description,
+            "metadata": self.metadata,
+            "rows": self.rows,
+        }
+        path.write_text(json.dumps(payload, indent=2, default=float))
+        return path
+
+    def format_table(self, max_rows: Optional[int] = None) -> str:
+        """Render the rows as a fixed-width ASCII table (for the CLI)."""
+        columns = self.columns()
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        rendered: List[List[str]] = [columns]
+        for row in rows:
+            rendered.append([_format_value(row.get(col, "")) for col in columns])
+        widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+        lines = []
+        for idx, row in enumerate(rendered):
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+            if idx == 0:
+                lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def filter_rows(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows whose values match every keyword criterion."""
+        selected = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                selected.append(row)
+        return selected
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def default_output_dir() -> Path:
+    """Directory where the CLI writes result files (``./results``)."""
+    return Path(os.environ.get("REPRO_RESULTS_DIR", "results"))

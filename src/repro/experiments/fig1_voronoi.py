@@ -1,0 +1,90 @@
+"""Figure 1: k-order Voronoi partitions of 30 random nodes (k = 1..4).
+
+The paper's Figure 1 is an illustration; the reproducible quantities are
+the structural properties of the partition: the number of non-empty
+cells, that the cells tile the whole area, the O(k(N-k)) bound on the
+cell count, and — per node — the size of its dominating region.  The
+runner emits one row per (k, summary) and, optionally, the raw cell
+polygons for plotting by external tools.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, resolve_scale
+from repro.regions.shapes import unit_square
+from repro.voronoi.korder import KOrderVoronoiDiagram
+
+
+def run_fig1_voronoi(
+    node_count: int = 30,
+    k_values: Sequence[int] = (1, 2, 3, 4),
+    seed: int = 7,
+    seed_resolution: Optional[int] = None,
+) -> ExperimentResult:
+    """Build the k-order Voronoi diagrams of Figure 1 and summarise them.
+
+    Args:
+        node_count: number of generator nodes (30 in the paper).
+        k_values: orders to build.
+        seed: RNG seed for the node placement.
+        seed_resolution: grid resolution used to seed candidate generator
+            sets (defaults to 60, or 90 at full scale).
+    """
+    scale = resolve_scale()
+    if seed_resolution is None:
+        seed_resolution = 90 if scale == "full" else 60
+    region = unit_square()
+    rng = np.random.default_rng(seed)
+    sites = region.random_points(node_count, rng=rng)
+
+    rows: List[dict] = []
+    for k in k_values:
+        diagram = KOrderVoronoiDiagram(sites, region, k, seed_resolution=seed_resolution)
+        cells = diagram.cells()
+        areas = [
+            sum(
+                _polygon_area(piece)
+                for piece in pieces
+            )
+            for pieces in cells.values()
+        ]
+        dominating_areas = [
+            diagram.dominating_region(i).area for i in range(node_count)
+        ]
+        rows.append(
+            {
+                "k": k,
+                "num_cells": diagram.num_cells(),
+                "cell_count_bound": diagram.cell_count_bound(),
+                "total_cell_area": diagram.total_cell_area(),
+                "region_area": region.area,
+                "mean_cell_area": float(np.mean(areas)) if areas else 0.0,
+                "mean_dominating_area": float(np.mean(dominating_areas)),
+                "max_dominating_area": float(np.max(dominating_areas)),
+            }
+        )
+    return ExperimentResult(
+        name="fig1_voronoi",
+        description=(
+            "Structural summary of the k-order Voronoi partitions of Figure 1: "
+            "cell counts, tiling area and dominating-region sizes"
+        ),
+        rows=rows,
+        metadata={
+            "node_count": node_count,
+            "k_values": list(k_values),
+            "seed": seed,
+            "seed_resolution": seed_resolution,
+            "scale": scale,
+        },
+    )
+
+
+def _polygon_area(polygon: Iterable) -> float:
+    from repro.geometry.polygon import polygon_area
+
+    return polygon_area(list(polygon))

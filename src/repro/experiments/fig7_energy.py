@@ -1,0 +1,107 @@
+"""Figure 7: sensing energy consumption vs network size.
+
+The paper scales the network from 20 to 180 nodes on the 1 km^2 square
+and reports, for k = 1..4, the maximum per-node sensing load
+``max_i E(r_i)`` and the total load ``sum_i E(r_i)`` with
+``E(r) = pi r^2``.  Expected shapes: both decrease with the node count,
+larger k costs more, and the ratio of maximum loads between two coverage
+orders is roughly the ratio of the orders (because LAACAD balances the
+load, each node covers about ``k |A| / N``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.coverage import evaluate_coverage
+from repro.analysis.energy import energy_report
+from repro.core.config import LaacadConfig
+from repro.core.laacad import LaacadRunner
+from repro.experiments.common import ExperimentResult, resolve_scale
+from repro.network.network import SensorNetwork
+from repro.regions.shapes import unit_square
+
+
+def run_fig7_energy(
+    node_counts: Optional[Sequence[int]] = None,
+    k_values: Optional[Sequence[int]] = None,
+    comm_range: float = 0.25,
+    max_rounds: Optional[int] = None,
+    epsilon: float = 1e-3,
+    seed: int = 23,
+    verify_coverage: bool = True,
+    coverage_resolution: int = 50,
+) -> ExperimentResult:
+    """Sweep the network size and coverage order, reporting sensing loads.
+
+    Args:
+        node_counts: network sizes (paper: 20..180 in steps of 40).
+        k_values: coverage orders (paper: 1..4).
+        comm_range: transmission range.
+        max_rounds: per-run round cap (defaults by scale).
+        epsilon: stopping tolerance.
+        seed: base RNG seed (each configuration derives its own).
+        verify_coverage: also run the grid coverage check per run.
+        coverage_resolution: grid resolution of that check.
+    """
+    scale = resolve_scale()
+    if node_counts is None:
+        node_counts = (20, 60, 100, 140, 180) if scale == "full" else (20, 60, 100)
+    if k_values is None:
+        k_values = (1, 2, 3, 4) if scale == "full" else (1, 2, 3)
+    if max_rounds is None:
+        max_rounds = 150 if scale == "full" else 60
+    region = unit_square()
+
+    rows: List[Dict] = []
+    for n in node_counts:
+        for k in k_values:
+            if n < k:
+                continue
+            rng = np.random.default_rng(seed + 1000 * n + k)
+            network = SensorNetwork.from_random(region, n, comm_range=comm_range, rng=rng)
+            config = LaacadConfig(
+                k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed
+            )
+            result = LaacadRunner(network, config).run()
+            report = energy_report(result.sensing_ranges)
+            row = {
+                "node_count": n,
+                "k": k,
+                "rounds": result.rounds_executed,
+                "converged": result.converged,
+                "max_sensing_range": result.max_sensing_range,
+                "max_load": report.max_load,
+                "total_load": report.total_load,
+                "mean_load": report.mean_load,
+                "load_imbalance": report.imbalance,
+            }
+            if verify_coverage:
+                coverage = evaluate_coverage(
+                    result.final_positions,
+                    result.sensing_ranges,
+                    region,
+                    k,
+                    resolution=coverage_resolution,
+                )
+                row["coverage_fraction"] = coverage.fraction_k_covered
+            rows.append(row)
+
+    return ExperimentResult(
+        name="fig7_energy",
+        description=(
+            "Maximum and total sensing load vs network size for k-coverage "
+            "(Figure 7a/7b), with E(r) = pi r^2"
+        ),
+        rows=rows,
+        metadata={
+            "node_counts": list(node_counts),
+            "k_values": list(k_values),
+            "comm_range": comm_range,
+            "max_rounds": max_rounds,
+            "seed": seed,
+            "scale": scale,
+        },
+    )

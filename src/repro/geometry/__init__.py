@@ -1,0 +1,123 @@
+"""Computational-geometry substrate for the LAACAD reproduction.
+
+Everything LAACAD needs geometrically is implemented here from scratch
+(no shapely / CGAL): robust-enough 2-D predicates, convex hulls, convex
+polygon clipping, general polygon utilities, polygon triangulation (with
+holes), circles, smallest enclosing circles (Welzl), Chebyshev centers
+and perpendicular bisectors.
+
+The public surface is re-exported below so that callers can simply write
+``from repro.geometry import convex_hull, welzl_disk, HalfPlane``.
+"""
+
+from repro.geometry.primitives import (
+    EPS,
+    Point,
+    almost_equal,
+    centroid_of_points,
+    cross,
+    distance,
+    distance_sq,
+    dot,
+    lerp,
+    midpoint,
+    norm,
+    normalize,
+    perpendicular,
+    points_close,
+    sub,
+    add,
+    scale,
+)
+from repro.geometry.predicates import (
+    Orientation,
+    collinear,
+    in_circle,
+    orientation,
+    point_segment_distance,
+    segments_intersect,
+)
+from repro.geometry.convex import convex_hull, is_convex_polygon
+from repro.geometry.polygon import (
+    bounding_box,
+    ensure_ccw,
+    point_in_polygon,
+    point_on_polygon_boundary,
+    polygon_area,
+    polygon_centroid,
+    polygon_diameter,
+    polygon_edges,
+    polygon_perimeter,
+    signed_area,
+)
+from repro.geometry.clipping import (
+    HalfPlane,
+    clip_polygon_halfplane,
+    clip_polygon_polygon,
+    halfplane_from_bisector,
+    polygon_intersection_convex,
+)
+from repro.geometry.circle import Circle, circle_from_2, circle_from_3
+from repro.geometry.welzl import welzl_disk
+from repro.geometry.chebyshev import (
+    chebyshev_center_of_points,
+    chebyshev_center_of_polygon,
+    circumradius_from,
+    farthest_point_distance,
+)
+from repro.geometry.bisector import perpendicular_bisector_halfplane
+from repro.geometry.triangulate import triangulate_polygon, triangulate_with_holes
+
+__all__ = [
+    "EPS",
+    "Point",
+    "almost_equal",
+    "centroid_of_points",
+    "cross",
+    "distance",
+    "distance_sq",
+    "dot",
+    "lerp",
+    "midpoint",
+    "norm",
+    "normalize",
+    "perpendicular",
+    "points_close",
+    "sub",
+    "add",
+    "scale",
+    "Orientation",
+    "collinear",
+    "in_circle",
+    "orientation",
+    "point_segment_distance",
+    "segments_intersect",
+    "convex_hull",
+    "is_convex_polygon",
+    "bounding_box",
+    "ensure_ccw",
+    "point_in_polygon",
+    "point_on_polygon_boundary",
+    "polygon_area",
+    "polygon_centroid",
+    "polygon_diameter",
+    "polygon_edges",
+    "polygon_perimeter",
+    "signed_area",
+    "HalfPlane",
+    "clip_polygon_halfplane",
+    "clip_polygon_polygon",
+    "halfplane_from_bisector",
+    "polygon_intersection_convex",
+    "Circle",
+    "circle_from_2",
+    "circle_from_3",
+    "welzl_disk",
+    "chebyshev_center_of_points",
+    "chebyshev_center_of_polygon",
+    "circumradius_from",
+    "farthest_point_distance",
+    "perpendicular_bisector_halfplane",
+    "triangulate_polygon",
+    "triangulate_with_holes",
+]

@@ -1,0 +1,33 @@
+"""Perpendicular bisectors between sensor-node sites.
+
+A thin wrapper around :func:`repro.geometry.clipping.halfplane_from_bisector`
+providing the site-pair helpers the Voronoi engine uses, plus handling of
+coincident sites, which genuinely occur in LAACAD: for small node counts
+and large ``k`` the converged deployment co-locates nodes (Sec. IV-C's
+three-node 3-coverage example).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry.clipping import HalfPlane, halfplane_from_bisector
+from repro.geometry.primitives import EPS, Point, distance
+
+
+def perpendicular_bisector_halfplane(
+    site: Point, other: Point, eps: float = EPS
+) -> Optional[HalfPlane]:
+    """Half-plane of points at least as close to ``site`` as to ``other``.
+
+    Returns ``None`` when the two sites coincide (within ``eps``): in
+    that case neither site is ever strictly closer than the other, so in
+    the dominating-region computation the "other" site never *excludes*
+    any point from ``site``'s region — callers treat ``None`` as
+    "no constraint from this competitor" on the closer side, and must
+    separately count the co-located competitor when tallying how many
+    nodes are strictly closer (it never is).
+    """
+    if distance(site, other) <= eps:
+        return None
+    return halfplane_from_bisector(site, other)

@@ -1,0 +1,81 @@
+"""Chebyshev centers (Definition 2 of the paper).
+
+The Chebyshev center of a set ``S`` is the point minimizing the maximum
+distance to any point of ``S`` — i.e. the center of the smallest circle
+enclosing ``S``.  For a (union of) polygon(s) the maximum distance from
+any candidate center is attained at a vertex of the convex hull, so the
+smallest enclosing circle of the *vertices* gives the exact Chebyshev
+center; this is exactly how the paper applies Welzl's algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry.circle import Circle
+from repro.geometry.primitives import Point, distance
+from repro.geometry.welzl import welzl_disk
+
+
+def chebyshev_center_of_points(
+    points: Sequence[Point], seed: Optional[int] = 0
+) -> Tuple[Point, float]:
+    """Chebyshev center and radius of a finite point set.
+
+    Returns the pair ``(center, circumradius)``.
+
+    Raises:
+        ValueError: if the point set is empty.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("Chebyshev center of an empty point set is undefined")
+    circle = welzl_disk(pts, seed=seed)
+    return circle.center, circle.radius
+
+
+def chebyshev_center_of_polygon(
+    polygon: Sequence[Point], seed: Optional[int] = 0
+) -> Tuple[Point, float]:
+    """Chebyshev center of a single polygon (min–max over its vertices)."""
+    if len(polygon) < 1:
+        raise ValueError("Chebyshev center of an empty polygon is undefined")
+    return chebyshev_center_of_points(list(polygon), seed=seed)
+
+
+def chebyshev_center_of_pieces(
+    pieces: Iterable[Sequence[Point]], seed: Optional[int] = 0
+) -> Tuple[Point, float]:
+    """Chebyshev center of a union of polygons (e.g. a dominating region).
+
+    The union's farthest point from any center is still a vertex of the
+    union's convex hull, so pooling the vertices of all pieces is exact.
+    """
+    vertices: List[Point] = []
+    for piece in pieces:
+        vertices.extend(piece)
+    if not vertices:
+        raise ValueError("Chebyshev center of an empty region is undefined")
+    return chebyshev_center_of_points(vertices, seed=seed)
+
+
+def farthest_point_distance(origin: Point, points: Sequence[Point]) -> float:
+    """Maximum distance from ``origin`` to any point of the collection."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("farthest point of an empty set is undefined")
+    return max(distance(origin, p) for p in pts)
+
+
+def circumradius_from(origin: Point, pieces: Iterable[Sequence[Point]]) -> float:
+    """Sensing range needed at ``origin`` to cover a union of polygons.
+
+    This is the paper's ``r_i = max_{v in A^k_{n_i}} ||v - u_i||`` — for
+    polygonal regions the maximum is attained at a vertex.
+    """
+    vertices: List[Point] = []
+    for piece in pieces:
+        vertices.extend(piece)
+    if not vertices:
+        return 0.0
+    return farthest_point_distance(origin, vertices)

@@ -1,0 +1,75 @@
+"""Circles and minimal circumscribed circles of 2 or 3 points."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+from repro.geometry.primitives import EPS, Point, distance, midpoint
+
+
+@dataclasses.dataclass(frozen=True)
+class Circle:
+    """A circle given by center and radius."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError("circle radius must be non-negative")
+
+    def contains(self, point: Point, eps: float = 1e-9) -> bool:
+        """Closed containment test with a *relative* slack.
+
+        Welzl's algorithm repeatedly asks "is this point inside the
+        current candidate circle"; a purely absolute epsilon misbehaves
+        for very large or very small circles, so the slack scales with
+        the radius.
+        """
+        slack = eps * max(1.0, self.radius)
+        return distance(self.center, point) <= self.radius + slack
+
+    def area(self) -> float:
+        """Disk area."""
+        return math.pi * self.radius * self.radius
+
+    def intersects_circle(self, other: "Circle") -> bool:
+        """True when the two closed disks share at least one point."""
+        return distance(self.center, other.center) <= self.radius + other.radius + EPS
+
+
+def circle_from_2(a: Point, b: Point) -> Circle:
+    """Smallest circle through two points (diameter circle)."""
+    center = midpoint(a, b)
+    return Circle(center, distance(a, b) / 2.0)
+
+
+def circle_from_3(a: Point, b: Point, c: Point) -> Optional[Circle]:
+    """Circumscribed circle of three points.
+
+    Returns ``None`` when the points are (numerically) collinear, in
+    which case no finite circumcircle exists.
+    """
+    ax, ay = a
+    bx, by = b
+    cx, cy = c
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    if abs(d) <= EPS * EPS:
+        return None
+    a2 = ax * ax + ay * ay
+    b2 = bx * bx + by * by
+    c2 = cx * cx + cy * cy
+    ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / d
+    uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / d
+    center = (ux, uy)
+    return Circle(center, distance(center, a))
+
+
+def bounding_circle_of_box(xmin: float, ymin: float, xmax: float, ymax: float) -> Circle:
+    """Circle through the corners of an axis-aligned box."""
+    if xmax < xmin or ymax < ymin:
+        raise ValueError("degenerate bounding box")
+    center = ((xmin + xmax) / 2.0, (ymin + ymax) / 2.0)
+    return Circle(center, distance(center, (xmin, ymin)))

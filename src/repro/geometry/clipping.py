@@ -1,0 +1,189 @@
+"""Half-plane and polygon clipping.
+
+The k-order Voronoi engine represents every dominating region as a
+union of convex polygons.  The only clipping primitive it needs is
+"clip a convex polygon by a half-plane", implemented here, plus the
+Sutherland–Hodgman clip of an arbitrary simple polygon against a convex
+clip window (used when intersecting target areas with convex pieces).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+from repro.geometry.primitives import EPS, Point, midpoint
+
+
+@dataclasses.dataclass(frozen=True)
+class HalfPlane:
+    """The closed half-plane ``a*x + b*y <= c``.
+
+    The coefficient vector ``(a, b)`` is the outward normal of the
+    boundary line: points with ``a*x + b*y`` *smaller* than ``c`` are
+    inside.
+    """
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if abs(self.a) <= EPS and abs(self.b) <= EPS:
+            raise ValueError("half-plane normal must be non-zero")
+
+    def value(self, point: Point) -> float:
+        """Signed evaluation ``a*x + b*y - c`` (negative means inside)."""
+        return self.a * point[0] + self.b * point[1] - self.c
+
+    def contains(self, point: Point, eps: float = EPS) -> bool:
+        """Closed containment test with tolerance ``eps``."""
+        return self.value(point) <= eps
+
+    def flipped(self) -> "HalfPlane":
+        """The complementary (closed) half-plane ``a*x + b*y >= c``."""
+        return HalfPlane(-self.a, -self.b, -self.c)
+
+    def boundary_intersection(self, p: Point, q: Point) -> Point:
+        """Intersection of the boundary line with the segment ``pq``.
+
+        The caller must ensure that ``p`` and ``q`` lie on opposite
+        sides of the boundary (or at least one is on it); otherwise the
+        interpolation parameter is clamped to the segment.
+        """
+        vp = self.value(p)
+        vq = self.value(q)
+        denom = vp - vq
+        if abs(denom) <= EPS * EPS:
+            return midpoint(p, q)
+        t = vp / denom
+        t = max(0.0, min(1.0, t))
+        return (p[0] + t * (q[0] - p[0]), p[1] + t * (q[1] - p[1]))
+
+
+def halfplane_from_bisector(closer_to: Point, farther_from: Point) -> HalfPlane:
+    """Half-plane of points at least as close to ``closer_to`` as to ``farther_from``.
+
+    This is the fundamental Voronoi building block: the perpendicular
+    bisector of the two sites, keeping the side of ``closer_to``.
+
+    Raises:
+        ValueError: if the two sites coincide (the bisector is undefined).
+    """
+    ax, ay = closer_to
+    bx, by = farther_from
+    dx, dy = bx - ax, by - ay
+    if abs(dx) <= EPS and abs(dy) <= EPS:
+        raise ValueError("bisector of two coincident points is undefined")
+    # ||v - a||^2 <= ||v - b||^2  <=>  2(b-a).v <= |b|^2 - |a|^2
+    c = (bx * bx + by * by - ax * ax - ay * ay) / 2.0
+    return HalfPlane(dx, dy, c)
+
+
+def clip_polygon_halfplane(
+    polygon: Sequence[Point], halfplane: HalfPlane, eps: float = EPS
+) -> List[Point]:
+    """Clip a convex polygon with a closed half-plane.
+
+    Returns the clipped polygon (possibly empty).  The input is assumed
+    convex and in consistent (either) winding order; the output keeps
+    the input winding.  Vertices that are within ``eps`` of the boundary
+    are treated as inside, which keeps adjacent pieces from developing
+    hairline gaps after long clipping cascades.
+    """
+    n = len(polygon)
+    if n == 0:
+        return []
+    output: List[Point] = []
+    prev = polygon[-1]
+    prev_val = halfplane.value(prev)
+    for current in polygon:
+        cur_val = halfplane.value(current)
+        cur_inside = cur_val <= eps
+        prev_inside = prev_val <= eps
+        if cur_inside:
+            if not prev_inside:
+                output.append(halfplane.boundary_intersection(prev, current))
+            output.append(current)
+        elif prev_inside:
+            output.append(halfplane.boundary_intersection(prev, current))
+        prev, prev_val = current, cur_val
+
+    return _dedupe_ring(output, eps)
+
+
+def _dedupe_ring(points: List[Point], eps: float) -> List[Point]:
+    """Remove consecutive (cyclically) duplicated vertices."""
+    if not points:
+        return []
+    cleaned: List[Point] = []
+    for p in points:
+        if not cleaned or abs(p[0] - cleaned[-1][0]) > eps or abs(p[1] - cleaned[-1][1]) > eps:
+            cleaned.append(p)
+    while len(cleaned) >= 2 and (
+        abs(cleaned[0][0] - cleaned[-1][0]) <= eps and abs(cleaned[0][1] - cleaned[-1][1]) <= eps
+    ):
+        cleaned.pop()
+    if len(cleaned) < 3:
+        return []
+    return cleaned
+
+
+def clip_polygon_polygon(
+    subject: Sequence[Point], convex_clip: Sequence[Point], eps: float = EPS
+) -> List[Point]:
+    """Sutherland–Hodgman clip of ``subject`` against a convex window.
+
+    ``subject`` may be non-convex; ``convex_clip`` must be convex.  The
+    result is a single polygon (Sutherland–Hodgman can produce degenerate
+    bridges when a non-convex subject leaves and re-enters the window;
+    for LAACAD's region shapes this does not occur because non-convex
+    target areas are triangulated before any clipping).
+    """
+    from repro.geometry.polygon import ensure_ccw, polygon_edges
+
+    clip = ensure_ccw(convex_clip)
+    result = list(subject)
+    for a, b in polygon_edges(clip):
+        if not result:
+            return []
+        # inside = left of directed edge a->b
+        hp = HalfPlane(b[1] - a[1], a[0] - b[0], (b[1] - a[1]) * a[0] + (a[0] - b[0]) * a[1])
+        result = _clip_general_halfplane(result, hp, eps)
+    return _dedupe_ring(result, eps)
+
+
+def _clip_general_halfplane(
+    polygon: Sequence[Point], halfplane: HalfPlane, eps: float
+) -> List[Point]:
+    """Sutherland–Hodgman step: clip an arbitrary polygon by a half-plane."""
+    output: List[Point] = []
+    n = len(polygon)
+    if n == 0:
+        return output
+    prev = polygon[-1]
+    for current in polygon:
+        cur_inside = halfplane.value(current) <= eps
+        prev_inside = halfplane.value(prev) <= eps
+        if cur_inside:
+            if not prev_inside:
+                output.append(halfplane.boundary_intersection(prev, current))
+            output.append(current)
+        elif prev_inside:
+            output.append(halfplane.boundary_intersection(prev, current))
+        prev = current
+    return output
+
+
+def polygon_intersection_convex(
+    poly_a: Sequence[Point], poly_b: Sequence[Point], eps: float = EPS
+) -> List[Point]:
+    """Intersection of two convex polygons (possibly empty)."""
+    from repro.geometry.convex import is_convex_polygon
+
+    if len(poly_a) < 3 or len(poly_b) < 3:
+        return []
+    if not is_convex_polygon(poly_b):
+        raise ValueError("polygon_intersection_convex requires a convex second operand")
+    return clip_polygon_polygon(poly_a, poly_b, eps)

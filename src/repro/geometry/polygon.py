@@ -1,0 +1,152 @@
+"""Simple-polygon utilities.
+
+A polygon is a sequence of ``(x, y)`` vertices without an explicit
+closing vertex (the edge from the last vertex back to the first is
+implied).  Most routines accept either orientation; :func:`ensure_ccw`
+canonicalises to counter-clockwise where orientation matters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.geometry.predicates import point_segment_distance
+from repro.geometry.primitives import EPS, Point
+
+
+def signed_area(polygon: Sequence[Point]) -> float:
+    """Signed area via the shoelace formula (positive for CCW)."""
+    n = len(polygon)
+    if n < 3:
+        return 0.0
+    total = 0.0
+    for i in range(n):
+        x1, y1 = polygon[i]
+        x2, y2 = polygon[(i + 1) % n]
+        total += x1 * y2 - x2 * y1
+    return total / 2.0
+
+
+def polygon_area(polygon: Sequence[Point]) -> float:
+    """Absolute area of a simple polygon."""
+    return abs(signed_area(polygon))
+
+
+def ensure_ccw(polygon: Sequence[Point]) -> List[Point]:
+    """Return the polygon with counter-clockwise vertex order."""
+    pts = list(polygon)
+    if signed_area(pts) < 0:
+        pts.reverse()
+    return pts
+
+
+def polygon_centroid(polygon: Sequence[Point]) -> Point:
+    """Area centroid of a simple polygon.
+
+    Falls back to the vertex mean for (numerically) degenerate polygons
+    whose area is ~0, which avoids division blow-ups when clipping
+    produces sliver polygons.
+    """
+    pts = list(polygon)
+    if not pts:
+        raise ValueError("centroid of an empty polygon is undefined")
+    area = signed_area(pts)
+    if abs(area) <= EPS * EPS:
+        sx = sum(p[0] for p in pts) / len(pts)
+        sy = sum(p[1] for p in pts) / len(pts)
+        return (sx, sy)
+    cx = 0.0
+    cy = 0.0
+    n = len(pts)
+    for i in range(n):
+        x1, y1 = pts[i]
+        x2, y2 = pts[(i + 1) % n]
+        w = x1 * y2 - x2 * y1
+        cx += (x1 + x2) * w
+        cy += (y1 + y2) * w
+    factor = 1.0 / (6.0 * area)
+    return (cx * factor, cy * factor)
+
+
+def polygon_perimeter(polygon: Sequence[Point]) -> float:
+    """Total edge length of a polygon."""
+    n = len(polygon)
+    if n < 2:
+        return 0.0
+    total = 0.0
+    for i in range(n):
+        x1, y1 = polygon[i]
+        x2, y2 = polygon[(i + 1) % n]
+        total += math.hypot(x2 - x1, y2 - y1)
+    return total
+
+
+def polygon_edges(polygon: Sequence[Point]) -> Iterator[Tuple[Point, Point]]:
+    """Iterate over the (closed) edge list of a polygon."""
+    n = len(polygon)
+    for i in range(n):
+        yield polygon[i], polygon[(i + 1) % n]
+
+
+def bounding_box(polygon: Sequence[Point]) -> Tuple[float, float, float, float]:
+    """Axis-aligned bounding box ``(xmin, ymin, xmax, ymax)``."""
+    if not polygon:
+        raise ValueError("bounding box of an empty polygon is undefined")
+    xs = [p[0] for p in polygon]
+    ys = [p[1] for p in polygon]
+    return (min(xs), min(ys), max(xs), max(ys))
+
+
+def polygon_diameter(polygon: Sequence[Point]) -> float:
+    """Largest pairwise vertex distance (O(n^2), fine for small polygons)."""
+    pts = list(polygon)
+    best = 0.0
+    for i in range(len(pts)):
+        for j in range(i + 1, len(pts)):
+            d = math.hypot(pts[i][0] - pts[j][0], pts[i][1] - pts[j][1])
+            if d > best:
+                best = d
+    return best
+
+
+def point_on_polygon_boundary(
+    point: Point, polygon: Sequence[Point], eps: float = 1e-9
+) -> bool:
+    """True when ``point`` lies on (within ``eps`` of) any polygon edge."""
+    for a, b in polygon_edges(polygon):
+        if point_segment_distance(point, a, b) <= eps:
+            return True
+    return False
+
+
+def point_in_polygon(
+    point: Point, polygon: Sequence[Point], include_boundary: bool = True, eps: float = 1e-9
+) -> bool:
+    """Point-in-polygon test (ray casting), works for non-convex polygons.
+
+    Args:
+        point: query point.
+        polygon: simple polygon, either orientation.
+        include_boundary: whether boundary points count as inside.
+        eps: tolerance for the boundary test.
+    """
+    if len(polygon) < 3:
+        return False
+    if point_on_polygon_boundary(point, polygon, eps):
+        return include_boundary
+
+    x, y = point
+    inside = False
+    n = len(polygon)
+    j = n - 1
+    for i in range(n):
+        xi, yi = polygon[i]
+        xj, yj = polygon[j]
+        intersects = (yi > y) != (yj > y)
+        if intersects:
+            x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+            if x < x_cross:
+                inside = not inside
+        j = i
+    return inside

@@ -1,0 +1,108 @@
+"""Orientation and incidence predicates.
+
+These are the usual determinant-based predicates.  They are not exact
+(no adaptive arithmetic), but every consumer in this package treats the
+``EPS`` band around zero as "degenerate" and handles it explicitly, which
+is sufficient for the simulation scales used by the LAACAD experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.geometry.primitives import EPS, Point, cross, sub
+
+
+class Orientation(enum.IntEnum):
+    """Sign of the signed area of an ordered point triple."""
+
+    CLOCKWISE = -1
+    COLLINEAR = 0
+    COUNTERCLOCKWISE = 1
+
+
+def orientation(a: Point, b: Point, c: Point, eps: float = EPS) -> Orientation:
+    """Orientation of the triple ``(a, b, c)``.
+
+    Returns :class:`Orientation.COUNTERCLOCKWISE` when ``c`` lies to the
+    left of the directed line ``a -> b``.
+    """
+    value = cross(sub(b, a), sub(c, a))
+    if value > eps:
+        return Orientation.COUNTERCLOCKWISE
+    if value < -eps:
+        return Orientation.CLOCKWISE
+    return Orientation.COLLINEAR
+
+
+def collinear(a: Point, b: Point, c: Point, eps: float = EPS) -> bool:
+    """True when the three points lie (numerically) on one line."""
+    return orientation(a, b, c, eps) is Orientation.COLLINEAR
+
+
+def in_circle(a: Point, b: Point, c: Point, d: Point) -> float:
+    """In-circle determinant for the circle through ``a``, ``b``, ``c``.
+
+    Positive when ``d`` lies strictly inside the circle oriented
+    counter-clockwise by ``(a, b, c)``.  Only the *sign* is meaningful.
+    """
+    adx, ady = a[0] - d[0], a[1] - d[1]
+    bdx, bdy = b[0] - d[0], b[1] - d[1]
+    cdx, cdy = c[0] - d[0], c[1] - d[1]
+    ad = adx * adx + ady * ady
+    bd = bdx * bdx + bdy * bdy
+    cd = cdx * cdx + cdy * cdy
+    return (
+        adx * (bdy * cd - bd * cdy)
+        - ady * (bdx * cd - bd * cdx)
+        + ad * (bdx * cdy - bdy * cdx)
+    )
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Distance from point ``p`` to the closed segment ``ab``."""
+    ax, ay = a
+    bx, by = b
+    px, py = p
+    dx, dy = bx - ax, by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq <= EPS * EPS:
+        return math.hypot(px - ax, py - ay)
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+    t = max(0.0, min(1.0, t))
+    cx, cy = ax + t * dx, ay + t * dy
+    return math.hypot(px - cx, py - cy)
+
+
+def _on_segment(p: Point, q: Point, r: Point, eps: float = EPS) -> bool:
+    """True when ``q`` lies on the closed axis-aligned box of segment ``pr``.
+
+    Only meaningful when ``p``, ``q``, ``r`` are already known collinear.
+    """
+    return (
+        min(p[0], r[0]) - eps <= q[0] <= max(p[0], r[0]) + eps
+        and min(p[1], r[1]) - eps <= q[1] <= max(p[1], r[1]) + eps
+    )
+
+
+def segments_intersect(
+    a1: Point, a2: Point, b1: Point, b2: Point, eps: float = EPS
+) -> bool:
+    """True when closed segments ``a1a2`` and ``b1b2`` share a point."""
+    o1 = orientation(a1, a2, b1, eps)
+    o2 = orientation(a1, a2, b2, eps)
+    o3 = orientation(b1, b2, a1, eps)
+    o4 = orientation(b1, b2, a2, eps)
+
+    if o1 is not o2 and o3 is not o4:
+        return True
+    if o1 is Orientation.COLLINEAR and _on_segment(a1, b1, a2, eps):
+        return True
+    if o2 is Orientation.COLLINEAR and _on_segment(a1, b2, a2, eps):
+        return True
+    if o3 is Orientation.COLLINEAR and _on_segment(b1, a1, b2, eps):
+        return True
+    if o4 is Orientation.COLLINEAR and _on_segment(b1, a2, b2, eps):
+        return True
+    return False

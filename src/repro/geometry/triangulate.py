@@ -1,0 +1,209 @@
+"""Polygon triangulation and convex decomposition.
+
+The k-order Voronoi engine operates on *convex* area pieces.  Target
+areas in LAACAD can be non-convex and can contain obstacles (Figure 8 of
+the paper), so this module provides:
+
+* :func:`triangulate_polygon` — ear-clipping triangulation of a simple
+  polygon (no holes),
+* :func:`convex_difference` — subtract one convex polygon from another,
+  returning a list of convex pieces,
+* :func:`decompose_with_holes` — convex decomposition of a polygon with
+  arbitrary simple-polygon holes (triangulate the outer boundary, then
+  subtract each hole triangle-by-triangle),
+* :func:`triangulate_with_holes` — same, but with every convex piece
+  fan-split so the result consists purely of triangles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry.clipping import HalfPlane, clip_polygon_halfplane
+from repro.geometry.polygon import ensure_ccw, polygon_area, signed_area
+from repro.geometry.predicates import Orientation, orientation
+from repro.geometry.primitives import EPS, Point
+
+#: Pieces with area below this are dropped during decomposition: they are
+#: numerical slivers produced by clipping and would otherwise pollute the
+#: vertex pools used by the Chebyshev-center computation.
+_MIN_PIECE_AREA = 1e-12
+
+
+def _point_in_triangle_inclusive(p: Point, a: Point, b: Point, c: Point) -> bool:
+    """True when ``p`` lies inside or on the boundary of CCW triangle ``abc``.
+
+    The inclusive test matters for ear clipping: a reflex vertex lying
+    exactly on a candidate ear's diagonal (which happens for the L-shaped
+    and cross-shaped target areas whose reflex corners are collinear with
+    other corners) must invalidate the ear, otherwise the emitted triangle
+    pokes into the notch.
+    """
+    d1 = orientation(a, b, p)
+    d2 = orientation(b, c, p)
+    d3 = orientation(c, a, p)
+    return (
+        d1 is not Orientation.CLOCKWISE
+        and d2 is not Orientation.CLOCKWISE
+        and d3 is not Orientation.CLOCKWISE
+    )
+
+
+def triangulate_polygon(polygon: Sequence[Point]) -> List[List[Point]]:
+    """Ear-clipping triangulation of a simple polygon without holes.
+
+    Args:
+        polygon: simple polygon in either winding order; collinear
+            vertices are tolerated.
+
+    Returns:
+        A list of CCW triangles whose union is the input polygon.
+
+    Raises:
+        ValueError: if the polygon has fewer than 3 vertices or the
+            ear-clipping loop cannot make progress (self-intersecting
+            input).
+    """
+    pts = ensure_ccw(list(polygon))
+    if len(pts) < 3:
+        raise ValueError("cannot triangulate a polygon with fewer than 3 vertices")
+    if len(pts) == 3:
+        return [list(pts)]
+
+    indices = list(range(len(pts)))
+    triangles: List[List[Point]] = []
+
+    guard = 0
+    max_iterations = 4 * len(pts) * len(pts) + 16
+    while len(indices) > 3:
+        guard += 1
+        if guard > max_iterations:
+            raise ValueError(
+                "ear clipping failed to make progress; the polygon is likely "
+                "self-intersecting or numerically degenerate"
+            )
+        ear_found = False
+        n = len(indices)
+        # Reflex vertices of the *current* polygon: only these can block
+        # an ear, and a reflex vertex on the candidate diagonal must block
+        # it (hence the inclusive containment test below).
+        reflex: set = set()
+        for pos in range(n):
+            a = pts[indices[(pos - 1) % n]]
+            b = pts[indices[pos]]
+            c = pts[indices[(pos + 1) % n]]
+            if orientation(a, b, c) is Orientation.CLOCKWISE:
+                reflex.add(indices[pos])
+        for pos in range(n):
+            i_prev = indices[(pos - 1) % n]
+            i_curr = indices[pos]
+            i_next = indices[(pos + 1) % n]
+            a, b, c = pts[i_prev], pts[i_curr], pts[i_next]
+            turn = orientation(a, b, c)
+            if turn is Orientation.CLOCKWISE:
+                continue  # reflex vertex, not an ear
+            if turn is Orientation.COLLINEAR:
+                # Degenerate ear: drop the middle vertex without emitting
+                # a zero-area triangle.
+                del indices[pos]
+                ear_found = True
+                break
+            contains_other = False
+            for other in reflex:
+                if other in (i_prev, i_curr, i_next):
+                    continue
+                if _point_in_triangle_inclusive(pts[other], a, b, c):
+                    contains_other = True
+                    break
+            if contains_other:
+                continue
+            triangles.append([a, b, c])
+            del indices[pos]
+            ear_found = True
+            break
+        if not ear_found:
+            raise ValueError(
+                "no ear found; the polygon is likely self-intersecting"
+            )
+
+    a, b, c = (pts[indices[0]], pts[indices[1]], pts[indices[2]])
+    if orientation(a, b, c) is not Orientation.COLLINEAR:
+        triangles.append([a, b, c])
+    return [t for t in triangles if polygon_area(t) > _MIN_PIECE_AREA]
+
+
+def _edge_halfplane_inward(a: Point, b: Point) -> HalfPlane:
+    """Half-plane to the left of the directed edge ``a -> b`` (inside of a CCW polygon)."""
+    nx = b[1] - a[1]
+    ny = a[0] - b[0]
+    return HalfPlane(nx, ny, nx * a[0] + ny * a[1])
+
+
+def convex_difference(
+    convex_a: Sequence[Point], convex_b: Sequence[Point]
+) -> List[List[Point]]:
+    """Set difference ``A \\ B`` of two convex polygons as convex pieces.
+
+    The classical edge-sweep construction: walk the edges of ``B`` (CCW);
+    at each edge, the part of the remaining region that lies *outside*
+    that edge's half-plane is peeled off as one convex piece, and the
+    sweep continues with the part inside.  What remains after all edges
+    is ``A ∩ B`` and is discarded.
+    """
+    if len(convex_a) < 3:
+        return []
+    if len(convex_b) < 3:
+        return [list(convex_a)]
+
+    pieces: List[List[Point]] = []
+    remaining = ensure_ccw(list(convex_a))
+    for a, b in zip(ensure_ccw(list(convex_b)), ensure_ccw(list(convex_b))[1:] + ensure_ccw(list(convex_b))[:1]):
+        if len(remaining) < 3:
+            break
+        inside_hp = _edge_halfplane_inward(a, b)
+        outside_piece = clip_polygon_halfplane(remaining, inside_hp.flipped())
+        if len(outside_piece) >= 3 and polygon_area(outside_piece) > _MIN_PIECE_AREA:
+            pieces.append(outside_piece)
+        remaining = clip_polygon_halfplane(remaining, inside_hp)
+    return pieces
+
+
+def decompose_with_holes(
+    outer: Sequence[Point], holes: Sequence[Sequence[Point]] = ()
+) -> List[List[Point]]:
+    """Convex decomposition of ``outer`` minus the union of ``holes``.
+
+    ``outer`` may be non-convex; each hole may be an arbitrary simple
+    polygon (holes are triangulated and subtracted triangle by triangle).
+    Holes are assumed to lie inside ``outer``; overlapping holes are
+    handled correctly because subtraction is applied sequentially.
+    """
+    pieces = triangulate_polygon(outer)
+    for hole in holes:
+        hole_triangles = triangulate_polygon(hole)
+        for hole_tri in hole_triangles:
+            next_pieces: List[List[Point]] = []
+            for piece in pieces:
+                next_pieces.extend(convex_difference(piece, hole_tri))
+            pieces = next_pieces
+    return [p for p in pieces if polygon_area(p) > _MIN_PIECE_AREA]
+
+
+def _fan_triangulate_convex(piece: Sequence[Point]) -> List[List[Point]]:
+    """Fan triangulation of a convex polygon."""
+    pts = ensure_ccw(list(piece))
+    return [
+        [pts[0], pts[i], pts[i + 1]]
+        for i in range(1, len(pts) - 1)
+        if polygon_area([pts[0], pts[i], pts[i + 1]]) > _MIN_PIECE_AREA
+    ]
+
+
+def triangulate_with_holes(
+    outer: Sequence[Point], holes: Sequence[Sequence[Point]] = ()
+) -> List[List[Point]]:
+    """Triangulation of a polygon with holes (every output piece is a triangle)."""
+    triangles: List[List[Point]] = []
+    for piece in decompose_with_holes(outer, holes):
+        triangles.extend(_fan_triangulate_convex(piece))
+    return triangles

@@ -1,0 +1,91 @@
+"""Smallest enclosing circle (Welzl's algorithm).
+
+The paper computes the Chebyshev center of a dominating region by
+running Welzl's algorithm on the region's vertices (Sec. IV-B), so this
+is the single most frequently executed geometric routine in LAACAD.
+
+The implementation below is the iterative "move-to-front" variant of
+Welzl's randomized algorithm, expected O(n), with deterministic behaviour
+controlled by an optional random seed so that simulation runs remain
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.geometry.circle import Circle, circle_from_2, circle_from_3
+from repro.geometry.primitives import Point, distance
+
+
+def _circle_from_boundary(boundary: Sequence[Point]) -> Circle:
+    """Minimal circle determined by 0, 1, 2 or 3 boundary points."""
+    if not boundary:
+        return Circle((0.0, 0.0), 0.0)
+    if len(boundary) == 1:
+        return Circle(boundary[0], 0.0)
+    if len(boundary) == 2:
+        return circle_from_2(boundary[0], boundary[1])
+    circle = circle_from_3(boundary[0], boundary[1], boundary[2])
+    if circle is not None:
+        return circle
+    # Collinear triple: the smallest enclosing circle is the diameter
+    # circle of the two extreme points.
+    best: Optional[Circle] = None
+    pts = list(boundary)
+    for i in range(3):
+        for j in range(i + 1, 3):
+            cand = circle_from_2(pts[i], pts[j])
+            if all(cand.contains(p) for p in pts):
+                if best is None or cand.radius < best.radius:
+                    best = cand
+    assert best is not None
+    return best
+
+
+def welzl_disk(points: Sequence[Point], seed: Optional[int] = 0) -> Circle:
+    """Smallest enclosing circle of a point set.
+
+    Args:
+        points: the points to enclose; duplicates are fine.
+        seed: seed for the internal shuffle.  ``None`` uses system
+            randomness; the default of ``0`` keeps runs reproducible.
+
+    Returns:
+        The minimal enclosing :class:`Circle`.  For an empty input a
+        zero circle at the origin is returned, matching the convention
+        used by the Voronoi engine for empty dominating regions.
+    """
+    pts: List[Point] = [(float(p[0]), float(p[1])) for p in points]
+    if not pts:
+        return Circle((0.0, 0.0), 0.0)
+    if len(pts) == 1:
+        return Circle(pts[0], 0.0)
+
+    rng = random.Random(seed)
+    rng.shuffle(pts)
+
+    circle = Circle(pts[0], 0.0)
+    for i, p in enumerate(pts):
+        if circle.contains(p):
+            continue
+        # p must be on the boundary of the minimal circle of pts[:i+1].
+        circle = Circle(p, 0.0)
+        for j in range(i):
+            q = pts[j]
+            if circle.contains(q):
+                continue
+            # p and q are both on the boundary.
+            circle = circle_from_2(p, q)
+            for l in range(j):
+                r = pts[l]
+                if circle.contains(r):
+                    continue
+                circle = _circle_from_boundary([p, q, r])
+        # Guard against pathological floating point drift: grow the
+        # radius minimally so that every processed point is enclosed.
+        worst = max(distance(circle.center, pts[m]) for m in range(i + 1))
+        if worst > circle.radius:
+            circle = Circle(circle.center, worst)
+    return circle

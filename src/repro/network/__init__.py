@@ -1,0 +1,26 @@
+"""Wireless-sensor-network substrate.
+
+Models the physical network LAACAD runs on: nodes with positions,
+tunable sensing ranges and a common transmission range, the unit-disk
+connectivity graph, multi-hop neighbourhoods, the sensing-energy model
+``E(r) = pi r^2``, range-based localization (classical MDS) and boundary
+detection.
+"""
+
+from repro.network.node import Node
+from repro.network.network import SensorNetwork
+from repro.network.energy import EnergyModel
+from repro.network.localization import classical_mds, build_local_coordinates
+from repro.network.boundary import detect_boundary_nodes, angular_gap_boundary_nodes
+from repro.network.mobility import MobilityModel
+
+__all__ = [
+    "Node",
+    "SensorNetwork",
+    "EnergyModel",
+    "classical_mds",
+    "build_local_coordinates",
+    "detect_boundary_nodes",
+    "angular_gap_boundary_nodes",
+    "MobilityModel",
+]

@@ -1,0 +1,97 @@
+"""Boundary-node detection.
+
+The paper relies on a boundary-detection service (UNFOLD [29]) to tell a
+node whether it sits on or near the network boundary, because boundary
+nodes must restrict Algorithm 2's half-radius circle check to the part of
+the circle that lies inside the covered area.
+
+Two detectors are provided:
+
+* :func:`detect_boundary_nodes` — a geometric oracle based on the node's
+  distance to the target-area boundary (the substitution documented in
+  DESIGN.md: LAACAD only consumes a boolean flag, so any correct oracle
+  exercises the same code path), and
+* :func:`angular_gap_boundary_nodes` — a purely local, communication-only
+  heuristic in the spirit of deployed boundary-detection services: a node
+  is a boundary node if the directions towards its one-hop neighbours
+  leave an angular gap larger than a threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.geometry.primitives import Point
+from repro.network.network import SensorNetwork
+
+
+def detect_boundary_nodes(
+    network: SensorNetwork, threshold: float | None = None
+) -> List[int]:
+    """Nodes whose distance to the free-area boundary is below a threshold.
+
+    Args:
+        network: the sensor network.
+        threshold: distance threshold; defaults to half the transmission
+            range, i.e. a node is a boundary node when the area boundary
+            lies within half a hop of it.
+    """
+    if threshold is None:
+        threshold = network.comm_range / 2.0
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    boundary: List[int] = []
+    for node in network.nodes:
+        if not node.alive:
+            continue
+        if network.region.distance_to_boundary(node.position) <= threshold:
+            boundary.append(node.node_id)
+    return boundary
+
+
+def angular_gap_boundary_nodes(
+    network: SensorNetwork, gap_threshold_deg: float = 120.0
+) -> List[int]:
+    """Local boundary heuristic from one-hop neighbour directions.
+
+    A node is flagged as a boundary node when the sorted bearings of its
+    one-hop neighbours leave a gap of at least ``gap_threshold_deg``
+    degrees, or when it has fewer than three neighbours (which makes a
+    full angular surround impossible).
+    """
+    if not 0 < gap_threshold_deg <= 360.0:
+        raise ValueError("gap threshold must be in (0, 360] degrees")
+    threshold_rad = math.radians(gap_threshold_deg)
+    boundary: List[int] = []
+    for node in network.nodes:
+        if not node.alive:
+            continue
+        neighbors = network.one_hop_neighbors(node.node_id)
+        if len(neighbors) < 3:
+            boundary.append(node.node_id)
+            continue
+        bearings = sorted(
+            math.atan2(
+                network.node(j).position[1] - node.position[1],
+                network.node(j).position[0] - node.position[0],
+            )
+            for j in neighbors
+        )
+        max_gap = 0.0
+        for i in range(len(bearings)):
+            nxt = bearings[(i + 1) % len(bearings)]
+            gap = nxt - bearings[i]
+            if i == len(bearings) - 1:
+                gap += 2.0 * math.pi
+            max_gap = max(max_gap, gap)
+        if max_gap >= threshold_rad:
+            boundary.append(node.node_id)
+    return boundary
+
+
+def mark_boundary_nodes(network: SensorNetwork, node_ids: Sequence[int]) -> None:
+    """Set the ``is_boundary`` flag on the given nodes (and clear it elsewhere)."""
+    ids = set(node_ids)
+    for node in network.nodes:
+        node.is_boundary = node.node_id in ids

@@ -1,0 +1,121 @@
+"""Range-based localization (the paper's local coordinate systems).
+
+Algorithm 2 (line 4) constructs a *local coordinate system* for the
+nodes inside the current search ring using the MDS-based embedding of
+Shang & Ruml [28]; the absolute positions are never needed because the
+dominating-region computation is invariant to rigid motions.
+
+We implement classical (Torgerson) multidimensional scaling on the
+pairwise range measurements plus an optional Procrustes alignment to a
+reference frame, and a convenience wrapper that produces coordinates for
+a node's ring neighbourhood from (optionally noisy) range measurements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.primitives import Point
+from repro.network.neighbors import pairwise_distances
+
+
+def classical_mds(distance_matrix: np.ndarray, dimensions: int = 2) -> np.ndarray:
+    """Classical MDS embedding of a symmetric distance matrix.
+
+    Args:
+        distance_matrix: symmetric ``(n, n)`` matrix of pairwise
+            distances (may be noisy; small asymmetries are symmetrised).
+        dimensions: target embedding dimension (2 for LAACAD).
+
+    Returns:
+        An ``(n, dimensions)`` coordinate array, centred at the origin,
+        unique up to rotation/reflection.
+    """
+    d = np.asarray(distance_matrix, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError("distance matrix must be square")
+    n = d.shape[0]
+    if n == 0:
+        return np.zeros((0, dimensions))
+    d = (d + d.T) / 2.0
+    d_sq = d * d
+    centering = np.eye(n) - np.ones((n, n)) / n
+    b = -0.5 * centering @ d_sq @ centering
+    eigenvalues, eigenvectors = np.linalg.eigh(b)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order][:dimensions]
+    eigenvectors = eigenvectors[:, order][:, :dimensions]
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    return eigenvectors * np.sqrt(eigenvalues)[None, :]
+
+
+def procrustes_align(
+    coords: np.ndarray, reference: np.ndarray
+) -> np.ndarray:
+    """Rigidly align ``coords`` to ``reference`` (rotation/reflection + translation).
+
+    Both arrays must have the same shape.  Scaling is *not* applied —
+    range measurements already carry metric information, so only the
+    unknown rotation/reflection/translation of the MDS output is removed.
+    """
+    coords = np.asarray(coords, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if coords.shape != reference.shape:
+        raise ValueError("coords and reference must have identical shapes")
+    mu_c = coords.mean(axis=0)
+    mu_r = reference.mean(axis=0)
+    a = coords - mu_c
+    b = reference - mu_r
+    u, _, vt = np.linalg.svd(a.T @ b)
+    rotation = u @ vt
+    return a @ rotation + mu_r
+
+
+def build_local_coordinates(
+    center_index: int,
+    positions: Sequence[Point],
+    noise_std: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Point]:
+    """Local coordinate system for a ring neighbourhood.
+
+    Simulates what a node does in Algorithm 2: measure pairwise ranges to
+    and among the nodes in its search ring (optionally with Gaussian
+    noise), embed them with classical MDS, and express the result in a
+    frame centred at the querying node.
+
+    Args:
+        center_index: index (within ``positions``) of the querying node.
+        positions: true positions of the querying node and its ring
+            neighbours (used to synthesise range measurements).
+        noise_std: standard deviation of additive Gaussian range noise.
+        rng: random generator for the noise.
+
+    Returns:
+        Estimated coordinates (one per input position), translated so
+        that the querying node sits at its true position — i.e. the
+        output is directly comparable to the ground truth, which is what
+        both the tests and the localized LAACAD driver need.
+    """
+    pts = np.asarray(positions, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError("positions must be an (N, 2) collection")
+    if not 0 <= center_index < pts.shape[0]:
+        raise IndexError("center_index out of range")
+    distances = pairwise_distances([tuple(p) for p in pts])
+    if noise_std > 0:
+        if rng is None:
+            rng = np.random.default_rng()
+        noise = rng.normal(0.0, noise_std, size=distances.shape)
+        noise = (noise + noise.T) / 2.0
+        np.fill_diagonal(noise, 0.0)
+        distances = np.clip(distances + noise, 0.0, None)
+    embedded = classical_mds(distances)
+    aligned = procrustes_align(embedded, pts)
+    # Express in a frame where the querying node is exactly at its
+    # (locally known) own position.
+    offset = pts[center_index] - aligned[center_index]
+    aligned = aligned + offset
+    return [(float(x), float(y)) for x, y in aligned]

@@ -1,0 +1,59 @@
+"""Mobility constraints for autonomous deployment.
+
+LAACAD moves nodes by a fraction ``alpha`` of the vector towards the
+Chebyshev center of their dominating region.  The mobility model applies
+the physical constraints around that intent: motion targets are projected
+back into the free area (nodes cannot enter obstacles or leave ``A``) and
+an optional per-round speed limit caps the displacement, which models
+slow actuators and also gives an ablation knob independent of ``alpha``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.geometry.primitives import Point, distance
+from repro.regions.region import Region
+
+
+@dataclasses.dataclass(frozen=True)
+class MobilityModel:
+    """Movement constraints applied to every per-round relocation.
+
+    Attributes:
+        max_step: maximum displacement per round (``None`` = unlimited).
+        keep_in_region: project motion targets back into the free area.
+    """
+
+    max_step: Optional[float] = None
+    keep_in_region: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_step is not None and self.max_step <= 0:
+            raise ValueError("max_step must be positive when given")
+
+    def constrain(
+        self, region: Region, current: Point, target: Point
+    ) -> Point:
+        """Apply the mobility constraints to a desired move.
+
+        Args:
+            region: the target area providing the free-space geometry.
+            current: the node's current position.
+            target: the unconstrained motion target.
+
+        Returns:
+            The admissible position for this round.
+        """
+        step = distance(current, target)
+        constrained = target
+        if self.max_step is not None and step > self.max_step:
+            fraction = self.max_step / step
+            constrained = (
+                current[0] + fraction * (target[0] - current[0]),
+                current[1] + fraction * (target[1] - current[1]),
+            )
+        if self.keep_in_region and not region.contains(constrained):
+            constrained = region.nearest_free_point(constrained)
+        return constrained

@@ -1,0 +1,93 @@
+"""Spatial indexing for neighbour queries.
+
+A simple uniform-bucket grid: O(1) insertion and near-O(1) range queries
+for the query radii used by LAACAD (transmission range and expanding-ring
+radii).  Falls back gracefully to scanning all points for radii larger
+than the indexed extent.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.primitives import Point
+
+
+class SpatialGrid:
+    """Uniform-grid spatial index over a set of indexed points."""
+
+    def __init__(self, points: Sequence[Point], cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = cell_size
+        self.points = [(float(p[0]), float(p[1])) for p in points]
+        self._buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for idx, (x, y) in enumerate(self.points):
+            self._buckets[self._key(x, y)].append(idx)
+
+    def _key(self, x: float, y: float) -> Tuple[int, int]:
+        return (int(math.floor(x / self.cell_size)), int(math.floor(y / self.cell_size)))
+
+    def query_radius(self, center: Point, radius: float) -> List[int]:
+        """Indices of all points within ``radius`` of ``center`` (inclusive)."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        cx, cy = float(center[0]), float(center[1])
+        reach = int(math.ceil(radius / self.cell_size)) + 1
+        kx, ky = self._key(cx, cy)
+        result: List[int] = []
+        r2 = radius * radius
+        for ix in range(kx - reach, kx + reach + 1):
+            for iy in range(ky - reach, ky + reach + 1):
+                bucket = self._buckets.get((ix, iy))
+                if not bucket:
+                    continue
+                for idx in bucket:
+                    px, py = self.points[idx]
+                    dx, dy = px - cx, py - cy
+                    if dx * dx + dy * dy <= r2 + 1e-15:
+                        result.append(idx)
+        return result
+
+    def k_nearest(self, center: Point, k: int) -> List[int]:
+        """Indices of the ``k`` nearest points to ``center``.
+
+        Uses an expanding-radius search over the grid; exact because the
+        candidate radius is widened until at least ``k`` candidates are
+        strictly inside it.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if k >= len(self.points):
+            order = np.argsort(
+                [
+                    (p[0] - center[0]) ** 2 + (p[1] - center[1]) ** 2
+                    for p in self.points
+                ]
+            )
+            return [int(i) for i in order[:k]]
+        radius = self.cell_size
+        while True:
+            candidates = self.query_radius(center, radius)
+            if len(candidates) >= k:
+                candidates.sort(
+                    key=lambda i: (self.points[i][0] - center[0]) ** 2
+                    + (self.points[i][1] - center[1]) ** 2
+                )
+                kth_dist = math.dist(self.points[candidates[k - 1]], center)
+                if kth_dist <= radius:
+                    return candidates[:k]
+            radius *= 2.0
+
+
+def pairwise_distances(points: Sequence[Point]) -> np.ndarray:
+    """Dense pairwise Euclidean distance matrix of a point list."""
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("points must be an (N, 2) collection")
+    diff = arr[:, None, :] - arr[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=2))

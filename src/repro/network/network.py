@@ -1,0 +1,248 @@
+"""The sensor network: nodes + target area + connectivity structure."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.geometry.primitives import Point, distance
+from repro.network.neighbors import SpatialGrid, pairwise_distances
+from repro.network.node import Node
+from repro.regions.region import Region
+
+
+class SensorNetwork:
+    """A WSN deployed over a target area.
+
+    The network owns the node set and answers the structural queries the
+    LAACAD algorithm and its analysis need: one-hop neighbours, nodes
+    within a Euclidean radius (the expanding ring), multi-hop
+    neighbourhoods on the unit-disk communication graph, and coverage/
+    connectivity summaries.
+
+    Args:
+        region: the monitored area ``A``.
+        positions: initial node positions.
+        comm_range: the common transmission range ``gamma``.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        positions: Sequence[Point],
+        comm_range: float = 0.25,
+    ) -> None:
+        if comm_range <= 0:
+            raise ValueError("comm_range must be positive")
+        if not positions:
+            raise ValueError("a network needs at least one node")
+        self.region = region
+        self.comm_range = float(comm_range)
+        self.nodes: List[Node] = [
+            Node(node_id=i, position=(float(p[0]), float(p[1])), comm_range=comm_range)
+            for i, p in enumerate(positions)
+        ]
+        self._graph_cache: Optional[nx.Graph] = None
+        self._grid_cache: Optional[SpatialGrid] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes (alive or not)."""
+        return len(self.nodes)
+
+    def alive_nodes(self) -> List[Node]:
+        """Nodes that are currently operational."""
+        return [n for n in self.nodes if n.alive]
+
+    def positions(self, alive_only: bool = False) -> List[Point]:
+        """Current node positions, index-aligned with ``self.nodes`` unless filtered."""
+        if alive_only:
+            return [n.position for n in self.nodes if n.alive]
+        return [n.position for n in self.nodes]
+
+    def positions_array(self, alive_only: bool = False) -> np.ndarray:
+        """Positions as an ``(N, 2)`` numpy array."""
+        return np.asarray(self.positions(alive_only=alive_only), dtype=float)
+
+    def sensing_ranges(self, alive_only: bool = False) -> List[float]:
+        """Current sensing ranges, index-aligned with :meth:`positions`."""
+        if alive_only:
+            return [n.sensing_range for n in self.nodes if n.alive]
+        return [n.sensing_range for n in self.nodes]
+
+    def node(self, node_id: int) -> Node:
+        """Node lookup by identifier."""
+        if not 0 <= node_id < len(self.nodes):
+            raise IndexError(f"node id {node_id} out of range")
+        return self.nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Cache invalidation
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._graph_cache = None
+        self._grid_cache = None
+
+    def move_node(self, node_id: int, new_position: Point, clamp_to_region: bool = True) -> float:
+        """Move a node, optionally projecting the target into the free area.
+
+        Returns the distance actually moved.
+        """
+        node = self.node(node_id)
+        target = (float(new_position[0]), float(new_position[1]))
+        if clamp_to_region and not self.region.contains(target):
+            target = self.region.nearest_free_point(target)
+        moved = node.move_to(target)
+        self._invalidate()
+        return moved
+
+    def set_sensing_range(self, node_id: int, sensing_range: float) -> None:
+        """Tune one node's sensing range."""
+        if sensing_range < 0:
+            raise ValueError("sensing range must be non-negative")
+        self.node(node_id).sensing_range = float(sensing_range)
+
+    def kill_node(self, node_id: int) -> None:
+        """Mark a node as failed (used by the failure injector)."""
+        self.node(node_id).alive = False
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # Neighbourhood queries
+    # ------------------------------------------------------------------
+    def _spatial_grid(self) -> SpatialGrid:
+        if self._grid_cache is None:
+            self._grid_cache = SpatialGrid(self.positions(), cell_size=max(self.comm_range, 1e-6))
+        return self._grid_cache
+
+    def one_hop_neighbors(self, node_id: int) -> List[int]:
+        """The paper's ``N(n_i)``: alive nodes within the transmission range."""
+        node = self.node(node_id)
+        candidates = self._spatial_grid().query_radius(node.position, self.comm_range)
+        return [
+            j
+            for j in candidates
+            if j != node_id and self.nodes[j].alive
+        ]
+
+    def nodes_within(self, node_id: int, radius: float) -> List[int]:
+        """Alive nodes within Euclidean ``radius`` of the node (the ring ``N(n_i, rho)``)."""
+        node = self.node(node_id)
+        candidates = self._spatial_grid().query_radius(node.position, radius)
+        return [j for j in candidates if j != node_id and self.nodes[j].alive]
+
+    def hop_neighbors(self, node_id: int, hops: int) -> List[int]:
+        """Alive nodes reachable within ``hops`` hops on the communication graph."""
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        graph = self.connectivity_graph()
+        if node_id not in graph:
+            return []
+        lengths = nx.single_source_shortest_path_length(graph, node_id, cutoff=hops)
+        return [j for j in lengths if j != node_id]
+
+    def k_nearest(self, point: Point, k: int, exclude: Optional[int] = None) -> List[int]:
+        """Indices of the ``k`` alive nodes nearest to an arbitrary point."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        ordered = sorted(
+            (n for n in self.nodes if n.alive and n.node_id != exclude),
+            key=lambda n: distance(n.position, point),
+        )
+        return [n.node_id for n in ordered[:k]]
+
+    # ------------------------------------------------------------------
+    # Graph-level structure
+    # ------------------------------------------------------------------
+    def connectivity_graph(self) -> nx.Graph:
+        """Unit-disk communication graph over alive nodes (cached)."""
+        if self._graph_cache is None:
+            graph = nx.Graph()
+            alive = [n for n in self.nodes if n.alive]
+            graph.add_nodes_from(n.node_id for n in alive)
+            grid = self._spatial_grid()
+            for node in alive:
+                for j in grid.query_radius(node.position, self.comm_range):
+                    if j != node.node_id and self.nodes[j].alive:
+                        graph.add_edge(node.node_id, j)
+            self._graph_cache = graph
+        return self._graph_cache
+
+    def is_connected(self) -> bool:
+        """True when the communication graph over alive nodes is connected."""
+        graph = self.connectivity_graph()
+        if graph.number_of_nodes() <= 1:
+            return True
+        return nx.is_connected(graph)
+
+    def min_degree(self) -> int:
+        """Minimum node degree of the communication graph."""
+        graph = self.connectivity_graph()
+        if graph.number_of_nodes() == 0:
+            return 0
+        return min(dict(graph.degree()).values())
+
+    def distance_matrix(self) -> np.ndarray:
+        """Dense pairwise distance matrix of all node positions."""
+        return pairwise_distances(self.positions())
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_random(
+        cls,
+        region: Region,
+        count: int,
+        comm_range: float = 0.25,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "SensorNetwork":
+        """Uniform random deployment of ``count`` nodes over the free area."""
+        return cls(region, region.random_points(count, rng=rng), comm_range=comm_range)
+
+    @classmethod
+    def from_corner_cluster(
+        cls,
+        region: Region,
+        count: int,
+        cluster_fraction: float = 0.15,
+        comm_range: float = 0.25,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "SensorNetwork":
+        """The paper's Figure 5(a) initial deployment: all nodes near the bottom-left corner.
+
+        Nodes are placed uniformly at random in the square of side
+        ``cluster_fraction * bbox_extent`` anchored at the region's
+        bottom-left bounding-box corner (intersected with the free area).
+        """
+        if not 0 < cluster_fraction <= 1.0:
+            raise ValueError("cluster_fraction must be in (0, 1]")
+        if rng is None:
+            rng = np.random.default_rng()
+        xmin, ymin, xmax, ymax = region.bbox
+        side = cluster_fraction * max(xmax - xmin, ymax - ymin)
+        points: List[Point] = []
+        attempts = 0
+        while len(points) < count and attempts < 100000:
+            attempts += 1
+            p = (
+                float(rng.uniform(xmin, xmin + side)),
+                float(rng.uniform(ymin, ymin + side)),
+            )
+            if region.contains(p):
+                points.append(p)
+        if len(points) < count:
+            raise RuntimeError(
+                "could not place the corner cluster inside the free area; "
+                "increase cluster_fraction"
+            )
+        return cls(region, points, comm_range=comm_range)

@@ -1,0 +1,69 @@
+"""A single (mobile) sensor node."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Tuple
+
+from repro.geometry.primitives import Point, distance
+
+
+@dataclasses.dataclass
+class Node:
+    """One sensor node of the WSN.
+
+    Attributes:
+        node_id: unique integer identifier.
+        position: current location ``u_i``.
+        sensing_range: current (tunable) sensing range ``r_i``.
+        comm_range: transmission range ``gamma`` (identical for all nodes
+            in the paper's model, but stored per node so heterogeneous
+            scenarios remain expressible).
+        alive: whether the node is operational (failure injection flips
+            this to ``False``).
+        is_boundary: whether the boundary-detection service currently
+            flags this node as a boundary node.
+        distance_traveled: cumulative movement since deployment, used to
+            account for the one-time movement energy investment.
+    """
+
+    node_id: int
+    position: Point
+    sensing_range: float = 0.0
+    comm_range: float = 0.25
+    alive: bool = True
+    is_boundary: bool = False
+    distance_traveled: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if self.sensing_range < 0:
+            raise ValueError("sensing_range must be non-negative")
+        if self.comm_range <= 0:
+            raise ValueError("comm_range must be positive")
+        self.position = (float(self.position[0]), float(self.position[1]))
+
+    def move_to(self, new_position: Point) -> float:
+        """Relocate the node, returning the distance moved."""
+        moved = distance(self.position, new_position)
+        self.position = (float(new_position[0]), float(new_position[1]))
+        self.distance_traveled += moved
+        return moved
+
+    def distance_to(self, point: Point) -> float:
+        """Euclidean distance from this node to a point."""
+        return distance(self.position, point)
+
+    def covers(self, point: Point, eps: float = 1e-12) -> bool:
+        """The coverage indicator ``f(v, u_i, r_i)`` of Eq. (1)."""
+        return self.distance_to(point) <= self.sensing_range + eps
+
+    def sensing_energy(self) -> float:
+        """The paper's sensing-energy model ``E(r_i) = pi r_i^2``."""
+        return math.pi * self.sensing_range * self.sensing_range
+
+    def copy(self) -> "Node":
+        """A deep-enough copy (positions are immutable tuples)."""
+        return dataclasses.replace(self)

@@ -1,0 +1,31 @@
+"""Target-area abstractions (the monitored area ``A`` of the paper).
+
+A :class:`~repro.regions.region.Region` is a simple outer polygon minus a
+set of hole polygons (obstacles).  Regions provide the geometric services
+the rest of the system needs: containment, convex decomposition (for the
+k-order Voronoi engine), grid sampling (for coverage verification),
+random point generation (for initial deployments) and nearest-free-point
+projection (for mobility constrained by obstacles).
+"""
+
+from repro.regions.region import Region
+from repro.regions.shapes import (
+    cross_region,
+    l_shaped_region,
+    rectangle_region,
+    square_region,
+    square_with_obstacles,
+    unit_square,
+)
+from repro.regions.grid import GridSampler
+
+__all__ = [
+    "Region",
+    "GridSampler",
+    "square_region",
+    "rectangle_region",
+    "unit_square",
+    "l_shaped_region",
+    "cross_region",
+    "square_with_obstacles",
+]

@@ -1,0 +1,63 @@
+"""Obstacle helpers.
+
+Obstacles are plain hole polygons inside a :class:`~repro.regions.region.Region`.
+This module provides convenience constructors and validity checks used by
+the Figure 8 experiment and by user scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.polygon import point_in_polygon, polygon_area
+from repro.geometry.primitives import Point
+from repro.regions.region import Region
+
+
+def rectangular_obstacle(x0: float, y0: float, x1: float, y1: float) -> List[Point]:
+    """A rectangular obstacle given by two opposite corners."""
+    if x1 <= x0 or y1 <= y0:
+        raise ValueError("obstacle corners must satisfy x1 > x0 and y1 > y0")
+    return [(x0, y0), (x1, y0), (x1, y1), (x0, y1)]
+
+
+def regular_polygon_obstacle(
+    center: Tuple[float, float], radius: float, sides: int = 6
+) -> List[Point]:
+    """A regular polygonal obstacle (hexagonal by default)."""
+    import math
+
+    if sides < 3:
+        raise ValueError("an obstacle polygon needs at least 3 sides")
+    if radius <= 0:
+        raise ValueError("obstacle radius must be positive")
+    cx, cy = center
+    return [
+        (
+            cx + radius * math.cos(2.0 * math.pi * i / sides),
+            cy + radius * math.sin(2.0 * math.pi * i / sides),
+        )
+        for i in range(sides)
+    ]
+
+
+def validate_obstacles(region: Region) -> None:
+    """Sanity-check that every hole lies inside the outer boundary.
+
+    Raises:
+        ValueError: when a hole vertex falls outside the outer polygon or
+            a hole has non-positive area.
+    """
+    for hole in region.holes:
+        if polygon_area(hole) <= 0:
+            raise ValueError("obstacle with non-positive area")
+        for vertex in hole:
+            if not point_in_polygon(vertex, region.outer, include_boundary=True):
+                raise ValueError(
+                    f"obstacle vertex {vertex} lies outside the region boundary"
+                )
+
+
+def total_obstacle_area(region: Region) -> float:
+    """Sum of the areas of all obstacles in the region."""
+    return sum(polygon_area(h) for h in region.holes)

@@ -1,0 +1,123 @@
+"""Factories for the target areas used by the paper's experiments.
+
+The paper's main experiments (Figures 5-7, Tables I-II) use a 1 km^2
+square; Figure 8 uses two irregular areas with obstacles.  The exact
+irregular shapes are not specified numerically in the paper, so we define
+representative equivalents: an L-shaped hall with a rectangular obstacle
+and a cross-shaped area with two obstacles.  What matters for the
+reproduction is the *behaviour* (LAACAD adapting around holes and
+non-convex boundaries), not the exact silhouette.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.primitives import Point
+from repro.regions.region import Region
+
+
+def rectangle_region(
+    width: float, height: float, origin: Tuple[float, float] = (0.0, 0.0), name: str = "rectangle"
+) -> Region:
+    """Axis-aligned rectangle with the given width/height and lower-left origin."""
+    if width <= 0 or height <= 0:
+        raise ValueError("rectangle dimensions must be positive")
+    x0, y0 = origin
+    outer = [
+        (x0, y0),
+        (x0 + width, y0),
+        (x0 + width, y0 + height),
+        (x0, y0 + height),
+    ]
+    return Region(outer, name=name)
+
+
+def square_region(side: float, origin: Tuple[float, float] = (0.0, 0.0), name: str = "square") -> Region:
+    """Axis-aligned square of the given side length."""
+    return rectangle_region(side, side, origin=origin, name=name)
+
+
+def unit_square(name: str = "unit-square") -> Region:
+    """The canonical 1 x 1 target area (the paper's 1 km^2 area in km units)."""
+    return square_region(1.0, name=name)
+
+
+def l_shaped_region(size: float = 1.0, notch_fraction: float = 0.5, name: str = "l-shape") -> Region:
+    """An L-shaped area: a square with its top-right quadrant removed."""
+    if not 0.0 < notch_fraction < 1.0:
+        raise ValueError("notch_fraction must be in (0, 1)")
+    s = size
+    n = size * notch_fraction
+    outer = [
+        (0.0, 0.0),
+        (s, 0.0),
+        (s, s - n),
+        (s - n, s - n),
+        (s - n, s),
+        (0.0, s),
+    ]
+    return Region(outer, name=name)
+
+
+def cross_region(size: float = 1.0, arm_fraction: float = 0.4, name: str = "cross") -> Region:
+    """A plus/cross shaped area inscribed in a ``size x size`` square."""
+    if not 0.0 < arm_fraction < 1.0:
+        raise ValueError("arm_fraction must be in (0, 1)")
+    s = size
+    a = size * arm_fraction / 2.0  # half arm width
+    c = size / 2.0
+    outer = [
+        (c - a, 0.0),
+        (c + a, 0.0),
+        (c + a, c - a),
+        (s, c - a),
+        (s, c + a),
+        (c + a, c + a),
+        (c + a, s),
+        (c - a, s),
+        (c - a, c + a),
+        (0.0, c + a),
+        (0.0, c - a),
+        (c - a, c - a),
+    ]
+    return Region(outer, name=name)
+
+
+def _rect(x0: float, y0: float, x1: float, y1: float) -> List[Point]:
+    return [(x0, y0), (x1, y0), (x1, y1), (x0, y1)]
+
+
+def square_with_obstacles(
+    side: float = 1.0,
+    obstacles: Sequence[Sequence[Point]] = (),
+    name: str = "square-with-obstacles",
+) -> Region:
+    """A square area with caller-provided obstacle polygons."""
+    region = square_region(side, name=name)
+    return Region(region.outer, holes=list(obstacles), name=name)
+
+
+def figure8_region_one(name: str = "fig8-region-I") -> Region:
+    """Irregular area I for the Figure 8 experiment.
+
+    A unit square with one central rectangular obstacle — the simplest
+    area exercising the "hole that mobile nodes cannot move upon" code
+    path.
+    """
+    holes = [_rect(0.40, 0.40, 0.60, 0.60)]
+    return square_with_obstacles(1.0, obstacles=holes, name=name)
+
+
+def figure8_region_two(name: str = "fig8-region-II") -> Region:
+    """Irregular area II for the Figure 8 experiment.
+
+    An L-shaped area with two rectangular obstacles, i.e. both a
+    non-convex outer boundary and interior holes.
+    """
+    base = l_shaped_region(size=1.0, notch_fraction=0.45, name=name)
+    holes = [
+        _rect(0.15, 0.15, 0.30, 0.30),
+        _rect(0.60, 0.15, 0.75, 0.35),
+    ]
+    return Region(base.outer, holes=holes, name=name)

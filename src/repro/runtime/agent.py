@@ -1,0 +1,55 @@
+"""Base class for protocol agents running on sensor nodes."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro.network.network import SensorNetwork
+from repro.runtime.messages import Message
+from repro.runtime.scheduler import SynchronousScheduler
+
+
+class NodeAgent(abc.ABC):
+    """One protocol instance, co-located with a sensor node.
+
+    Agents interact with the world exclusively through the scheduler
+    (messages) and through the narrow ``SensorNetwork`` queries that model
+    what the radio layer can actually provide (who is within range, who
+    answers a flood).  They must not read other nodes' state directly.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        network: SensorNetwork,
+        scheduler: SynchronousScheduler,
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.scheduler = scheduler
+
+    # ------------------------------------------------------------------
+    @property
+    def node(self):
+        """The physical node this agent runs on."""
+        return self.network.node(self.node_id)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the underlying node is operational."""
+        return self.node.alive
+
+    def receive(self) -> List[Message]:
+        """Drain this agent's inbox."""
+        return self.scheduler.collect_inbox(self.node_id)
+
+    def send(self, message: Message) -> bool:
+        """Send a message through the scheduler (subject to the loss model)."""
+        return self.scheduler.send(message)
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def step(self, round_index: int) -> None:
+        """Execute one protocol round."""
+        raise NotImplementedError

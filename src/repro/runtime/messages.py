@@ -1,0 +1,97 @@
+"""Protocol messages exchanged by LAACAD agents.
+
+Message sizes follow a simple serialisation model (fixed header plus a
+few bytes per coordinate), so the byte counts reported by the scheduler
+are meaningful relative numbers rather than arbitrary unit counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Any, Dict, Optional
+
+#: Size of the fixed per-message header (ids, type, sequence number).
+HEADER_BYTES = 16
+#: Bytes used to encode a single coordinate pair.
+POSITION_BYTES = 8
+
+
+class MessageKind(enum.Enum):
+    """The message types of the LAACAD deployment protocol."""
+
+    RING_QUERY = "ring_query"
+    POSITION_REPORT = "position_report"
+    BOUNDARY_ANNOUNCE = "boundary_announce"
+    CONVERGENCE_VOTE = "convergence_vote"
+
+
+_message_counter = itertools.count()
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """A single protocol message.
+
+    Attributes:
+        kind: message type.
+        sender: node id of the sender.
+        receiver: node id of the receiver.
+        payload: structured content (query radius, reported position, ...).
+        hops: number of radio hops the message traverses end to end.
+        size_bytes: serialised size used for energy/overhead accounting.
+        message_id: unique id (for tracing and deduplication in tests).
+    """
+
+    kind: MessageKind
+    sender: int
+    receiver: int
+    payload: Dict[str, Any]
+    hops: int = 1
+    size_bytes: int = HEADER_BYTES
+    message_id: int = dataclasses.field(default_factory=lambda: next(_message_counter))
+
+    def __post_init__(self) -> None:
+        if self.hops < 1:
+            raise ValueError("a message traverses at least one hop")
+        if self.size_bytes < 1:
+            raise ValueError("message size must be positive")
+
+
+def ring_query(sender: int, receiver: int, radius: float, hops: int) -> Message:
+    """A position query flooded to every node within the search ring."""
+    return Message(
+        kind=MessageKind.RING_QUERY,
+        sender=sender,
+        receiver=receiver,
+        payload={"radius": float(radius)},
+        hops=hops,
+        size_bytes=HEADER_BYTES + 4,
+    )
+
+
+def position_report(
+    sender: int, receiver: int, position: tuple, hops: int
+) -> Message:
+    """A reply carrying the sender's (range-derived) position."""
+    return Message(
+        kind=MessageKind.POSITION_REPORT,
+        sender=sender,
+        receiver=receiver,
+        payload={"position": (float(position[0]), float(position[1]))},
+        hops=hops,
+        size_bytes=HEADER_BYTES + POSITION_BYTES,
+    )
+
+
+def convergence_vote(sender: int, receiver: int, settled: bool) -> Message:
+    """A one-bit vote used to detect global convergence in-band."""
+    return Message(
+        kind=MessageKind.CONVERGENCE_VOTE,
+        sender=sender,
+        receiver=receiver,
+        payload={"settled": bool(settled)},
+        hops=1,
+        size_bytes=HEADER_BYTES + 1,
+    )

@@ -1,0 +1,282 @@
+"""The distributed LAACAD protocol (message-level execution of Algorithm 1+2).
+
+Every round (one period ``tau``) each alive node:
+
+1. runs the Algorithm 2 expanding-ring search; the query flood and the
+   position replies are materialised as messages through the scheduler
+   (one query transmission per ring member, one multi-hop reply each),
+2. computes its dominating region *only* from the replies it actually
+   received (a dropped reply means the corresponding neighbour is simply
+   unknown this round),
+3. proposes a move of ``alpha`` towards the Chebyshev center.
+
+Moves are applied simultaneously at the end of the round, exactly like
+the centralized driver, so with a loss-free channel the two drivers
+produce identical trajectories (covered by an integration test).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import LaacadConfig
+from repro.core.convergence import ConvergenceTracker
+from repro.core.laacad import LaacadResult, RoundStats
+from repro.geometry.primitives import Point, distance
+from repro.network.mobility import MobilityModel
+from repro.network.network import SensorNetwork
+from repro.runtime.agent import NodeAgent
+from repro.runtime.failures import FailureInjector
+from repro.runtime.messages import position_report, ring_query
+from repro.runtime.scheduler import CommunicationStats, SynchronousScheduler
+from repro.voronoi.dominating import DominatingRegion, dominating_pieces
+
+
+@dataclasses.dataclass
+class DistributedRoundStats(RoundStats):
+    """Round statistics extended with communication accounting."""
+
+    messages: int = 0
+    transmissions: int = 0
+    bytes_sent: int = 0
+
+
+class LaacadAgent(NodeAgent):
+    """Protocol agent executing LAACAD at a single node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        network: SensorNetwork,
+        scheduler: SynchronousScheduler,
+        config: LaacadConfig,
+    ) -> None:
+        super().__init__(node_id, network, scheduler)
+        self.config = config
+        self.last_region: Optional[DominatingRegion] = None
+        self.proposed_target: Optional[Point] = None
+        self.displacement: float = 0.0
+
+    # ------------------------------------------------------------------
+    def _expanding_ring_positions(self) -> Tuple[List[Point], float, int]:
+        """Algorithm 2's information gathering, materialised as messages.
+
+        Returns the neighbour positions learned this round, the final
+        ring radius and the hop depth used.
+        """
+        gamma = self.network.comm_range
+        step = gamma * self.config.ring_granularity
+        max_radius = 2.0 * self.network.region.diameter + step
+        own = self.node.position
+
+        rho = 0.0
+        known_positions: Dict[int, Point] = {}
+        while True:
+            rho += step
+            hops = int(math.ceil(rho / gamma - 1e-9))
+            ring_members = self.network.nodes_within(self.node_id, rho)
+            for member in ring_members:
+                if member in known_positions:
+                    continue
+                member_node = self.network.node(member)
+                if not member_node.alive:
+                    continue
+                member_hops = max(
+                    1, int(math.ceil(distance(own, member_node.position) / gamma - 1e-9))
+                )
+                # Query reaches the member (flooded), reply comes back.
+                self.send(ring_query(self.node_id, member, rho, member_hops))
+                delivered = self.send(
+                    position_report(member, self.node_id, member_node.position, member_hops)
+                )
+                if delivered:
+                    known_positions[member] = member_node.position
+            if self._circle_dominated(rho / 2.0, list(known_positions.values())):
+                break
+            if rho >= max_radius:
+                break
+        hops = int(math.ceil(rho / gamma - 1e-9))
+        return list(known_positions.values()), rho, hops
+
+    def _circle_dominated(self, radius: float, neighbor_positions: List[Point]) -> bool:
+        """The Algorithm 2 half-radius circle check restricted to the area."""
+        own = self.node.position
+        k = self.config.k
+        samples = self.config.circle_check_samples
+        for i in range(samples):
+            angle = 2.0 * math.pi * i / samples
+            v = (own[0] + radius * math.cos(angle), own[1] + radius * math.sin(angle))
+            if not self.network.region.contains(v):
+                continue
+            own_distance = distance(own, v)
+            closer = 0
+            for pos in neighbor_positions:
+                if distance(pos, v) < own_distance - 1e-12:
+                    closer += 1
+                    if closer >= k:
+                        break
+            if closer < k:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def step(self, round_index: int) -> None:
+        """One protocol round: gather, compute, propose a move."""
+        if not self.alive:
+            self.last_region = None
+            self.proposed_target = None
+            self.displacement = 0.0
+            return
+        # Drain the inbox: the information content was already consumed
+        # while gathering (the scheduler models delivery in-round), so
+        # this only keeps mailbox sizes bounded.
+        self.receive()
+
+        positions, rho, _ = self._expanding_ring_positions()
+        pieces = dominating_pieces(
+            self.node.position, positions, self.network.region.convex_pieces(), self.config.k
+        )
+        region = DominatingRegion(
+            site=self.node.position,
+            k=self.config.k,
+            pieces=pieces,
+            competitors_used=len(positions),
+            search_radius=rho,
+        )
+        self.last_region = region
+        center, _ = region.chebyshev_center()
+        self.displacement = distance(self.node.position, center)
+        if self.displacement > self.config.epsilon:
+            alpha = self.config.alpha
+            self.proposed_target = (
+                self.node.position[0] + alpha * (center[0] - self.node.position[0]),
+                self.node.position[1] + alpha * (center[1] - self.node.position[1]),
+            )
+        else:
+            self.proposed_target = None
+
+
+class DistributedLaacadRunner:
+    """Runs LAACAD as a message-passing protocol over a sensor network."""
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        config: LaacadConfig,
+        mobility: Optional[MobilityModel] = None,
+        drop_probability: float = 0.0,
+        failure_injector: Optional[FailureInjector] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if len(network.alive_nodes()) < config.k:
+            raise ValueError("the network needs at least k alive nodes")
+        self.network = network
+        self.config = config
+        self.mobility = mobility if mobility is not None else MobilityModel()
+        self.scheduler = SynchronousScheduler(
+            drop_probability=drop_probability,
+            rng=rng if rng is not None else np.random.default_rng(config.seed),
+        )
+        self.failure_injector = failure_injector
+        self.agents: Dict[int, LaacadAgent] = {
+            node.node_id: LaacadAgent(node.node_id, network, self.scheduler, config)
+            for node in network.nodes
+        }
+
+    # ------------------------------------------------------------------
+    def run(self) -> Tuple[LaacadResult, CommunicationStats]:
+        """Execute the protocol; returns the deployment result and comm stats."""
+        config = self.config
+        network = self.network
+        initial_positions = list(network.positions())
+        tracker = ConvergenceTracker(epsilon=config.epsilon, patience=config.convergence_patience)
+        history: List[RoundStats] = []
+
+        converged = False
+        rounds = 0
+        for round_index in range(config.max_rounds):
+            rounds = round_index + 1
+            self.scheduler.begin_round()
+            if self.failure_injector is not None:
+                self.failure_injector.apply(network, round_index)
+
+            messages_before = self.scheduler.stats.messages
+            transmissions_before = self.scheduler.stats.transmissions
+            bytes_before = self.scheduler.stats.bytes_sent
+
+            displacements: List[float] = []
+            circumradii: List[float] = []
+            ranges_from_position: List[float] = []
+            for agent in self.agents.values():
+                agent.step(round_index)
+                if not agent.alive or agent.last_region is None:
+                    continue
+                displacements.append(agent.displacement)
+                _, radius = agent.last_region.chebyshev_center()
+                circumradii.append(radius)
+                ranges_from_position.append(
+                    agent.last_region.circumradius(agent.node.position)
+                )
+
+            stats = DistributedRoundStats(
+                round_index=round_index,
+                max_circumradius=max(circumradii) if circumradii else 0.0,
+                min_circumradius=min(circumradii) if circumradii else 0.0,
+                max_range_from_position=max(ranges_from_position) if ranges_from_position else 0.0,
+                min_range_from_position=min(ranges_from_position) if ranges_from_position else 0.0,
+                max_displacement=max(displacements) if displacements else 0.0,
+                mean_displacement=(sum(displacements) / len(displacements)) if displacements else 0.0,
+                messages=self.scheduler.stats.messages - messages_before,
+                transmissions=self.scheduler.stats.transmissions - transmissions_before,
+                bytes_sent=self.scheduler.stats.bytes_sent - bytes_before,
+            )
+            history.append(stats)
+            self.scheduler.end_round()
+
+            if tracker.observe(displacements):
+                converged = True
+                break
+
+            # Apply the proposed moves simultaneously.
+            for agent in self.agents.values():
+                if not agent.alive or agent.proposed_target is None:
+                    continue
+                constrained = self.mobility.constrain(
+                    network.region, agent.node.position, agent.proposed_target
+                )
+                network.move_node(agent.node_id, constrained, clamp_to_region=True)
+
+        if not converged:
+            # The round cap was hit after a move: refresh every agent's
+            # region once so the final sensing ranges refer to the final
+            # positions (the centralized driver does the same).
+            self.scheduler.begin_round()
+            for agent in self.agents.values():
+                agent.step(rounds)
+            self.scheduler.end_round()
+
+        # Final sensing ranges from the last computed regions.
+        sensing_ranges: List[float] = []
+        for node in network.nodes:
+            agent = self.agents[node.node_id]
+            if not node.alive or agent.last_region is None:
+                sensing_ranges.append(0.0)
+                continue
+            r = agent.last_region.circumradius(node.position)
+            network.set_sensing_range(node.node_id, r)
+            sensing_ranges.append(r)
+
+        result = LaacadResult(
+            config=config,
+            initial_positions=initial_positions,
+            final_positions=list(network.positions()),
+            sensing_ranges=sensing_ranges,
+            converged=converged,
+            rounds_executed=rounds,
+            history=history,
+        )
+        return result, self.scheduler.stats

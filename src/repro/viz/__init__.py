@@ -1,0 +1,19 @@
+"""Lightweight visualisation of deployments and Voronoi structures.
+
+No plotting dependencies are available (or needed): the module renders
+deployments, sensing disks, dominating regions and k-order Voronoi
+partitions to standalone SVG files (viewable in any browser) and to
+coarse ASCII maps (viewable in a terminal or a log file).  The experiment
+CLI and the examples use these to produce figure-like artefacts for
+Figures 1, 5 and 8.
+"""
+
+from repro.viz.svg import SvgCanvas, render_deployment_svg, render_partition_svg
+from repro.viz.ascii_art import ascii_deployment
+
+__all__ = [
+    "SvgCanvas",
+    "render_deployment_svg",
+    "render_partition_svg",
+    "ascii_deployment",
+]

@@ -1,0 +1,67 @@
+"""ASCII rendering of deployments for terminals and log files."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.geometry.primitives import Point
+from repro.regions.region import Region
+
+
+def ascii_deployment(
+    region: Region,
+    positions: Sequence[Point],
+    width: int = 60,
+    height: Optional[int] = None,
+    node_char: str = "o",
+    stacked_char: str = "O",
+    obstacle_char: str = "#",
+    outside_char: str = ".",
+) -> str:
+    """Render node positions over the region as a character grid.
+
+    Free area is blank, obstacles and out-of-region cells are marked, and
+    cells holding one node show ``node_char`` (``stacked_char`` when two
+    or more nodes share a cell — the "even clustering" of k >= 2 shows up
+    as capital letters).
+    """
+    if width < 4:
+        raise ValueError("width must be at least 4 characters")
+    xmin, ymin, xmax, ymax = region.bbox
+    aspect = (ymax - ymin) / (xmax - xmin)
+    if height is None:
+        # Terminal cells are roughly twice as tall as they are wide.
+        height = max(4, int(round(width * aspect * 0.5)))
+
+    grid: List[List[str]] = []
+    for row in range(height):
+        y = ymax - (row + 0.5) * (ymax - ymin) / height
+        line: List[str] = []
+        for col in range(width):
+            x = xmin + (col + 0.5) * (xmax - xmin) / width
+            if region.contains((x, y)):
+                line.append(" ")
+            elif any(
+                True
+                for hole in region.holes
+                if _point_in(hole, (x, y))
+            ):
+                line.append(obstacle_char)
+            else:
+                line.append(outside_char)
+        grid.append(line)
+
+    for x, y in positions:
+        col = min(width - 1, max(0, int((x - xmin) / (xmax - xmin) * width)))
+        row = min(height - 1, max(0, int((ymax - y) / (ymax - ymin) * height)))
+        current = grid[row][col]
+        grid[row][col] = stacked_char if current == node_char else node_char
+
+    border = "+" + "-" * width + "+"
+    return "\n".join([border] + ["|" + "".join(row) + "|" for row in grid] + [border])
+
+
+def _point_in(polygon: Sequence[Point], point: Point) -> bool:
+    from repro.geometry.polygon import point_in_polygon
+
+    return point_in_polygon(point, polygon, include_boundary=False)

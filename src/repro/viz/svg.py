@@ -1,0 +1,221 @@
+"""SVG rendering of deployments, sensing disks and Voronoi partitions.
+
+The renderer is deliberately dependency-free: it writes plain SVG 1.1
+markup.  World coordinates (the region's bounding box) are mapped to a
+fixed-size canvas with a small margin; the y axis is flipped so that the
+rendered figure matches the mathematical orientation used everywhere else
+in the package.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry.primitives import Point
+from repro.regions.region import Region
+
+#: Default qualitative colour cycle (distinct, print-friendly).
+PALETTE = (
+    "#1f77b4",
+    "#ff7f0e",
+    "#2ca02c",
+    "#d62728",
+    "#9467bd",
+    "#8c564b",
+    "#e377c2",
+    "#7f7f7f",
+    "#bcbd22",
+    "#17becf",
+)
+
+
+@dataclasses.dataclass
+class SvgCanvas:
+    """An SVG document with a world-to-pixel transform.
+
+    Args:
+        bbox: world bounding box ``(xmin, ymin, xmax, ymax)``.
+        width: canvas width in pixels (height follows the aspect ratio).
+        margin: margin in pixels around the drawing.
+    """
+
+    bbox: Tuple[float, float, float, float]
+    width: int = 640
+    margin: int = 16
+
+    def __post_init__(self) -> None:
+        xmin, ymin, xmax, ymax = self.bbox
+        if xmax <= xmin or ymax <= ymin:
+            raise ValueError("degenerate bounding box")
+        if self.width <= 2 * self.margin:
+            raise ValueError("canvas width must exceed twice the margin")
+        self._scale = (self.width - 2 * self.margin) / (xmax - xmin)
+        self.height = int(round((ymax - ymin) * self._scale)) + 2 * self.margin
+        self._elements: List[str] = []
+
+    # ------------------------------------------------------------------
+    def to_pixel(self, point: Point) -> Tuple[float, float]:
+        """Map a world point to pixel coordinates (y axis flipped)."""
+        xmin, ymin, _, ymax = self.bbox
+        px = self.margin + (point[0] - xmin) * self._scale
+        py = self.margin + (ymax - point[1]) * self._scale
+        return (px, py)
+
+    def scale_length(self, length: float) -> float:
+        """Map a world length to pixels."""
+        return length * self._scale
+
+    # ------------------------------------------------------------------
+    def add_polygon(
+        self,
+        polygon: Sequence[Point],
+        fill: str = "none",
+        stroke: str = "#333333",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """Draw a closed polygon."""
+        if len(polygon) < 3:
+            return
+        pts = " ".join(f"{x:.2f},{y:.2f}" for x, y in (self.to_pixel(p) for p in polygon))
+        self._elements.append(
+            f'<polygon points="{pts}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}" fill-opacity="{opacity}" />'
+        )
+
+    def add_circle(
+        self,
+        center: Point,
+        radius: float,
+        fill: str = "none",
+        stroke: str = "#1f77b4",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """Draw a circle given in world coordinates."""
+        cx, cy = self.to_pixel(center)
+        self._elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{self.scale_length(radius):.2f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'fill-opacity="{opacity}" />'
+        )
+
+    def add_point(self, point: Point, radius_px: float = 3.0, fill: str = "#d62728") -> None:
+        """Draw a node marker (radius given in pixels, not world units)."""
+        cx, cy = self.to_pixel(point)
+        self._elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{radius_px:.2f}" fill="{fill}" />'
+        )
+
+    def add_text(self, point: Point, text: str, size_px: int = 12, fill: str = "#000000") -> None:
+        """Draw a text label anchored at a world point."""
+        cx, cy = self.to_pixel(point)
+        self._elements.append(
+            f'<text x="{cx:.2f}" y="{cy:.2f}" font-size="{size_px}" '
+            f'font-family="sans-serif" fill="{fill}">{_escape(text)}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        """Serialise the document."""
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">'
+        )
+        background = f'<rect width="{self.width}" height="{self.height}" fill="#ffffff" />'
+        return "\n".join([header, background, *self._elements, "</svg>"])
+
+    def save(self, path: Path | str) -> Path:
+        """Write the SVG document to a file; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_svg())
+        return path
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _draw_region(canvas: SvgCanvas, region: Region) -> None:
+    canvas.add_polygon(region.outer, fill="#f7f7f7", stroke="#000000", stroke_width=1.5)
+    for hole in region.holes:
+        canvas.add_polygon(hole, fill="#bbbbbb", stroke="#000000", stroke_width=1.0, opacity=1.0)
+
+
+def render_deployment_svg(
+    region: Region,
+    positions: Sequence[Point],
+    sensing_ranges: Optional[Sequence[float]] = None,
+    path: Optional[Path | str] = None,
+    width: int = 640,
+    title: Optional[str] = None,
+) -> str:
+    """Render a deployment (nodes plus optional sensing disks) as SVG.
+
+    This is the Figure 5 / Figure 8 style of plot: the target area with
+    its obstacles, translucent sensing disks and node markers.
+
+    Args:
+        region: the target area.
+        positions: node positions.
+        sensing_ranges: per-node sensing ranges (omit to draw nodes only).
+        path: when given, the SVG is also written to this file.
+        width: canvas width in pixels.
+        title: optional caption drawn in the top-left corner.
+
+    Returns:
+        The SVG document as a string.
+    """
+    if sensing_ranges is not None and len(sensing_ranges) != len(positions):
+        raise ValueError("sensing_ranges must match positions in length")
+    canvas = SvgCanvas(region.bbox, width=width)
+    _draw_region(canvas, region)
+    if sensing_ranges is not None:
+        for pos, r in zip(positions, sensing_ranges):
+            if r > 0:
+                canvas.add_circle(pos, r, fill="#1f77b4", stroke="#1f77b4", opacity=0.12)
+    for pos in positions:
+        canvas.add_point(pos, radius_px=3.0)
+    if title:
+        xmin, _, _, ymax = region.bbox
+        canvas.add_text((xmin, ymax), title, size_px=14)
+    svg = canvas.to_svg()
+    if path is not None:
+        canvas.save(path)
+    return svg
+
+
+def render_partition_svg(
+    region: Region,
+    cells: Iterable[Sequence[Sequence[Point]]],
+    sites: Optional[Sequence[Point]] = None,
+    path: Optional[Path | str] = None,
+    width: int = 640,
+) -> str:
+    """Render a (k-order) Voronoi partition as SVG (the Figure 1 style).
+
+    Args:
+        region: the target area (drawn as the backdrop).
+        cells: an iterable of cells, where each cell is a list of convex
+            polygon pieces (the representation used throughout the
+            Voronoi engine).
+        sites: optional generator positions to overlay.
+        path: when given, the SVG is also written to this file.
+        width: canvas width in pixels.
+    """
+    canvas = SvgCanvas(region.bbox, width=width)
+    _draw_region(canvas, region)
+    for index, pieces in enumerate(cells):
+        colour = PALETTE[index % len(PALETTE)]
+        for piece in pieces:
+            canvas.add_polygon(piece, fill=colour, stroke="#333333", stroke_width=0.6, opacity=0.35)
+    if sites:
+        for site in sites:
+            canvas.add_point(site, radius_px=2.5, fill="#000000")
+    svg = canvas.to_svg()
+    if path is not None:
+        canvas.save(path)
+    return svg

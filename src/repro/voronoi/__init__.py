@@ -1,0 +1,30 @@
+"""Voronoi engine: ordinary (1-order) and high-order Voronoi computations.
+
+The central object for LAACAD is the *dominating region* ``V^k_i`` of a
+site: the set of points for which the site is among the ``k`` nearest
+(Proposition 1 of the paper).  Two independent implementations are
+provided:
+
+* :mod:`repro.voronoi.dominating` — an exact budgeted bisector-clipping
+  construction that represents each dominating region as a union of
+  convex polygons, and
+* :mod:`repro.voronoi.raster` — a brute-force raster oracle used for
+  cross-validation in the test suite.
+
+:mod:`repro.voronoi.korder` additionally assembles the full k-order
+Voronoi diagram (the cells of Figure 1), and :mod:`repro.voronoi.ordinary`
+offers the classical 1-order cells as a convenience/baseline.
+"""
+
+from repro.voronoi.dominating import DominatingRegion, compute_dominating_region
+from repro.voronoi.ordinary import voronoi_cell
+from repro.voronoi.korder import KOrderVoronoiDiagram
+from repro.voronoi.raster import RasterOracle
+
+__all__ = [
+    "DominatingRegion",
+    "compute_dominating_region",
+    "voronoi_cell",
+    "KOrderVoronoiDiagram",
+    "RasterOracle",
+]

@@ -1,0 +1,239 @@
+"""Exact computation of k-order dominating regions.
+
+The dominating region of site ``i`` (Eq. 7 of the paper) is::
+
+    V^k_i = { v in A : |{ j != i : ||u_j - v|| < ||u_i - v|| }| <= k - 1 }
+
+i.e. the set of points where at most ``k - 1`` other sites are strictly
+closer.  We compute it by a *budgeted clipping sweep*: starting from the
+convex pieces of the target area, every competitor's perpendicular
+bisector splits each piece into a "closer to i" part (violation count
+unchanged) and a "closer to j" part (violation count + 1); parts whose
+violation count would exceed ``k - 1`` are discarded.  The surviving
+pieces form exactly the dominating region.
+
+The number of live pieces is bounded by the complexity of the <=k level
+of the bisector arrangement, which is small in practice; competitors are
+processed in order of increasing distance so that far bisectors rarely
+split anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.bisector import perpendicular_bisector_halfplane
+from repro.geometry.chebyshev import chebyshev_center_of_pieces
+from repro.geometry.clipping import clip_polygon_halfplane
+from repro.geometry.polygon import point_in_polygon, polygon_area
+from repro.geometry.primitives import EPS, Point, distance, distance_sq
+from repro.regions.region import Region
+
+Polygon = List[Point]
+
+#: Clipping slivers below this area are discarded.
+_MIN_PIECE_AREA = 1e-14
+
+
+@dataclasses.dataclass
+class DominatingRegion:
+    """The dominating region of one site, as a union of convex polygons.
+
+    Attributes:
+        site: the site (node position) the region belongs to.
+        k: the coverage order the region was computed for.
+        pieces: convex polygons whose union is the dominating region.
+        competitors_used: how many competitor sites actually took part in
+            the clipping (after pre-filtering); useful to reason about
+            the locality of the computation.
+        search_radius: the pre-filter radius that was sufficient for an
+            exact result (``math.inf`` when no pre-filtering was applied).
+    """
+
+    site: Point
+    k: int
+    pieces: List[Polygon]
+    competitors_used: int = 0
+    search_radius: float = math.inf
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no area is dominated by the site."""
+        return not self.pieces
+
+    @property
+    def area(self) -> float:
+        """Total area of the dominating region."""
+        return sum(polygon_area(p) for p in self.pieces)
+
+    def vertices(self) -> List[Point]:
+        """All polygon vertices of all pieces (with duplicates)."""
+        verts: List[Point] = []
+        for piece in self.pieces:
+            verts.extend(piece)
+        return verts
+
+    def circumradius(self, from_point: Optional[Point] = None) -> float:
+        """Sensing range needed from ``from_point`` (default: the site) to cover the region."""
+        origin = from_point if from_point is not None else self.site
+        verts = self.vertices()
+        if not verts:
+            return 0.0
+        return max(distance(origin, v) for v in verts)
+
+    def chebyshev_center(self) -> Tuple[Point, float]:
+        """Chebyshev center and minimal covering radius of the region.
+
+        For an empty region the site itself with radius 0 is returned,
+        which makes the LAACAD update a no-op for that node.
+        """
+        if self.is_empty:
+            return self.site, 0.0
+        return chebyshev_center_of_pieces(self.pieces)
+
+    def contains(self, point: Point, eps: float = 1e-9) -> bool:
+        """True when ``point`` lies in (or on the boundary of) the region."""
+        return any(point_in_polygon(point, piece, include_boundary=True, eps=eps) for piece in self.pieces)
+
+    def max_distance_from_site(self) -> float:
+        """Alias for :meth:`circumradius` measured from the site (paper's ``R-hat``)."""
+        return self.circumradius(self.site)
+
+
+def dominating_pieces(
+    site: Point,
+    competitors: Sequence[Point],
+    area_pieces: Sequence[Polygon],
+    k: int,
+    eps: float = EPS,
+) -> List[Polygon]:
+    """Budgeted clipping sweep over a fixed competitor set.
+
+    Args:
+        site: the site whose region is computed.
+        competitors: positions of the other sites to consider.
+        area_pieces: convex decomposition of the target area.
+        k: coverage order (>= 1); up to ``k - 1`` competitors may be
+            strictly closer.
+        eps: geometric tolerance.
+
+    Returns:
+        Convex polygons whose union is the dominating region of ``site``
+        with respect to exactly the given competitors.
+    """
+    if k < 1:
+        raise ValueError("coverage order k must be >= 1")
+    budget = k - 1
+    # (polygon, violations) pairs
+    state: List[Tuple[Polygon, int]] = [
+        (list(piece), 0) for piece in area_pieces if len(piece) >= 3
+    ]
+    ordered = sorted(competitors, key=lambda q: distance_sq(site, q))
+    for comp in ordered:
+        if not state:
+            break
+        halfplane = perpendicular_bisector_halfplane(site, comp)
+        if halfplane is None:
+            # Co-located competitor: never *strictly* closer, no effect.
+            continue
+        new_state: List[Tuple[Polygon, int]] = []
+        for poly, violations in state:
+            values = [halfplane.value(v) for v in poly]
+            if all(v <= eps for v in values):
+                # Entire piece is at least as close to the site.
+                new_state.append((poly, violations))
+                continue
+            if all(v >= -eps for v in values):
+                # Entire piece is closer to the competitor.
+                if violations + 1 <= budget:
+                    new_state.append((poly, violations + 1))
+                continue
+            closer = clip_polygon_halfplane(poly, halfplane, eps)
+            if len(closer) >= 3 and polygon_area(closer) > _MIN_PIECE_AREA:
+                new_state.append((closer, violations))
+            if violations + 1 <= budget:
+                farther = clip_polygon_halfplane(poly, halfplane.flipped(), eps)
+                if len(farther) >= 3 and polygon_area(farther) > _MIN_PIECE_AREA:
+                    new_state.append((farther, violations + 1))
+        state = new_state
+    return [poly for poly, _ in state]
+
+
+def compute_dominating_region(
+    site: Point,
+    others: Sequence[Point],
+    region: Region,
+    k: int,
+    prefilter: bool = True,
+    initial_radius: Optional[float] = None,
+    eps: float = EPS,
+) -> DominatingRegion:
+    """Dominating region of ``site`` against all ``others``, clipped to ``region``.
+
+    When ``prefilter`` is enabled the computation mirrors the locality
+    argument of Lemma 1: only competitors within a search radius ``rho``
+    are considered, and ``rho`` is doubled until the resulting region is
+    contained in the disk of radius ``rho / 2`` around the site (at which
+    point farther competitors provably cannot change the result).
+
+    Args:
+        site: the site position.
+        others: all other site positions (the site itself must not be in
+            this list; co-located duplicates of other sites are fine).
+        region: the target area ``A``.
+        k: coverage order.
+        prefilter: enable the expanding-radius competitor pre-filter.
+        initial_radius: starting search radius; defaults to twice the
+            distance of the ``k``-th nearest competitor.
+        eps: geometric tolerance.
+    """
+    if k < 1:
+        raise ValueError("coverage order k must be >= 1")
+    area_pieces = region.convex_pieces()
+    others = list(others)
+
+    if not others or not prefilter:
+        pieces = dominating_pieces(site, others, area_pieces, k, eps)
+        return DominatingRegion(
+            site=site,
+            k=k,
+            pieces=pieces,
+            competitors_used=len(others),
+            search_radius=math.inf,
+        )
+
+    distances = sorted(distance(site, q) for q in others)
+    max_needed = region.diameter * 2.0 + 1.0
+    if initial_radius is not None:
+        rho = max(initial_radius, eps)
+    else:
+        # Enough to see roughly the k nearest competitors at the start.
+        idx = min(k, len(distances)) - 1
+        rho = max(2.0 * distances[idx], region.diameter * 0.05, eps * 10)
+
+    while True:
+        competitors = [q for q in others if distance(site, q) < rho]
+        pieces = dominating_pieces(site, competitors, area_pieces, k, eps)
+        radius_used = max(
+            (distance(site, v) for piece in pieces for v in piece), default=0.0
+        )
+        if radius_used <= rho / 2.0 + eps:
+            return DominatingRegion(
+                site=site,
+                k=k,
+                pieces=pieces,
+                competitors_used=len(competitors),
+                search_radius=rho,
+            )
+        if rho >= max_needed:
+            # The whole network is already included; the result is exact.
+            return DominatingRegion(
+                site=site,
+                k=k,
+                pieces=pieces,
+                competitors_used=len(competitors),
+                search_radius=rho,
+            )
+        rho *= 2.0

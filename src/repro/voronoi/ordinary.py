@@ -1,0 +1,54 @@
+"""Classical (1-order) Voronoi cells.
+
+Only needed as a baseline and for the ``k = 1`` sanity checks: the
+1-order dominating region of a site is exactly its ordinary Voronoi cell,
+so this module computes the cell directly by half-plane clipping and the
+tests assert the equivalence with the budgeted sweep of
+:mod:`repro.voronoi.dominating`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry.bisector import perpendicular_bisector_halfplane
+from repro.geometry.clipping import clip_polygon_halfplane
+from repro.geometry.polygon import polygon_area
+from repro.geometry.primitives import Point
+from repro.regions.region import Region
+
+Polygon = List[Point]
+
+
+def voronoi_cell(
+    site: Point, others: Sequence[Point], region: Region
+) -> List[Polygon]:
+    """Ordinary Voronoi cell of ``site`` clipped to the region's free area.
+
+    Returns a list of convex pieces (one per convex piece of the region
+    that the cell intersects).
+    """
+    pieces: List[Polygon] = []
+    for area_piece in region.convex_pieces():
+        cell = list(area_piece)
+        for other in others:
+            if len(cell) < 3:
+                break
+            halfplane = perpendicular_bisector_halfplane(site, other)
+            if halfplane is None:
+                continue
+            cell = clip_polygon_halfplane(cell, halfplane)
+        if len(cell) >= 3 and polygon_area(cell) > 1e-14:
+            pieces.append(cell)
+    return pieces
+
+
+def voronoi_partition(
+    sites: Sequence[Point], region: Region
+) -> List[List[Polygon]]:
+    """Ordinary Voronoi cells for all sites (index-aligned with ``sites``)."""
+    cells: List[List[Polygon]] = []
+    for i, site in enumerate(sites):
+        others = [s for j, s in enumerate(sites) if j != i]
+        cells.append(voronoi_cell(site, others, region))
+    return cells

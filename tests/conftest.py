@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import LaacadConfig
+from repro.network.network import SensorNetwork
+from repro.regions.shapes import (
+    figure8_region_one,
+    figure8_region_two,
+    l_shaped_region,
+    unit_square,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def square():
+    """The canonical unit-square target area."""
+    return unit_square()
+
+
+@pytest.fixture
+def l_region():
+    """A non-convex (L-shaped) target area."""
+    return l_shaped_region()
+
+
+@pytest.fixture
+def holed_region():
+    """A unit square with one rectangular obstacle."""
+    return figure8_region_one()
+
+
+@pytest.fixture
+def complex_region():
+    """An L-shaped area with two obstacles (the harder Figure 8 region)."""
+    return figure8_region_two()
+
+
+@pytest.fixture
+def random_sites(square, rng):
+    """Twenty random sites in the unit square."""
+    return square.random_points(20, rng=rng)
+
+
+@pytest.fixture
+def small_network(square, rng):
+    """A small random network used across integration tests."""
+    return SensorNetwork.from_random(square, 18, comm_range=0.3, rng=rng)
+
+
+@pytest.fixture
+def corner_network(square):
+    """A corner-clustered network (the Figure 5 initial condition)."""
+    return SensorNetwork.from_corner_cluster(
+        square, 20, cluster_fraction=0.2, comm_range=0.3, rng=np.random.default_rng(3)
+    )
+
+
+@pytest.fixture
+def fast_config():
+    """A LAACAD configuration small enough for unit tests."""
+    return LaacadConfig(k=2, alpha=1.0, epsilon=2e-3, max_rounds=60, seed=0)

@@ -1,0 +1,146 @@
+"""Unit tests for the analysis package (coverage, energy, fairness, connectivity, traces)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.connectivity import build_graph, connectivity_report
+from repro.analysis.coverage import (
+    coverage_counts,
+    coverage_fraction,
+    evaluate_coverage,
+    is_k_covered,
+)
+from repro.analysis.energy import energy_report
+from repro.analysis.fairness import jain_index, min_max_ratio, range_spread
+from repro.analysis.traces import is_monotone_nonincreasing, relative_gap, rounds_to_threshold
+from repro.regions.grid import GridSampler
+from repro.regions.shapes import unit_square
+
+
+class TestCoverageCounts:
+    def test_counts_shape_and_values(self, square):
+        sampler = GridSampler(square, 11)
+        counts = coverage_counts([(0.5, 0.5)], [1.0], sampler.points)
+        assert counts.shape == (121,)
+        assert np.all(counts == 1)  # radius 1 covers the whole unit square from the center
+
+    def test_zero_range_covers_nothing(self, square):
+        sampler = GridSampler(square, 11)
+        counts = coverage_counts([(0.5, 0.5)], [0.0], sampler.points)
+        assert counts.sum() <= 1  # only the exact center sample, if present
+
+    def test_length_mismatch_rejected(self, square):
+        sampler = GridSampler(square, 5)
+        with pytest.raises(ValueError):
+            coverage_counts([(0.5, 0.5)], [0.1, 0.2], sampler.points)
+
+    def test_empty_samples(self):
+        counts = coverage_counts([(0.5, 0.5)], [0.1], np.zeros((0, 2)))
+        assert counts.size == 0
+
+
+class TestCoverageEvaluation:
+    def test_full_coverage_with_large_ranges(self, square):
+        positions = [(0.25, 0.25), (0.75, 0.75)]
+        ranges = [1.5, 1.5]
+        assert is_k_covered(positions, ranges, square, 2, resolution=25)
+        report = evaluate_coverage(positions, ranges, square, 2, resolution=25)
+        assert report.fully_covered
+        assert report.min_coverage == 2
+        assert report.mean_coverage == pytest.approx(2.0)
+
+    def test_partial_coverage_fraction(self, square):
+        fraction = coverage_fraction([(0.0, 0.0)], [0.5], square, 1, resolution=41)
+        # A quarter disk of radius 0.5 covers ~pi/16 of the unit square.
+        assert fraction == pytest.approx(math.pi / 16.0, abs=0.03)
+
+    def test_invalid_k_rejected(self, square):
+        with pytest.raises(ValueError):
+            evaluate_coverage([(0.5, 0.5)], [1.0], square, 0)
+
+    def test_report_metadata(self, square):
+        report = evaluate_coverage([(0.5, 0.5)], [1.0], square, 1, resolution=21)
+        assert report.samples == 441
+        assert report.grid_spacing == pytest.approx(0.05)
+
+
+class TestEnergyReport:
+    def test_report_values(self):
+        report = energy_report([1.0, 2.0])
+        assert report.max_load == pytest.approx(4 * math.pi)
+        assert report.min_load == pytest.approx(math.pi)
+        assert report.total_load == pytest.approx(5 * math.pi)
+        assert report.mean_load == pytest.approx(2.5 * math.pi)
+        assert report.imbalance == pytest.approx(4.0)
+        assert report.node_count == 2
+
+    def test_empty_report(self):
+        report = energy_report([])
+        assert report.total_load == 0.0 and report.node_count == 0
+
+
+class TestFairness:
+    def test_min_max_ratio(self):
+        assert min_max_ratio([2.0, 2.0]) == 1.0
+        assert min_max_ratio([1.0, 2.0]) == 0.5
+        assert min_max_ratio([]) == 1.0
+        assert min_max_ratio([0.0, 1.0]) == 0.0
+        assert min_max_ratio([0.0, 0.0]) == 1.0
+
+    def test_jain_index(self):
+        assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_range_spread(self):
+        assert range_spread([0.2, 0.5, 0.3]) == pytest.approx(0.3)
+        assert range_spread([]) == 0.0
+
+
+class TestConnectivity:
+    def test_build_graph_edges(self):
+        graph = build_graph([(0.0, 0.0), (0.1, 0.0), (1.0, 1.0)], comm_range=0.2)
+        assert graph.has_edge(0, 1) and not graph.has_edge(0, 2)
+
+    def test_build_graph_validation(self):
+        with pytest.raises(ValueError):
+            build_graph([(0.0, 0.0)], comm_range=0.0)
+
+    def test_report_connected(self):
+        positions = [(0.0, 0.0), (0.1, 0.0), (0.2, 0.0)]
+        report = connectivity_report(positions, comm_range=0.15)
+        assert report.connected
+        assert report.components == 1
+        assert report.min_degree == 1
+        assert report.node_connectivity >= 1
+
+    def test_report_disconnected(self):
+        report = connectivity_report([(0.0, 0.0), (1.0, 1.0)], comm_range=0.1)
+        assert not report.connected
+        assert report.components == 2
+        assert report.node_connectivity == 0
+
+    def test_report_empty(self):
+        report = connectivity_report([], comm_range=0.1)
+        assert report.connected and report.components == 0
+
+
+class TestTraces:
+    def test_monotone_nonincreasing(self):
+        assert is_monotone_nonincreasing([3.0, 2.0, 2.0, 1.0])
+        assert not is_monotone_nonincreasing([3.0, 2.0, 2.5])
+        assert is_monotone_nonincreasing([3.0, 3.0 + 1e-12])
+        assert is_monotone_nonincreasing([])
+
+    def test_rounds_to_threshold(self):
+        assert rounds_to_threshold([5.0, 3.0, 1.0], 2.0) == 2
+        assert rounds_to_threshold([5.0, 3.0], 1.0) is None
+        assert rounds_to_threshold([], 1.0) is None
+
+    def test_relative_gap(self):
+        assert relative_gap([1.0, 0.5], [0.1, 0.4]) == pytest.approx(0.2)
+        assert relative_gap([], []) == 0.0
+        assert relative_gap([0.0], [0.0]) == 0.0

@@ -1,0 +1,83 @@
+"""Unit tests for LaacadConfig and the convergence tracker."""
+
+import pytest
+
+from repro.core.config import LaacadConfig
+from repro.core.convergence import ConvergenceTracker
+
+
+class TestLaacadConfig:
+    def test_defaults_are_valid(self):
+        config = LaacadConfig()
+        assert config.k == 1 and config.alpha == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"epsilon": 0.0},
+            {"max_rounds": 0},
+            {"tau_ms": 0.0},
+            {"ring_granularity": 0.0},
+            {"circle_check_samples": 4},
+            {"convergence_patience": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LaacadConfig(**kwargs)
+
+    def test_with_k(self):
+        config = LaacadConfig(k=1, alpha=0.5)
+        other = config.with_k(3)
+        assert other.k == 3 and other.alpha == 0.5
+        assert config.k == 1  # original untouched (frozen dataclass)
+
+    def test_with_alpha(self):
+        config = LaacadConfig(k=2)
+        assert config.with_alpha(0.25).alpha == 0.25
+
+    def test_frozen(self):
+        config = LaacadConfig()
+        with pytest.raises(Exception):
+            config.k = 5  # type: ignore[misc]
+
+
+class TestConvergenceTracker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceTracker(epsilon=0.0)
+        with pytest.raises(ValueError):
+            ConvergenceTracker(epsilon=0.1, patience=0)
+
+    def test_converges_when_displacements_small(self):
+        tracker = ConvergenceTracker(epsilon=0.01)
+        assert not tracker.observe([0.5, 0.2])
+        assert tracker.observe([0.005, 0.002])
+        assert tracker.converged
+
+    def test_patience_requires_consecutive_rounds(self):
+        tracker = ConvergenceTracker(epsilon=0.01, patience=2)
+        assert not tracker.observe([0.001])
+        assert tracker.observe([0.001])
+
+    def test_streak_resets_on_large_displacement(self):
+        tracker = ConvergenceTracker(epsilon=0.01, patience=2)
+        tracker.observe([0.001])
+        tracker.observe([0.5])
+        assert not tracker.observe([0.001])
+
+    def test_empty_displacements_count_as_converged_round(self):
+        tracker = ConvergenceTracker(epsilon=0.01)
+        assert tracker.observe([])
+
+    def test_history_and_accessors(self):
+        tracker = ConvergenceTracker(epsilon=0.01)
+        assert tracker.last_max_displacement() is None
+        tracker.observe([0.3, 0.1])
+        tracker.observe([0.2])
+        assert tracker.rounds_observed == 2
+        assert tracker.max_displacement_history == [0.3, 0.2]
+        assert tracker.last_max_displacement() == 0.2

@@ -1,0 +1,98 @@
+"""Unit tests for Algorithm 2 (localized dominating-region computation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominating import localized_dominating_region
+from repro.network.network import SensorNetwork
+from repro.regions.shapes import figure8_region_one, unit_square
+from repro.voronoi.dominating import compute_dominating_region
+
+
+@pytest.fixture
+def dense_network(square):
+    rng = np.random.default_rng(42)
+    return SensorNetwork.from_random(square, 30, comm_range=0.25, rng=rng)
+
+
+class TestLocalizedComputation:
+    def test_invalid_k_rejected(self, dense_network):
+        with pytest.raises(ValueError):
+            localized_dominating_region(dense_network, 0, 0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_global_computation(self, dense_network, k):
+        positions = dense_network.positions()
+        for node_id in (0, 10, 20):
+            others = [p for j, p in enumerate(positions) if j != node_id]
+            global_region = compute_dominating_region(
+                positions[node_id], others, dense_network.region, k
+            )
+            local = localized_dominating_region(dense_network, node_id, k)
+            assert local.region.area == pytest.approx(global_region.area, rel=1e-6, abs=1e-9)
+            assert local.region.circumradius(positions[node_id]) == pytest.approx(
+                global_region.circumradius(positions[node_id]), rel=1e-6
+            )
+
+    def test_locality_ring_much_smaller_than_network(self, dense_network):
+        comp = localized_dominating_region(dense_network, 0, 1)
+        assert comp.ring_radius < dense_network.region.diameter
+        assert comp.neighbors_used < dense_network.size - 1
+
+    def test_hops_grow_with_k(self, dense_network):
+        hops = [
+            localized_dominating_region(dense_network, 5, k).hops for k in (1, 3, 6)
+        ]
+        assert hops[0] <= hops[1] <= hops[2]
+
+    def test_ring_expansions_counted(self, dense_network):
+        comp = localized_dominating_region(dense_network, 0, 2)
+        assert comp.ring_expansions >= 1
+        assert comp.ring_radius == pytest.approx(
+            comp.ring_expansions * dense_network.comm_range, rel=1e-9
+        )
+
+    def test_max_radius_cap(self, square):
+        # Only 3 nodes but k = 3: the circle check can never pass, so the
+        # ring must stop at the cap and include everyone.
+        net = SensorNetwork(square, [(0.2, 0.2), (0.8, 0.2), (0.5, 0.8)], comm_range=0.2)
+        comp = localized_dominating_region(net, 0, 3)
+        assert comp.neighbors_used == 2
+        assert comp.region.area == pytest.approx(square.area)
+
+    def test_with_localization_noise_free(self, dense_network):
+        exact = localized_dominating_region(dense_network, 3, 2)
+        localized = localized_dominating_region(
+            dense_network, 3, 2, use_localization=True, localization_noise_std=0.0
+        )
+        assert localized.used_localization
+        assert localized.region.area == pytest.approx(exact.region.area, rel=1e-4)
+
+    def test_with_localization_noise(self, dense_network):
+        rng = np.random.default_rng(0)
+        noisy = localized_dominating_region(
+            dense_network,
+            3,
+            2,
+            use_localization=True,
+            localization_noise_std=0.001,
+            rng=rng,
+        )
+        exact = localized_dominating_region(dense_network, 3, 2)
+        # Small range noise perturbs the region only slightly.
+        assert noisy.region.area == pytest.approx(exact.region.area, rel=0.2)
+
+    def test_region_with_obstacle(self):
+        region = figure8_region_one()
+        rng = np.random.default_rng(8)
+        net = SensorNetwork.from_random(region, 20, comm_range=0.25, rng=rng)
+        comp = localized_dominating_region(net, 0, 2)
+        assert not comp.region.contains((0.5, 0.5), eps=1e-9)
+
+    def test_dead_neighbors_ignored(self, dense_network):
+        before = localized_dominating_region(dense_network, 0, 1)
+        # Kill the nearest neighbour: the region can only grow.
+        nearest = dense_network.k_nearest(dense_network.node(0).position, 1, exclude=0)[0]
+        dense_network.kill_node(nearest)
+        after = localized_dominating_region(dense_network, 0, 1)
+        assert after.region.area >= before.region.area - 1e-9

@@ -1,0 +1,82 @@
+"""Unit tests for Chebyshev centers (Definition 2 of the paper)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.chebyshev import (
+    chebyshev_center_of_pieces,
+    chebyshev_center_of_points,
+    chebyshev_center_of_polygon,
+    circumradius_from,
+    farthest_point_distance,
+)
+from repro.geometry.primitives import distance
+
+
+class TestChebyshevOfPoints:
+    def test_square_corners(self):
+        center, radius = chebyshev_center_of_points([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert center == pytest.approx((1.0, 1.0))
+        assert radius == pytest.approx(math.sqrt(2.0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            chebyshev_center_of_points([])
+
+    def test_single_point(self):
+        center, radius = chebyshev_center_of_points([(3.0, -1.0)])
+        assert center == (3.0, -1.0)
+        assert radius == 0.0
+
+    def test_center_minimises_max_distance(self):
+        rng = np.random.default_rng(4)
+        pts = [tuple(p) for p in rng.uniform(0, 1, size=(25, 2))]
+        center, radius = chebyshev_center_of_points(pts)
+        worst = max(distance(center, p) for p in pts)
+        assert worst == pytest.approx(radius, rel=1e-9, abs=1e-9)
+        # Any perturbed center has a larger worst-case distance.
+        for delta in [(0.05, 0.0), (-0.05, 0.0), (0.0, 0.05), (0.0, -0.05)]:
+            other = (center[0] + delta[0], center[1] + delta[1])
+            assert max(distance(other, p) for p in pts) >= radius - 1e-9
+
+
+class TestChebyshevOfPolygons:
+    def test_polygon_center(self):
+        center, radius = chebyshev_center_of_polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert center == pytest.approx((0.5, 0.5))
+        assert radius == pytest.approx(math.sqrt(0.5))
+
+    def test_polygon_empty_raises(self):
+        with pytest.raises(ValueError):
+            chebyshev_center_of_polygon([])
+
+    def test_union_of_pieces(self):
+        pieces = [
+            [(0, 0), (1, 0), (1, 1), (0, 1)],
+            [(1, 0), (2, 0), (2, 1), (1, 1)],
+        ]
+        center, radius = chebyshev_center_of_pieces(pieces)
+        assert center == pytest.approx((1.0, 0.5))
+        assert radius == pytest.approx(math.hypot(1.0, 0.5))
+
+    def test_union_empty_raises(self):
+        with pytest.raises(ValueError):
+            chebyshev_center_of_pieces([])
+
+
+class TestRadiusHelpers:
+    def test_farthest_point_distance(self):
+        assert farthest_point_distance((0, 0), [(1, 0), (0, 2), (-3, 0)]) == pytest.approx(3.0)
+
+    def test_farthest_point_empty_raises(self):
+        with pytest.raises(ValueError):
+            farthest_point_distance((0, 0), [])
+
+    def test_circumradius_from_origin(self):
+        pieces = [[(1, 0), (2, 0), (2, 1)], [(0, 3), (1, 3), (0, 4)]]
+        assert circumradius_from((0.0, 0.0), pieces) == pytest.approx(4.0)
+
+    def test_circumradius_from_empty_is_zero(self):
+        assert circumradius_from((0.0, 0.0), []) == 0.0

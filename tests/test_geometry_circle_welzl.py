@@ -1,0 +1,124 @@
+"""Unit tests for circles and Welzl's smallest enclosing circle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.circle import Circle, bounding_circle_of_box, circle_from_2, circle_from_3
+from repro.geometry.primitives import distance
+from repro.geometry.welzl import welzl_disk
+
+
+class TestCircle:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle((0.0, 0.0), -1.0)
+
+    def test_contains_interior_and_boundary(self):
+        c = Circle((0.0, 0.0), 1.0)
+        assert c.contains((0.5, 0.5))
+        assert c.contains((1.0, 0.0))
+        assert not c.contains((1.1, 0.0))
+
+    def test_area(self):
+        assert Circle((0, 0), 2.0).area() == pytest.approx(4.0 * math.pi)
+
+    def test_intersects_circle(self):
+        a = Circle((0.0, 0.0), 1.0)
+        b = Circle((1.5, 0.0), 1.0)
+        c = Circle((3.0, 0.0), 0.5)
+        assert a.intersects_circle(b)
+        assert not a.intersects_circle(c)
+
+
+class TestCircleConstruction:
+    def test_circle_from_2(self):
+        c = circle_from_2((0.0, 0.0), (2.0, 0.0))
+        assert c.center == pytest.approx((1.0, 0.0))
+        assert c.radius == pytest.approx(1.0)
+
+    def test_circle_from_3_right_triangle(self):
+        c = circle_from_3((0.0, 0.0), (2.0, 0.0), (0.0, 2.0))
+        assert c is not None
+        assert c.center == pytest.approx((1.0, 1.0))
+        assert c.radius == pytest.approx(math.sqrt(2.0))
+
+    def test_circle_from_3_collinear_returns_none(self):
+        assert circle_from_3((0, 0), (1, 1), (2, 2)) is None
+
+    def test_bounding_circle_of_box(self):
+        c = bounding_circle_of_box(0.0, 0.0, 2.0, 2.0)
+        assert c.center == pytest.approx((1.0, 1.0))
+        assert c.radius == pytest.approx(math.sqrt(2.0))
+
+    def test_bounding_circle_of_degenerate_box_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_circle_of_box(1.0, 0.0, 0.0, 2.0)
+
+
+class TestWelzl:
+    def test_empty_input(self):
+        c = welzl_disk([])
+        assert c.radius == 0.0
+
+    def test_single_point(self):
+        c = welzl_disk([(3.0, 4.0)])
+        assert c.center == (3.0, 4.0)
+        assert c.radius == 0.0
+
+    def test_two_points(self):
+        c = welzl_disk([(0.0, 0.0), (2.0, 0.0)])
+        assert c.radius == pytest.approx(1.0)
+        assert c.center == pytest.approx((1.0, 0.0))
+
+    def test_square_corners(self):
+        c = welzl_disk([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert c.center == pytest.approx((0.5, 0.5))
+        assert c.radius == pytest.approx(math.sqrt(0.5))
+
+    def test_duplicate_points(self):
+        c = welzl_disk([(1.0, 1.0)] * 5 + [(2.0, 1.0)] * 3)
+        assert c.radius == pytest.approx(0.5)
+
+    def test_collinear_points(self):
+        c = welzl_disk([(0.0, 0.0), (1.0, 0.0), (4.0, 0.0), (2.0, 0.0)])
+        assert c.radius == pytest.approx(2.0)
+        assert c.center == pytest.approx((2.0, 0.0))
+
+    def test_all_points_enclosed_random(self):
+        rng = np.random.default_rng(7)
+        pts = [tuple(p) for p in rng.normal(0, 1, size=(100, 2))]
+        c = welzl_disk(pts)
+        assert all(distance(c.center, p) <= c.radius + 1e-7 for p in pts)
+
+    def test_minimality_against_brute_force(self):
+        rng = np.random.default_rng(11)
+        pts = [tuple(p) for p in rng.uniform(0, 1, size=(12, 2))]
+        c = welzl_disk(pts)
+        # Brute force: best circle through any pair or triple of points.
+        best = math.inf
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                cand = circle_from_2(pts[i], pts[j])
+                if all(cand.contains(p, eps=1e-7) for p in pts):
+                    best = min(best, cand.radius)
+                for l in range(j + 1, len(pts)):
+                    cand3 = circle_from_3(pts[i], pts[j], pts[l])
+                    if cand3 and all(cand3.contains(p, eps=1e-7) for p in pts):
+                        best = min(best, cand3.radius)
+        assert c.radius == pytest.approx(best, rel=1e-6)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        pts = [tuple(p) for p in rng.uniform(0, 1, size=(50, 2))]
+        c1 = welzl_disk(pts, seed=42)
+        c2 = welzl_disk(pts, seed=42)
+        assert c1.center == c2.center and c1.radius == c2.radius
+
+    def test_independent_of_seed_value(self):
+        rng = np.random.default_rng(5)
+        pts = [tuple(p) for p in rng.uniform(0, 1, size=(40, 2))]
+        c1 = welzl_disk(pts, seed=1)
+        c2 = welzl_disk(pts, seed=99)
+        assert c1.radius == pytest.approx(c2.radius, rel=1e-9)

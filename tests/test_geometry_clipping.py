@@ -1,0 +1,115 @@
+"""Unit tests for repro.geometry.clipping (half-planes and polygon clipping)."""
+
+import math
+
+import pytest
+
+from repro.geometry.clipping import (
+    HalfPlane,
+    clip_polygon_halfplane,
+    clip_polygon_polygon,
+    halfplane_from_bisector,
+    polygon_intersection_convex,
+)
+from repro.geometry.polygon import polygon_area
+
+UNIT_SQUARE = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+
+
+class TestHalfPlane:
+    def test_contains_inside_point(self):
+        hp = HalfPlane(1.0, 0.0, 0.5)  # x <= 0.5
+        assert hp.contains((0.2, 0.9))
+        assert not hp.contains((0.8, 0.9))
+
+    def test_value_sign(self):
+        hp = HalfPlane(0.0, 1.0, 0.0)  # y <= 0
+        assert hp.value((0.0, -1.0)) < 0
+        assert hp.value((0.0, 2.0)) > 0
+
+    def test_flipped_swaps_side(self):
+        hp = HalfPlane(1.0, 0.0, 0.5)
+        assert hp.flipped().contains((0.8, 0.0))
+        assert not hp.flipped().contains((0.2, 0.0))
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(ValueError):
+            HalfPlane(0.0, 0.0, 1.0)
+
+    def test_boundary_intersection_midpoint(self):
+        hp = HalfPlane(1.0, 0.0, 0.5)  # boundary x = 0.5
+        p = hp.boundary_intersection((0.0, 0.0), (1.0, 0.0))
+        assert p == pytest.approx((0.5, 0.0))
+
+
+class TestBisector:
+    def test_bisector_halfplane_contains_closer_point(self):
+        hp = halfplane_from_bisector((0.0, 0.0), (2.0, 0.0))
+        assert hp.contains((0.5, 0.3))
+        assert not hp.contains((1.5, 0.3))
+
+    def test_bisector_boundary_is_equidistant(self):
+        hp = halfplane_from_bisector((0.0, 0.0), (2.0, 0.0))
+        assert abs(hp.value((1.0, 5.0))) < 1e-9
+
+    def test_coincident_sites_rejected(self):
+        with pytest.raises(ValueError):
+            halfplane_from_bisector((1.0, 1.0), (1.0, 1.0))
+
+
+class TestClipPolygonHalfplane:
+    def test_clip_square_in_half(self):
+        hp = HalfPlane(1.0, 0.0, 0.5)  # keep x <= 0.5
+        clipped = clip_polygon_halfplane(UNIT_SQUARE, hp)
+        assert polygon_area(clipped) == pytest.approx(0.5)
+
+    def test_clip_keeps_whole_polygon(self):
+        hp = HalfPlane(1.0, 0.0, 5.0)
+        clipped = clip_polygon_halfplane(UNIT_SQUARE, hp)
+        assert polygon_area(clipped) == pytest.approx(1.0)
+
+    def test_clip_removes_whole_polygon(self):
+        hp = HalfPlane(1.0, 0.0, -1.0)  # x <= -1
+        assert clip_polygon_halfplane(UNIT_SQUARE, hp) == []
+
+    def test_clip_diagonal(self):
+        hp = HalfPlane(1.0, 1.0, 1.0)  # x + y <= 1
+        clipped = clip_polygon_halfplane(UNIT_SQUARE, hp)
+        assert polygon_area(clipped) == pytest.approx(0.5)
+
+    def test_clip_empty_input(self):
+        hp = HalfPlane(1.0, 0.0, 0.5)
+        assert clip_polygon_halfplane([], hp) == []
+
+    def test_halfplane_and_complement_partition_area(self):
+        hp = HalfPlane(2.0, -1.0, 0.3)
+        a = polygon_area(clip_polygon_halfplane(UNIT_SQUARE, hp))
+        b = polygon_area(clip_polygon_halfplane(UNIT_SQUARE, hp.flipped()))
+        assert a + b == pytest.approx(1.0, abs=1e-9)
+
+
+class TestClipPolygonPolygon:
+    def test_intersection_of_overlapping_squares(self):
+        other = [(0.5, 0.5), (1.5, 0.5), (1.5, 1.5), (0.5, 1.5)]
+        result = clip_polygon_polygon(UNIT_SQUARE, other)
+        assert polygon_area(result) == pytest.approx(0.25)
+
+    def test_intersection_disjoint_is_empty(self):
+        other = [(2.0, 2.0), (3.0, 2.0), (3.0, 3.0), (2.0, 3.0)]
+        assert clip_polygon_polygon(UNIT_SQUARE, other) == []
+
+    def test_intersection_contained(self):
+        inner = [(0.25, 0.25), (0.75, 0.25), (0.75, 0.75), (0.25, 0.75)]
+        result = clip_polygon_polygon(inner, UNIT_SQUARE)
+        assert polygon_area(result) == pytest.approx(0.25)
+
+    def test_polygon_intersection_convex_requires_convex_window(self):
+        concave = [(0, 0), (2, 0), (2, 2), (1, 1), (0, 2)]
+        with pytest.raises(ValueError):
+            polygon_intersection_convex(UNIT_SQUARE, concave)
+
+    def test_polygon_intersection_convex_result(self):
+        tri = [(0.0, 0.0), (2.0, 0.0), (0.0, 2.0)]
+        result = polygon_intersection_convex(UNIT_SQUARE, tri)
+        # square ∩ triangle x+y<=2 cuts nothing but the (1,1) corner stays:
+        assert polygon_area(result) == pytest.approx(1.0, abs=1e-9)

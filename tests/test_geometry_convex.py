@@ -1,0 +1,67 @@
+"""Unit tests for repro.geometry.convex (convex hulls and convexity tests)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.convex import convex_hull, is_convex_polygon
+from repro.geometry.polygon import point_in_polygon, signed_area
+
+
+class TestConvexHull:
+    def test_square_corners(self):
+        pts = [(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert set(hull) == {(0, 0), (1, 0), (1, 1), (0, 1)}
+
+    def test_hull_is_ccw(self):
+        pts = [(0, 0), (2, 0), (2, 2), (0, 2), (1, 1), (0.5, 1.5)]
+        hull = convex_hull(pts)
+        assert signed_area(hull) > 0
+
+    def test_collinear_input(self):
+        pts = [(0, 0), (1, 1), (2, 2), (3, 3)]
+        hull = convex_hull(pts)
+        assert len(hull) == 2
+        assert set(hull) == {(0, 0), (3, 3)}
+
+    def test_duplicate_points(self):
+        pts = [(0, 0), (0, 0), (1, 0), (1, 0), (0, 1)]
+        hull = convex_hull(pts)
+        assert len(hull) == 3
+
+    def test_empty_and_single(self):
+        assert convex_hull([]) == []
+        assert convex_hull([(2.0, 3.0)]) == [(2.0, 3.0)]
+
+    def test_all_points_inside_or_on_hull(self):
+        rng = np.random.default_rng(0)
+        pts = [tuple(p) for p in rng.uniform(0, 1, size=(60, 2))]
+        hull = convex_hull(pts)
+        assert is_convex_polygon(hull)
+        for p in pts:
+            assert point_in_polygon(p, hull, include_boundary=True, eps=1e-9)
+
+    def test_hull_vertices_are_input_points(self):
+        rng = np.random.default_rng(1)
+        pts = [tuple(p) for p in rng.uniform(0, 1, size=(30, 2))]
+        hull = convex_hull(pts)
+        assert set(hull).issubset(set(pts))
+
+
+class TestIsConvexPolygon:
+    def test_square_is_convex(self):
+        assert is_convex_polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+    def test_clockwise_square_is_convex(self):
+        assert is_convex_polygon([(0, 1), (1, 1), (1, 0), (0, 0)])
+
+    def test_l_shape_is_not_convex(self):
+        l_shape = [(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)]
+        assert not is_convex_polygon(l_shape)
+
+    def test_triangle_with_collinear_vertex(self):
+        assert is_convex_polygon([(0, 0), (1, 0), (2, 0), (1, 1)])
+
+    def test_too_few_vertices(self):
+        assert not is_convex_polygon([(0, 0), (1, 1)])

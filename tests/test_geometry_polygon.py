@@ -1,0 +1,112 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import math
+
+import pytest
+
+from repro.geometry.polygon import (
+    bounding_box,
+    ensure_ccw,
+    point_in_polygon,
+    point_on_polygon_boundary,
+    polygon_area,
+    polygon_centroid,
+    polygon_diameter,
+    polygon_edges,
+    polygon_perimeter,
+    signed_area,
+)
+
+UNIT_SQUARE = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+L_SHAPE = [(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)]
+
+
+class TestArea:
+    def test_unit_square_area(self):
+        assert polygon_area(UNIT_SQUARE) == pytest.approx(1.0)
+
+    def test_signed_area_ccw_positive(self):
+        assert signed_area(UNIT_SQUARE) > 0
+
+    def test_signed_area_cw_negative(self):
+        assert signed_area(list(reversed(UNIT_SQUARE))) < 0
+
+    def test_l_shape_area(self):
+        assert polygon_area(L_SHAPE) == pytest.approx(3.0)
+
+    def test_degenerate_polygon_area_zero(self):
+        assert polygon_area([(0, 0), (1, 1)]) == 0.0
+
+    def test_triangle_area(self):
+        assert polygon_area([(0, 0), (2, 0), (0, 2)]) == pytest.approx(2.0)
+
+
+class TestOrientationNormalisation:
+    def test_ensure_ccw_flips_clockwise(self):
+        cw = list(reversed(UNIT_SQUARE))
+        assert signed_area(ensure_ccw(cw)) > 0
+
+    def test_ensure_ccw_keeps_ccw(self):
+        assert ensure_ccw(UNIT_SQUARE) == UNIT_SQUARE
+
+
+class TestCentroid:
+    def test_square_centroid(self):
+        cx, cy = polygon_centroid(UNIT_SQUARE)
+        assert (cx, cy) == pytest.approx((0.5, 0.5))
+
+    def test_triangle_centroid(self):
+        cx, cy = polygon_centroid([(0, 0), (3, 0), (0, 3)])
+        assert (cx, cy) == pytest.approx((1.0, 1.0))
+
+    def test_centroid_independent_of_orientation(self):
+        c1 = polygon_centroid(L_SHAPE)
+        c2 = polygon_centroid(list(reversed(L_SHAPE)))
+        assert c1 == pytest.approx(c2)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            polygon_centroid([])
+
+
+class TestPerimeterEdgesBBox:
+    def test_square_perimeter(self):
+        assert polygon_perimeter(UNIT_SQUARE) == pytest.approx(4.0)
+
+    def test_edges_count(self):
+        assert len(list(polygon_edges(UNIT_SQUARE))) == 4
+
+    def test_bounding_box(self):
+        assert bounding_box(L_SHAPE) == (0, 0, 2, 2)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_diameter_of_square(self):
+        assert polygon_diameter(UNIT_SQUARE) == pytest.approx(math.sqrt(2.0))
+
+
+class TestPointInPolygon:
+    def test_interior_point(self):
+        assert point_in_polygon((0.5, 0.5), UNIT_SQUARE)
+
+    def test_exterior_point(self):
+        assert not point_in_polygon((1.5, 0.5), UNIT_SQUARE)
+
+    def test_boundary_point_included_by_default(self):
+        assert point_in_polygon((1.0, 0.5), UNIT_SQUARE)
+
+    def test_boundary_point_excluded_when_requested(self):
+        assert not point_in_polygon((1.0, 0.5), UNIT_SQUARE, include_boundary=False)
+
+    def test_vertex_is_on_boundary(self):
+        assert point_on_polygon_boundary((0.0, 0.0), UNIT_SQUARE)
+
+    def test_concave_polygon_notch(self):
+        # (1.5, 1.5) is in the notch of the L, i.e. outside.
+        assert not point_in_polygon((1.5, 1.5), L_SHAPE)
+        assert point_in_polygon((0.5, 1.5), L_SHAPE)
+
+    def test_point_in_degenerate_polygon(self):
+        assert not point_in_polygon((0.0, 0.0), [(0, 0), (1, 1)])

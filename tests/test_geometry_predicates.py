@@ -1,0 +1,73 @@
+"""Unit tests for repro.geometry.predicates."""
+
+import pytest
+
+from repro.geometry.predicates import (
+    Orientation,
+    collinear,
+    in_circle,
+    orientation,
+    point_segment_distance,
+    segments_intersect,
+)
+
+
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert orientation((0, 0), (1, 0), (0, 1)) is Orientation.COUNTERCLOCKWISE
+
+    def test_clockwise(self):
+        assert orientation((0, 0), (0, 1), (1, 0)) is Orientation.CLOCKWISE
+
+    def test_collinear_points(self):
+        assert orientation((0, 0), (1, 1), (2, 2)) is Orientation.COLLINEAR
+        assert collinear((0, 0), (1, 1), (2, 2))
+
+    def test_not_collinear(self):
+        assert not collinear((0, 0), (1, 1), (2, 2.5))
+
+
+class TestInCircle:
+    def test_point_inside_circle(self):
+        # unit circle through (1,0), (0,1), (-1,0); origin is inside
+        assert in_circle((1, 0), (0, 1), (-1, 0), (0, 0)) > 0
+
+    def test_point_outside_circle(self):
+        assert in_circle((1, 0), (0, 1), (-1, 0), (5, 5)) < 0
+
+    def test_point_on_circle_near_zero(self):
+        assert abs(in_circle((1, 0), (0, 1), (-1, 0), (0, -1))) < 1e-9
+
+
+class TestPointSegmentDistance:
+    def test_projection_inside_segment(self):
+        assert point_segment_distance((0.5, 1.0), (0, 0), (1, 0)) == pytest.approx(1.0)
+
+    def test_projection_beyond_endpoint(self):
+        assert point_segment_distance((2.0, 0.0), (0, 0), (1, 0)) == pytest.approx(1.0)
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance((3.0, 4.0), (0, 0), (0, 0)) == pytest.approx(5.0)
+
+    def test_point_on_segment_is_zero(self):
+        assert point_segment_distance((0.3, 0.0), (0, 0), (1, 0)) == pytest.approx(0.0)
+
+
+class TestSegmentsIntersect:
+    def test_crossing_segments(self):
+        assert segments_intersect((0, 0), (1, 1), (0, 1), (1, 0))
+
+    def test_disjoint_segments(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_touching_at_endpoint(self):
+        assert segments_intersect((0, 0), (1, 0), (1, 0), (2, 1))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_parallel_non_intersecting(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 0.5), (1, 0.5))

@@ -1,0 +1,100 @@
+"""Unit tests for repro.geometry.primitives."""
+
+import math
+
+import pytest
+
+from repro.geometry.primitives import (
+    add,
+    almost_equal,
+    as_point,
+    centroid_of_points,
+    cross,
+    distance,
+    distance_sq,
+    dot,
+    lerp,
+    midpoint,
+    norm,
+    normalize,
+    perpendicular,
+    points_close,
+    scale,
+    sub,
+)
+
+
+class TestScalarHelpers:
+    def test_almost_equal_true_within_eps(self):
+        assert almost_equal(1.0, 1.0 + 1e-12)
+
+    def test_almost_equal_false_outside_eps(self):
+        assert not almost_equal(1.0, 1.001)
+
+    def test_points_close(self):
+        assert points_close((0.0, 0.0), (1e-12, -1e-12))
+        assert not points_close((0.0, 0.0), (1e-3, 0.0))
+
+
+class TestVectorAlgebra:
+    def test_add_sub_inverse(self):
+        p, q = (1.5, -2.0), (0.25, 3.0)
+        assert points_close(sub(add(p, q), q), p)
+
+    def test_scale(self):
+        assert scale((2.0, -3.0), 0.5) == (1.0, -1.5)
+
+    def test_dot_orthogonal_is_zero(self):
+        assert dot((1.0, 0.0), (0.0, 5.0)) == 0.0
+
+    def test_cross_sign(self):
+        assert cross((1.0, 0.0), (0.0, 1.0)) > 0
+        assert cross((0.0, 1.0), (1.0, 0.0)) < 0
+
+    def test_norm_and_distance(self):
+        assert norm((3.0, 4.0)) == pytest.approx(5.0)
+        assert distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_sq_matches_distance(self):
+        p, q = (1.0, 2.0), (-2.0, 6.0)
+        assert distance_sq(p, q) == pytest.approx(distance(p, q) ** 2)
+
+    def test_normalize_unit_length(self):
+        v = normalize((3.0, 4.0))
+        assert norm(v) == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            normalize((0.0, 0.0))
+
+    def test_perpendicular_is_orthogonal(self):
+        v = (2.0, 5.0)
+        assert dot(v, perpendicular(v)) == pytest.approx(0.0)
+
+    def test_midpoint(self):
+        assert midpoint((0.0, 0.0), (2.0, 4.0)) == (1.0, 2.0)
+
+    def test_lerp_endpoints(self):
+        p, q = (1.0, 1.0), (3.0, 5.0)
+        assert points_close(lerp(p, q, 0.0), p)
+        assert points_close(lerp(p, q, 1.0), q)
+
+    def test_lerp_midway(self):
+        assert lerp((0.0, 0.0), (2.0, 2.0), 0.5) == (1.0, 1.0)
+
+
+class TestAggregates:
+    def test_centroid_of_points(self):
+        c = centroid_of_points([(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)])
+        assert points_close(c, (1.0, 1.0))
+
+    def test_centroid_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid_of_points([])
+
+    def test_as_point_from_list(self):
+        assert as_point([1, 2]) == (1.0, 2.0)
+
+    def test_as_point_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            as_point([1.0])

@@ -1,0 +1,118 @@
+"""Unit tests for polygon triangulation and convex decomposition."""
+
+import math
+
+import pytest
+
+from repro.geometry.convex import is_convex_polygon
+from repro.geometry.polygon import point_in_polygon, polygon_area
+from repro.geometry.triangulate import (
+    convex_difference,
+    decompose_with_holes,
+    triangulate_polygon,
+    triangulate_with_holes,
+)
+
+UNIT_SQUARE = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+L_SHAPE = [(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)]
+
+
+def total_area(pieces):
+    return sum(polygon_area(p) for p in pieces)
+
+
+class TestTriangulatePolygon:
+    def test_triangle_passthrough(self):
+        tri = [(0, 0), (1, 0), (0, 1)]
+        assert triangulate_polygon(tri) == [tri]
+
+    def test_square_two_triangles(self):
+        tris = triangulate_polygon(UNIT_SQUARE)
+        assert len(tris) == 2
+        assert total_area(tris) == pytest.approx(1.0)
+
+    def test_concave_polygon_area_preserved(self):
+        tris = triangulate_polygon(L_SHAPE)
+        assert total_area(tris) == pytest.approx(3.0)
+        assert len(tris) == len(L_SHAPE) - 2
+
+    def test_clockwise_input_handled(self):
+        tris = triangulate_polygon(list(reversed(L_SHAPE)))
+        assert total_area(tris) == pytest.approx(3.0)
+
+    def test_collinear_vertices_tolerated(self):
+        poly = [(0, 0), (0.5, 0.0), (1, 0), (1, 1), (0, 1)]
+        tris = triangulate_polygon(poly)
+        assert total_area(tris) == pytest.approx(1.0)
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            triangulate_polygon([(0, 0), (1, 1)])
+
+    def test_star_shaped_polygon(self):
+        star = []
+        for i in range(10):
+            angle = math.pi * i / 5.0
+            radius = 1.0 if i % 2 == 0 else 0.4
+            star.append((radius * math.cos(angle), radius * math.sin(angle)))
+        tris = triangulate_polygon(star)
+        assert total_area(tris) == pytest.approx(polygon_area(star))
+
+
+class TestConvexDifference:
+    def test_disjoint_returns_original(self):
+        far = [(5, 5), (6, 5), (6, 6), (5, 6)]
+        pieces = convex_difference(UNIT_SQUARE, far)
+        assert total_area(pieces) == pytest.approx(1.0)
+
+    def test_fully_covered_returns_empty(self):
+        big = [(-1, -1), (2, -1), (2, 2), (-1, 2)]
+        assert convex_difference(UNIT_SQUARE, big) == []
+
+    def test_partial_overlap_area(self):
+        quarter = [(0.5, 0.5), (1.5, 0.5), (1.5, 1.5), (0.5, 1.5)]
+        pieces = convex_difference(UNIT_SQUARE, quarter)
+        assert total_area(pieces) == pytest.approx(0.75)
+        assert all(is_convex_polygon(p) for p in pieces)
+
+    def test_hole_in_middle(self):
+        hole = [(0.4, 0.4), (0.6, 0.4), (0.6, 0.6), (0.4, 0.6)]
+        pieces = convex_difference(UNIT_SQUARE, hole)
+        assert total_area(pieces) == pytest.approx(1.0 - 0.04)
+        # No piece overlaps the hole interior.
+        for piece in pieces:
+            assert not point_in_polygon((0.5, 0.5), piece, include_boundary=False)
+
+
+class TestDecomposeWithHoles:
+    def test_no_holes_matches_triangulation_area(self):
+        pieces = decompose_with_holes(L_SHAPE)
+        assert total_area(pieces) == pytest.approx(3.0)
+
+    def test_single_hole(self):
+        hole = [(0.25, 0.25), (0.75, 0.25), (0.75, 0.75), (0.25, 0.75)]
+        pieces = decompose_with_holes(UNIT_SQUARE, [hole])
+        assert total_area(pieces) == pytest.approx(0.75)
+        assert all(is_convex_polygon(p) for p in pieces)
+
+    def test_two_holes(self):
+        holes = [
+            [(0.1, 0.1), (0.3, 0.1), (0.3, 0.3), (0.1, 0.3)],
+            [(0.6, 0.6), (0.9, 0.6), (0.9, 0.9), (0.6, 0.9)],
+        ]
+        pieces = decompose_with_holes(UNIT_SQUARE, holes)
+        expected = 1.0 - 0.04 - 0.09
+        assert total_area(pieces) == pytest.approx(expected)
+
+    def test_hole_interior_not_covered(self):
+        hole = [(0.4, 0.4), (0.6, 0.4), (0.6, 0.6), (0.4, 0.6)]
+        pieces = decompose_with_holes(UNIT_SQUARE, [hole])
+        assert not any(
+            point_in_polygon((0.5, 0.5), piece, include_boundary=False) for piece in pieces
+        )
+
+    def test_triangulate_with_holes_produces_triangles(self):
+        hole = [(0.4, 0.4), (0.6, 0.4), (0.6, 0.6), (0.4, 0.6)]
+        tris = triangulate_with_holes(UNIT_SQUARE, [hole])
+        assert all(len(t) == 3 for t in tris)
+        assert total_area(tris) == pytest.approx(0.96)

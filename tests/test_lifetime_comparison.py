@@ -1,0 +1,37 @@
+"""Tests for the lifetime-comparison extension experiment."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS
+from repro.experiments.lifetime_comparison import run_lifetime_comparison
+
+
+class TestLifetimeComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_lifetime_comparison(
+            node_count=16, k=2, max_rounds=50, coverage_resolution=35, seed=5
+        )
+
+    def test_three_deployments_reported(self, result):
+        assert {row["deployment"] for row in result.rows} == {
+            "laacad",
+            "static-random",
+            "lattice",
+        }
+
+    def test_all_deployments_k_cover(self, result):
+        for row in result.rows:
+            assert row["coverage_fraction"] == pytest.approx(1.0)
+
+    def test_laacad_outlives_static_random(self, result):
+        rows = {row["deployment"]: row for row in result.rows}
+        assert rows["laacad"]["first_death_time"] > rows["static-random"]["first_death_time"]
+        assert rows["laacad"]["max_load"] < rows["static-random"]["max_load"]
+
+    def test_laacad_close_to_balanced(self, result):
+        rows = {row["deployment"]: row for row in result.rows}
+        assert rows["laacad"]["lifetime_ratio_to_balanced"] > 0.5
+
+    def test_registered_in_cli(self):
+        assert "lifetime_comparison" in EXPERIMENTS

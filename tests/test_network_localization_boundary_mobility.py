@@ -1,0 +1,155 @@
+"""Unit tests for localization (MDS), boundary detection and mobility."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network.boundary import (
+    angular_gap_boundary_nodes,
+    detect_boundary_nodes,
+    mark_boundary_nodes,
+)
+from repro.network.localization import build_local_coordinates, classical_mds, procrustes_align
+from repro.network.mobility import MobilityModel
+from repro.network.neighbors import pairwise_distances
+from repro.network.network import SensorNetwork
+from repro.regions.shapes import figure8_region_one, unit_square
+
+
+class TestClassicalMDS:
+    def test_recovers_pairwise_distances(self, rng):
+        pts = rng.uniform(0, 1, size=(12, 2))
+        original = pairwise_distances([tuple(p) for p in pts])
+        coords = classical_mds(original)
+        recovered = pairwise_distances([tuple(p) for p in coords])
+        assert np.allclose(recovered, original, atol=1e-8)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            classical_mds(np.zeros((3, 4)))
+
+    def test_empty_input(self):
+        assert classical_mds(np.zeros((0, 0))).shape == (0, 2)
+
+    def test_noisy_distances_still_close(self, rng):
+        pts = rng.uniform(0, 1, size=(15, 2))
+        dm = pairwise_distances([tuple(p) for p in pts])
+        noise = rng.normal(0, 0.005, size=dm.shape)
+        noise = (noise + noise.T) / 2
+        np.fill_diagonal(noise, 0.0)
+        coords = classical_mds(np.clip(dm + noise, 0, None))
+        recovered = pairwise_distances([tuple(p) for p in coords])
+        assert np.abs(recovered - dm).max() < 0.05
+
+
+class TestProcrustes:
+    def test_alignment_recovers_rotation(self, rng):
+        pts = rng.uniform(0, 1, size=(10, 2))
+        angle = 0.7
+        rotation = np.array([[math.cos(angle), -math.sin(angle)], [math.sin(angle), math.cos(angle)]])
+        rotated = pts @ rotation + np.array([2.0, -1.0])
+        aligned = procrustes_align(rotated, pts)
+        assert np.allclose(aligned, pts, atol=1e-8)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            procrustes_align(np.zeros((3, 2)), np.zeros((4, 2)))
+
+
+class TestBuildLocalCoordinates:
+    def test_noise_free_reconstruction_exact(self, rng):
+        pts = [tuple(p) for p in rng.uniform(0, 1, size=(10, 2))]
+        coords = build_local_coordinates(0, pts)
+        for original, estimate in zip(pts, coords):
+            assert math.hypot(original[0] - estimate[0], original[1] - estimate[1]) < 1e-6
+
+    def test_center_index_validation(self, rng):
+        pts = [tuple(p) for p in rng.uniform(0, 1, size=(5, 2))]
+        with pytest.raises(IndexError):
+            build_local_coordinates(10, pts)
+
+    def test_noisy_reconstruction_close(self, rng):
+        pts = [tuple(p) for p in rng.uniform(0, 1, size=(12, 2))]
+        coords = build_local_coordinates(0, pts, noise_std=0.002, rng=rng)
+        errors = [math.hypot(a[0] - b[0], a[1] - b[1]) for a, b in zip(pts, coords)]
+        assert max(errors) < 0.05
+
+
+class TestBoundaryDetection:
+    def test_geometric_detector_flags_edge_nodes(self, square):
+        positions = [(0.05, 0.5), (0.5, 0.5), (0.95, 0.5)]
+        net = SensorNetwork(square, positions, comm_range=0.3)
+        boundary = detect_boundary_nodes(net, threshold=0.1)
+        assert set(boundary) == {0, 2}
+
+    def test_default_threshold_uses_comm_range(self, square):
+        positions = [(0.05, 0.5), (0.5, 0.5)]
+        net = SensorNetwork(square, positions, comm_range=0.2)
+        assert detect_boundary_nodes(net) == [0]
+
+    def test_negative_threshold_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            detect_boundary_nodes(small_network, threshold=-0.1)
+
+    def test_detector_sees_obstacle_boundaries(self):
+        region = figure8_region_one()
+        positions = [(0.35, 0.5), (0.15, 0.15)]
+        net = SensorNetwork(region, positions, comm_range=0.2)
+        boundary = detect_boundary_nodes(net, threshold=0.08)
+        assert 0 in boundary  # near the hole edge at x = 0.40
+
+    def test_angular_gap_detector(self, square):
+        # A node surrounded on all sides is interior; a corner node is boundary.
+        positions = [
+            (0.5, 0.5),
+            (0.6, 0.5),
+            (0.4, 0.5),
+            (0.5, 0.6),
+            (0.5, 0.4),
+            (0.05, 0.05),
+        ]
+        net = SensorNetwork(square, positions, comm_range=0.15)
+        boundary = angular_gap_boundary_nodes(net, gap_threshold_deg=120.0)
+        assert 5 in boundary
+        assert 0 not in boundary
+
+    def test_angular_gap_validation(self, small_network):
+        with pytest.raises(ValueError):
+            angular_gap_boundary_nodes(small_network, gap_threshold_deg=0.0)
+
+    def test_mark_boundary_nodes(self, small_network):
+        mark_boundary_nodes(small_network, [0, 1])
+        assert small_network.node(0).is_boundary
+        assert small_network.node(1).is_boundary
+        assert not small_network.node(2).is_boundary
+
+
+class TestMobilityModel:
+    def test_unconstrained_move(self, square):
+        model = MobilityModel()
+        assert model.constrain(square, (0.1, 0.1), (0.4, 0.4)) == (0.4, 0.4)
+
+    def test_max_step_limits_displacement(self, square):
+        model = MobilityModel(max_step=0.1)
+        result = model.constrain(square, (0.1, 0.1), (0.9, 0.1))
+        assert math.hypot(result[0] - 0.1, result[1] - 0.1) == pytest.approx(0.1)
+
+    def test_invalid_max_step_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityModel(max_step=0.0)
+
+    def test_target_outside_region_projected(self, square):
+        model = MobilityModel()
+        result = model.constrain(square, (0.9, 0.5), (1.4, 0.5))
+        assert square.contains(result)
+
+    def test_target_in_obstacle_projected(self):
+        region = figure8_region_one()
+        model = MobilityModel()
+        result = model.constrain(region, (0.3, 0.5), (0.5, 0.5))
+        assert region.contains(result)
+
+    def test_keep_in_region_disabled(self, square):
+        model = MobilityModel(keep_in_region=False)
+        assert model.constrain(square, (0.9, 0.5), (1.4, 0.5)) == (1.4, 0.5)

@@ -1,0 +1,181 @@
+"""Unit tests for repro.network.network.SensorNetwork and spatial indexing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import distance
+from repro.network.neighbors import SpatialGrid, pairwise_distances
+from repro.network.network import SensorNetwork
+from repro.regions.shapes import figure8_region_one, unit_square
+
+
+class TestConstruction:
+    def test_requires_nodes(self, square):
+        with pytest.raises(ValueError):
+            SensorNetwork(square, [], comm_range=0.2)
+
+    def test_requires_positive_comm_range(self, square):
+        with pytest.raises(ValueError):
+            SensorNetwork(square, [(0.5, 0.5)], comm_range=0.0)
+
+    def test_size_and_positions(self, square):
+        net = SensorNetwork(square, [(0.1, 0.1), (0.9, 0.9)], comm_range=0.3)
+        assert net.size == len(net) == 2
+        assert net.positions() == [(0.1, 0.1), (0.9, 0.9)]
+        assert net.positions_array().shape == (2, 2)
+
+    def test_from_random_inside_region(self, square, rng):
+        net = SensorNetwork.from_random(square, 25, comm_range=0.2, rng=rng)
+        assert net.size == 25
+        assert all(square.contains(p) for p in net.positions())
+
+    def test_from_corner_cluster(self, square):
+        net = SensorNetwork.from_corner_cluster(
+            square, 30, cluster_fraction=0.2, rng=np.random.default_rng(1)
+        )
+        assert all(x <= 0.2 + 1e-9 and y <= 0.2 + 1e-9 for x, y in net.positions())
+
+    def test_corner_cluster_validation(self, square):
+        with pytest.raises(ValueError):
+            SensorNetwork.from_corner_cluster(square, 10, cluster_fraction=0.0)
+
+    def test_node_lookup_and_out_of_range(self, small_network):
+        assert small_network.node(0).node_id == 0
+        with pytest.raises(IndexError):
+            small_network.node(small_network.size)
+
+
+class TestMutation:
+    def test_move_node_returns_distance(self, square):
+        net = SensorNetwork(square, [(0.1, 0.1)], comm_range=0.2)
+        moved = net.move_node(0, (0.4, 0.5))
+        assert moved == pytest.approx(math.hypot(0.3, 0.4))
+        assert net.node(0).position == (0.4, 0.5)
+
+    def test_move_node_clamps_to_region(self, square):
+        net = SensorNetwork(square, [(0.9, 0.5)], comm_range=0.2)
+        net.move_node(0, (1.5, 0.5))
+        assert square.contains(net.node(0).position)
+
+    def test_move_node_respects_obstacles(self):
+        region = figure8_region_one()
+        net = SensorNetwork(region, [(0.2, 0.5)], comm_range=0.2)
+        net.move_node(0, (0.5, 0.5))  # hole center
+        assert region.contains(net.node(0).position)
+
+    def test_set_sensing_range(self, small_network):
+        small_network.set_sensing_range(0, 0.4)
+        assert small_network.node(0).sensing_range == 0.4
+        with pytest.raises(ValueError):
+            small_network.set_sensing_range(0, -0.1)
+
+    def test_kill_node(self, small_network):
+        small_network.kill_node(0)
+        assert not small_network.node(0).alive
+        assert len(small_network.alive_nodes()) == small_network.size - 1
+        assert len(small_network.positions(alive_only=True)) == small_network.size - 1
+
+
+class TestNeighbourhoods:
+    def test_one_hop_neighbors_within_range(self, square):
+        positions = [(0.1, 0.1), (0.2, 0.1), (0.9, 0.9)]
+        net = SensorNetwork(square, positions, comm_range=0.2)
+        assert net.one_hop_neighbors(0) == [1]
+        assert net.one_hop_neighbors(2) == []
+
+    def test_dead_nodes_excluded_from_neighbors(self, square):
+        net = SensorNetwork(square, [(0.1, 0.1), (0.2, 0.1)], comm_range=0.2)
+        net.kill_node(1)
+        assert net.one_hop_neighbors(0) == []
+
+    def test_nodes_within_radius(self, square):
+        positions = [(0.5, 0.5), (0.6, 0.5), (0.8, 0.5), (0.95, 0.5)]
+        net = SensorNetwork(square, positions, comm_range=0.15)
+        assert set(net.nodes_within(0, 0.35)) == {1, 2}
+
+    def test_hop_neighbors_bfs(self, square):
+        positions = [(0.1, 0.5), (0.25, 0.5), (0.4, 0.5), (0.55, 0.5)]
+        net = SensorNetwork(square, positions, comm_range=0.16)
+        assert set(net.hop_neighbors(0, 1)) == {1}
+        assert set(net.hop_neighbors(0, 2)) == {1, 2}
+        assert set(net.hop_neighbors(0, 3)) == {1, 2, 3}
+        with pytest.raises(ValueError):
+            net.hop_neighbors(0, -1)
+
+    def test_k_nearest(self, square):
+        positions = [(0.1, 0.1), (0.2, 0.1), (0.5, 0.5), (0.9, 0.9)]
+        net = SensorNetwork(square, positions, comm_range=0.2)
+        assert net.k_nearest((0.0, 0.0), 2) == [0, 1]
+        assert net.k_nearest((0.0, 0.0), 2, exclude=0) == [1, 2]
+        with pytest.raises(ValueError):
+            net.k_nearest((0.0, 0.0), 0)
+
+
+class TestGraphStructure:
+    def test_connectivity_graph_edges(self, square):
+        positions = [(0.1, 0.1), (0.2, 0.1), (0.9, 0.9)]
+        net = SensorNetwork(square, positions, comm_range=0.2)
+        graph = net.connectivity_graph()
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+
+    def test_is_connected(self, square):
+        net = SensorNetwork(square, [(0.1, 0.1), (0.2, 0.1), (0.9, 0.9)], comm_range=0.2)
+        assert not net.is_connected()
+        dense = SensorNetwork(square, [(0.1, 0.1), (0.2, 0.1), (0.3, 0.1)], comm_range=0.2)
+        assert dense.is_connected()
+
+    def test_min_degree(self, square):
+        net = SensorNetwork(square, [(0.1, 0.1), (0.2, 0.1), (0.3, 0.1)], comm_range=0.15)
+        assert net.min_degree() == 1
+
+    def test_distance_matrix(self, small_network):
+        dm = small_network.distance_matrix()
+        assert dm.shape == (small_network.size, small_network.size)
+        assert np.allclose(np.diag(dm), 0.0)
+        assert np.allclose(dm, dm.T)
+
+    def test_graph_cache_invalidated_on_move(self, square):
+        net = SensorNetwork(square, [(0.1, 0.1), (0.5, 0.5)], comm_range=0.2)
+        assert not net.connectivity_graph().has_edge(0, 1)
+        net.move_node(1, (0.2, 0.1))
+        assert net.connectivity_graph().has_edge(0, 1)
+
+
+class TestSpatialGrid:
+    def test_query_radius(self):
+        pts = [(0.0, 0.0), (0.1, 0.0), (1.0, 1.0)]
+        grid = SpatialGrid(pts, cell_size=0.25)
+        assert set(grid.query_radius((0.0, 0.0), 0.2)) == {0, 1}
+        assert set(grid.query_radius((0.0, 0.0), 2.0)) == {0, 1, 2}
+
+    def test_query_radius_validation(self):
+        grid = SpatialGrid([(0.0, 0.0)], cell_size=0.5)
+        with pytest.raises(ValueError):
+            grid.query_radius((0, 0), -1.0)
+        with pytest.raises(ValueError):
+            SpatialGrid([(0, 0)], cell_size=0.0)
+
+    def test_k_nearest_matches_bruteforce(self, rng):
+        pts = [tuple(p) for p in rng.uniform(0, 1, size=(40, 2))]
+        grid = SpatialGrid(pts, cell_size=0.2)
+        query = (0.4, 0.6)
+        result = grid.k_nearest(query, 5)
+        brute = sorted(range(len(pts)), key=lambda i: distance(pts[i], query))[:5]
+        assert sorted(distance(pts[i], query) for i in result) == pytest.approx(
+            sorted(distance(pts[i], query) for i in brute)
+        )
+
+    def test_k_nearest_validation(self):
+        grid = SpatialGrid([(0, 0), (1, 1)], cell_size=0.5)
+        with pytest.raises(ValueError):
+            grid.k_nearest((0, 0), 0)
+
+    def test_pairwise_distances(self):
+        pts = [(0.0, 0.0), (3.0, 4.0)]
+        dm = pairwise_distances(pts)
+        assert dm[0, 1] == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            pairwise_distances([(0.0, 0.0, 0.0)])

@@ -1,0 +1,102 @@
+"""Unit tests for repro.network.node and repro.network.energy."""
+
+import math
+
+import pytest
+
+from repro.network.energy import EnergyModel
+from repro.network.node import Node
+
+
+class TestNode:
+    def test_defaults(self):
+        node = Node(node_id=0, position=(0.5, 0.5))
+        assert node.alive and not node.is_boundary
+        assert node.distance_traveled == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Node(node_id=-1, position=(0, 0))
+        with pytest.raises(ValueError):
+            Node(node_id=0, position=(0, 0), sensing_range=-1.0)
+        with pytest.raises(ValueError):
+            Node(node_id=0, position=(0, 0), comm_range=0.0)
+
+    def test_position_coerced_to_float_tuple(self):
+        node = Node(node_id=1, position=(1, 2))
+        assert node.position == (1.0, 2.0)
+
+    def test_move_to_accumulates_distance(self):
+        node = Node(node_id=0, position=(0.0, 0.0))
+        moved = node.move_to((3.0, 4.0))
+        assert moved == pytest.approx(5.0)
+        node.move_to((3.0, 5.0))
+        assert node.distance_traveled == pytest.approx(6.0)
+
+    def test_covers(self):
+        node = Node(node_id=0, position=(0.0, 0.0), sensing_range=1.0)
+        assert node.covers((0.5, 0.5))
+        assert node.covers((1.0, 0.0))
+        assert not node.covers((1.2, 0.0))
+
+    def test_sensing_energy(self):
+        node = Node(node_id=0, position=(0.0, 0.0), sensing_range=2.0)
+        assert node.sensing_energy() == pytest.approx(4.0 * math.pi)
+
+    def test_copy_is_independent(self):
+        node = Node(node_id=0, position=(0.0, 0.0))
+        clone = node.copy()
+        clone.move_to((1.0, 0.0))
+        assert node.position == (0.0, 0.0)
+
+    def test_distance_to(self):
+        node = Node(node_id=0, position=(1.0, 1.0))
+        assert node.distance_to((4.0, 5.0)) == pytest.approx(5.0)
+
+
+class TestEnergyModel:
+    def test_paper_sensing_model(self):
+        model = EnergyModel()
+        assert model.sensing_energy(1.0) == pytest.approx(math.pi)
+        assert model.sensing_energy(0.0) == 0.0
+
+    def test_sensing_energy_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().sensing_energy(-0.1)
+
+    def test_custom_exponent(self):
+        model = EnergyModel(sensing_exponent=3.0, sensing_prefactor=1.0)
+        assert model.sensing_energy(2.0) == pytest.approx(8.0)
+
+    def test_movement_energy(self):
+        model = EnergyModel(movement_cost_per_unit=2.0)
+        assert model.movement_energy(3.0) == pytest.approx(6.0)
+        with pytest.raises(ValueError):
+            model.movement_energy(-1.0)
+
+    def test_communication_energy(self):
+        model = EnergyModel(message_cost_per_hop=0.5)
+        assert model.communication_energy(4) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            model.communication_energy(-1)
+
+    def test_aggregates(self):
+        model = EnergyModel()
+        ranges = [1.0, 2.0, 0.5]
+        loads = model.sensing_loads(ranges)
+        assert len(loads) == 3
+        assert model.max_load(ranges) == pytest.approx(4.0 * math.pi)
+        assert model.total_load(ranges) == pytest.approx(math.pi * (1 + 4 + 0.25))
+
+    def test_aggregates_empty(self):
+        model = EnergyModel()
+        assert model.max_load([]) == 0.0
+        assert model.total_load([]) == 0.0
+        assert model.load_imbalance([]) == 1.0
+
+    def test_load_imbalance(self):
+        model = EnergyModel()
+        assert model.load_imbalance([1.0, 1.0]) == pytest.approx(1.0)
+        assert model.load_imbalance([1.0, 2.0]) == pytest.approx(4.0)
+        assert model.load_imbalance([0.0, 1.0]) == math.inf
+        assert model.load_imbalance([0.0, 0.0]) == 1.0

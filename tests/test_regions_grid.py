@@ -1,0 +1,44 @@
+"""Unit tests for repro.regions.grid.GridSampler."""
+
+import numpy as np
+import pytest
+
+from repro.regions.grid import GridSampler
+from repro.regions.shapes import figure8_region_one, unit_square
+
+
+class TestGridSampler:
+    def test_point_count_square(self):
+        sampler = GridSampler(unit_square(), resolution=10)
+        assert len(sampler) == 100
+
+    def test_points_are_inside(self):
+        region = figure8_region_one()
+        sampler = GridSampler(region, resolution=25)
+        for x, y in sampler.as_list():
+            assert region.contains((x, y))
+
+    def test_hole_points_excluded(self):
+        region = figure8_region_one()
+        sampler = GridSampler(region, resolution=41)
+        pts = sampler.points
+        in_hole = (
+            (pts[:, 0] > 0.41) & (pts[:, 0] < 0.59) & (pts[:, 1] > 0.41) & (pts[:, 1] < 0.59)
+        )
+        assert not np.any(in_hole)
+
+    def test_cell_size(self):
+        sampler = GridSampler(unit_square(), resolution=11)
+        assert sampler.cell_size == pytest.approx(0.1)
+
+    def test_points_cached(self):
+        sampler = GridSampler(unit_square(), resolution=5)
+        assert sampler.points is sampler.points
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            GridSampler(unit_square(), resolution=1)
+
+    def test_as_list_matches_points(self):
+        sampler = GridSampler(unit_square(), resolution=6)
+        assert len(sampler.as_list()) == sampler.points.shape[0]

@@ -1,0 +1,138 @@
+"""Unit tests for repro.regions.region.Region."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import polygon_area
+from repro.regions.region import Region
+from repro.regions.shapes import square_region, unit_square
+
+
+class TestConstruction:
+    def test_too_few_outer_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            Region([(0, 0), (1, 0)])
+
+    def test_too_few_hole_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            Region([(0, 0), (1, 0), (1, 1), (0, 1)], holes=[[(0.4, 0.4), (0.6, 0.4)]])
+
+    def test_outer_stored_ccw(self):
+        clockwise = [(0, 0), (0, 1), (1, 1), (1, 0)]
+        region = Region(clockwise)
+        from repro.geometry.polygon import signed_area
+
+        assert signed_area(region.outer) > 0
+
+    def test_repr_contains_name(self):
+        assert "unit" in repr(unit_square("unit")).lower()
+
+
+class TestMeasures:
+    def test_unit_square_area(self):
+        assert unit_square().area == pytest.approx(1.0)
+
+    def test_area_subtracts_holes(self, holed_region):
+        assert holed_region.area == pytest.approx(1.0 - 0.04)
+
+    def test_bbox(self):
+        region = square_region(2.0, origin=(1.0, 1.0))
+        assert region.bbox == (1.0, 1.0, 3.0, 3.0)
+
+    def test_diameter(self):
+        assert unit_square().diameter == pytest.approx(math.sqrt(2.0))
+
+
+class TestContainment:
+    def test_interior_point(self, square):
+        assert square.contains((0.5, 0.5))
+
+    def test_exterior_point(self, square):
+        assert not square.contains((1.5, 0.5))
+
+    def test_hole_interior_excluded(self, holed_region):
+        assert not holed_region.contains((0.5, 0.5))
+
+    def test_point_outside_hole_included(self, holed_region):
+        assert holed_region.contains((0.1, 0.1))
+
+    def test_boundary_point(self, square):
+        assert square.contains((0.0, 0.5))
+        assert not square.contains((0.0, 0.5), include_boundary=False)
+
+
+class TestDistancesAndProjection:
+    def test_distance_to_boundary_center(self, square):
+        assert square.distance_to_boundary((0.5, 0.5)) == pytest.approx(0.5)
+
+    def test_distance_to_boundary_considers_holes(self, holed_region):
+        # point near the hole edge (hole spans 0.40..0.60)
+        assert holed_region.distance_to_boundary((0.35, 0.5)) == pytest.approx(0.05, abs=1e-9)
+
+    def test_nearest_free_point_identity_for_free_points(self, square):
+        assert square.nearest_free_point((0.3, 0.3)) == (0.3, 0.3)
+
+    def test_nearest_free_point_outside_region(self, square):
+        projected = square.nearest_free_point((1.5, 0.5))
+        assert square.contains(projected)
+        assert projected[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_nearest_free_point_inside_hole(self, holed_region):
+        projected = holed_region.nearest_free_point((0.5, 0.5))
+        assert holed_region.contains(projected)
+        # The projection lands on the hole boundary (0.1 away from center).
+        assert math.hypot(projected[0] - 0.5, projected[1] - 0.5) == pytest.approx(0.1, abs=0.02)
+
+
+class TestDecompositionAndClipping:
+    def test_convex_pieces_tile_free_area(self, complex_region):
+        pieces = complex_region.convex_pieces()
+        assert sum(polygon_area(p) for p in pieces) == pytest.approx(complex_region.area)
+
+    def test_convex_pieces_cached(self, square):
+        assert square.convex_pieces() is square.convex_pieces()
+
+    def test_clip_convex_inside(self, square):
+        window = [(0.2, 0.2), (0.4, 0.2), (0.4, 0.4), (0.2, 0.4)]
+        pieces = square.clip_convex(window)
+        assert sum(polygon_area(p) for p in pieces) == pytest.approx(0.04)
+
+    def test_clip_convex_respects_holes(self, holed_region):
+        window = [(0.3, 0.3), (0.7, 0.3), (0.7, 0.7), (0.3, 0.7)]
+        pieces = holed_region.clip_convex(window)
+        assert sum(polygon_area(p) for p in pieces) == pytest.approx(0.16 - 0.04)
+
+    def test_clip_convex_outside_is_empty(self, square):
+        window = [(2.0, 2.0), (3.0, 2.0), (3.0, 3.0), (2.0, 3.0)]
+        assert square.clip_convex(window) == []
+
+
+class TestSampling:
+    def test_grid_points_inside(self, holed_region):
+        pts = holed_region.grid_points(21)
+        assert pts
+        assert all(holed_region.contains(p) for p in pts)
+        assert all(not (0.42 < x < 0.58 and 0.42 < y < 0.58) for x, y in pts)
+
+    def test_grid_resolution_validation(self, square):
+        with pytest.raises(ValueError):
+            square.grid_points(1)
+
+    def test_random_points_inside(self, complex_region, rng):
+        pts = complex_region.random_points(50, rng=rng)
+        assert len(pts) == 50
+        assert all(complex_region.contains(p) for p in pts)
+
+    def test_random_points_negative_count_rejected(self, square):
+        with pytest.raises(ValueError):
+            square.random_points(-1)
+
+    def test_random_points_deterministic_with_seed(self, square):
+        a = square.random_points(5, rng=np.random.default_rng(9))
+        b = square.random_points(5, rng=np.random.default_rng(9))
+        assert a == b
+
+    def test_vertices_include_holes(self, holed_region):
+        assert len(holed_region.vertices()) == 4 + 4

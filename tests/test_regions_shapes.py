@@ -1,0 +1,113 @@
+"""Unit tests for repro.regions.shapes and obstacle helpers."""
+
+import pytest
+
+from repro.regions.obstacles import (
+    rectangular_obstacle,
+    regular_polygon_obstacle,
+    total_obstacle_area,
+    validate_obstacles,
+)
+from repro.regions.region import Region
+from repro.regions.shapes import (
+    cross_region,
+    figure8_region_one,
+    figure8_region_two,
+    l_shaped_region,
+    rectangle_region,
+    square_region,
+    square_with_obstacles,
+    unit_square,
+)
+
+
+class TestBasicShapes:
+    def test_unit_square(self):
+        region = unit_square()
+        assert region.area == pytest.approx(1.0)
+        assert region.bbox == (0.0, 0.0, 1.0, 1.0)
+
+    def test_rectangle(self):
+        region = rectangle_region(2.0, 3.0, origin=(1.0, 1.0))
+        assert region.area == pytest.approx(6.0)
+        assert region.bbox == (1.0, 1.0, 3.0, 4.0)
+
+    def test_rectangle_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            rectangle_region(0.0, 1.0)
+
+    def test_square(self):
+        assert square_region(2.5).area == pytest.approx(6.25)
+
+    def test_l_shape_area(self):
+        region = l_shaped_region(size=1.0, notch_fraction=0.5)
+        assert region.area == pytest.approx(0.75)
+
+    def test_l_shape_invalid_notch(self):
+        with pytest.raises(ValueError):
+            l_shaped_region(notch_fraction=1.5)
+
+    def test_l_shape_notch_excluded(self):
+        region = l_shaped_region(size=1.0, notch_fraction=0.5)
+        assert not region.contains((0.9, 0.9))
+        assert region.contains((0.25, 0.25))
+
+    def test_cross_area(self):
+        region = cross_region(size=1.0, arm_fraction=0.4)
+        # cross = 2 arms of 1.0 x 0.4 minus the overlapping 0.4 x 0.4 center
+        assert region.area == pytest.approx(2 * 0.4 - 0.16)
+
+    def test_cross_invalid_arm(self):
+        with pytest.raises(ValueError):
+            cross_region(arm_fraction=0.0)
+
+    def test_cross_corners_excluded(self):
+        region = cross_region()
+        assert not region.contains((0.05, 0.05))
+        assert region.contains((0.5, 0.05))
+
+
+class TestObstacleShapes:
+    def test_square_with_obstacles(self):
+        hole = rectangular_obstacle(0.2, 0.2, 0.4, 0.4)
+        region = square_with_obstacles(1.0, obstacles=[hole])
+        assert region.area == pytest.approx(1.0 - 0.04)
+
+    def test_figure8_region_one(self):
+        region = figure8_region_one()
+        assert len(region.holes) == 1
+        assert not region.contains((0.5, 0.5))
+
+    def test_figure8_region_two(self):
+        region = figure8_region_two()
+        assert len(region.holes) == 2
+        assert region.area < 1.0
+
+    def test_rectangular_obstacle_validation(self):
+        with pytest.raises(ValueError):
+            rectangular_obstacle(0.5, 0.5, 0.4, 0.6)
+
+    def test_regular_polygon_obstacle(self):
+        hexagon = regular_polygon_obstacle((0.5, 0.5), 0.1, sides=6)
+        assert len(hexagon) == 6
+
+    def test_regular_polygon_obstacle_validation(self):
+        with pytest.raises(ValueError):
+            regular_polygon_obstacle((0, 0), 0.1, sides=2)
+        with pytest.raises(ValueError):
+            regular_polygon_obstacle((0, 0), -0.1)
+
+    def test_validate_obstacles_accepts_valid(self):
+        validate_obstacles(figure8_region_one())
+
+    def test_validate_obstacles_rejects_outside(self):
+        bad = Region(
+            [(0, 0), (1, 0), (1, 1), (0, 1)],
+            holes=[[(0.9, 0.9), (1.5, 0.9), (1.5, 1.5), (0.9, 1.5)]],
+        )
+        with pytest.raises(ValueError):
+            validate_obstacles(bad)
+
+    def test_total_obstacle_area(self):
+        region = figure8_region_one()
+        assert total_obstacle_area(region) == pytest.approx(0.04)

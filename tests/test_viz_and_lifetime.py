@@ -1,0 +1,143 @@
+"""Unit tests for the SVG/ASCII visualisation helpers and lifetime analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.lifetime import lifetime_report
+from repro.geometry.bisector import perpendicular_bisector_halfplane
+from repro.regions.shapes import figure8_region_one, unit_square
+from repro.viz.ascii_art import ascii_deployment
+from repro.viz.svg import PALETTE, SvgCanvas, render_deployment_svg, render_partition_svg
+
+
+class TestSvgCanvas:
+    def test_degenerate_bbox_rejected(self):
+        with pytest.raises(ValueError):
+            SvgCanvas((0.0, 0.0, 0.0, 1.0))
+        with pytest.raises(ValueError):
+            SvgCanvas((0.0, 0.0, 1.0, 1.0), width=10, margin=10)
+
+    def test_world_to_pixel_corners(self):
+        canvas = SvgCanvas((0.0, 0.0, 1.0, 1.0), width=116, margin=8)
+        assert canvas.to_pixel((0.0, 1.0)) == pytest.approx((8.0, 8.0))
+        assert canvas.to_pixel((1.0, 0.0)) == pytest.approx((108.0, 108.0))
+
+    def test_scale_length(self):
+        canvas = SvgCanvas((0.0, 0.0, 2.0, 2.0), width=216, margin=8)
+        assert canvas.scale_length(1.0) == pytest.approx(100.0)
+
+    def test_elements_serialised(self):
+        canvas = SvgCanvas((0.0, 0.0, 1.0, 1.0), width=100, margin=5)
+        canvas.add_polygon([(0, 0), (1, 0), (1, 1)], fill="#ff0000")
+        canvas.add_circle((0.5, 0.5), 0.1)
+        canvas.add_point((0.2, 0.2))
+        canvas.add_text((0.1, 0.9), "k=2 & more")
+        svg = canvas.to_svg()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "<polygon" in svg and "<circle" in svg and "<text" in svg
+        assert "&amp;" in svg  # text is escaped
+
+    def test_degenerate_polygon_skipped(self):
+        canvas = SvgCanvas((0.0, 0.0, 1.0, 1.0))
+        canvas.add_polygon([(0, 0), (1, 1)])
+        assert "<polygon" not in canvas.to_svg()
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas((0.0, 0.0, 1.0, 1.0))
+        out = canvas.save(tmp_path / "figs" / "canvas.svg")
+        assert out.exists()
+        assert out.read_text().startswith("<svg")
+
+
+class TestRenderers:
+    def test_deployment_svg_contains_nodes_and_disks(self, tmp_path):
+        region = figure8_region_one()
+        positions = [(0.2, 0.2), (0.8, 0.8)]
+        svg = render_deployment_svg(
+            region, positions, sensing_ranges=[0.3, 0.25],
+            path=tmp_path / "deploy.svg", title="k=2 deployment",
+        )
+        assert svg.count("<circle") >= 4  # 2 disks + 2 node markers
+        assert "k=2 deployment" in svg
+        assert (tmp_path / "deploy.svg").exists()
+
+    def test_deployment_svg_validates_lengths(self, square):
+        with pytest.raises(ValueError):
+            render_deployment_svg(square, [(0.5, 0.5)], sensing_ranges=[0.1, 0.2])
+
+    def test_partition_svg(self, square):
+        cells = [
+            [[(0.0, 0.0), (0.5, 0.0), (0.5, 1.0), (0.0, 1.0)]],
+            [[(0.5, 0.0), (1.0, 0.0), (1.0, 1.0), (0.5, 1.0)]],
+        ]
+        svg = render_partition_svg(square, cells, sites=[(0.25, 0.5), (0.75, 0.5)])
+        assert svg.count("<polygon") >= 3  # region outline + 2 cells
+        assert PALETTE[0] in svg and PALETTE[1] in svg
+
+
+class TestAsciiDeployment:
+    def test_dimensions_and_markers(self, square):
+        art = ascii_deployment(square, [(0.5, 0.5)], width=20)
+        lines = art.splitlines()
+        assert lines[0].startswith("+") and lines[-1].startswith("+")
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "o" in art
+
+    def test_stacked_nodes_marked(self, square):
+        art = ascii_deployment(square, [(0.5, 0.5), (0.5, 0.5)], width=20)
+        assert "O" in art
+
+    def test_obstacles_marked(self):
+        region = figure8_region_one()
+        art = ascii_deployment(region, [], width=40)
+        assert "#" in art
+
+    def test_width_validation(self, square):
+        with pytest.raises(ValueError):
+            ascii_deployment(square, [], width=2)
+
+
+class TestLifetime:
+    def test_balanced_deployment_ratio_one(self):
+        report = lifetime_report([0.2, 0.2, 0.2], battery_capacity=1.0)
+        assert report.lifetime_ratio_to_balanced == pytest.approx(1.0)
+        assert report.first_death == pytest.approx(1.0 / (math.pi * 0.04))
+
+    def test_unbalanced_deployment_penalised(self):
+        balanced = lifetime_report([0.2, 0.2], battery_capacity=1.0)
+        unbalanced = lifetime_report([0.1, math.sqrt(2 * 0.04 - 0.01)], battery_capacity=1.0)
+        # Same total load but unbalanced -> earlier first death.
+        assert unbalanced.first_death < balanced.first_death
+        assert unbalanced.lifetime_ratio_to_balanced < 1.0
+
+    def test_zero_load_nodes(self):
+        report = lifetime_report([0.0, 0.0])
+        assert report.first_death == math.inf
+        report2 = lifetime_report([0.0, 0.2])
+        assert math.isfinite(report2.first_death)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lifetime_report([0.1], battery_capacity=0.0)
+
+    def test_laacad_deployment_nearly_balanced(self, square):
+        from repro.core.config import LaacadConfig
+        from repro.core.laacad import run_laacad
+
+        positions = square.random_points(14, rng=np.random.default_rng(3))
+        result = run_laacad(square, positions, LaacadConfig(k=2, epsilon=2e-3, max_rounds=60))
+        report = lifetime_report(result.sensing_ranges)
+        assert report.lifetime_ratio_to_balanced > 0.6
+
+
+class TestBisectorHelper:
+    def test_none_for_coincident_sites(self):
+        assert perpendicular_bisector_halfplane((0.5, 0.5), (0.5, 0.5)) is None
+
+    def test_halfplane_orientation(self):
+        hp = perpendicular_bisector_halfplane((0.0, 0.0), (1.0, 0.0))
+        assert hp is not None
+        assert hp.contains((0.2, 0.7))
+        assert not hp.contains((0.9, 0.7))

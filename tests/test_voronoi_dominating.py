@@ -1,0 +1,183 @@
+"""Unit tests for the k-order dominating-region engine (the heart of LAACAD)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import distance
+from repro.regions.shapes import figure8_region_one, unit_square
+from repro.voronoi.dominating import (
+    DominatingRegion,
+    compute_dominating_region,
+    dominating_pieces,
+)
+from repro.voronoi.ordinary import voronoi_cell
+from repro.voronoi.raster import RasterOracle
+
+
+class TestDominatingPiecesBasics:
+    def test_no_competitors_whole_area(self, square):
+        pieces = dominating_pieces((0.5, 0.5), [], square.convex_pieces(), k=1)
+        assert sum(_area(p) for p in pieces) == pytest.approx(1.0)
+
+    def test_single_competitor_k1_splits_area(self, square):
+        pieces = dominating_pieces((0.25, 0.5), [(0.75, 0.5)], square.convex_pieces(), k=1)
+        assert sum(_area(p) for p in pieces) == pytest.approx(0.5)
+
+    def test_single_competitor_k2_keeps_whole_area(self, square):
+        pieces = dominating_pieces((0.25, 0.5), [(0.75, 0.5)], square.convex_pieces(), k=2)
+        assert sum(_area(p) for p in pieces) == pytest.approx(1.0)
+
+    def test_invalid_k_rejected(self, square):
+        with pytest.raises(ValueError):
+            dominating_pieces((0.5, 0.5), [], square.convex_pieces(), k=0)
+
+    def test_colocated_competitor_has_no_effect(self, square):
+        site = (0.3, 0.3)
+        with_dup = dominating_pieces(site, [site, (0.8, 0.8)], square.convex_pieces(), k=1)
+        without = dominating_pieces(site, [(0.8, 0.8)], square.convex_pieces(), k=1)
+        assert sum(_area(p) for p in with_dup) == pytest.approx(
+            sum(_area(p) for p in without)
+        )
+
+    def test_k_equal_to_node_count_covers_area(self, square, random_sites):
+        site = random_sites[0]
+        others = random_sites[1:]
+        pieces = dominating_pieces(site, others, square.convex_pieces(), k=len(random_sites))
+        assert sum(_area(p) for p in pieces) == pytest.approx(1.0)
+
+
+class TestAgainstOrdinaryVoronoi:
+    def test_k1_equals_ordinary_voronoi_cell(self, square, random_sites):
+        for i in (0, 5, 11):
+            site = random_sites[i]
+            others = [s for j, s in enumerate(random_sites) if j != i]
+            dom = compute_dominating_region(site, others, square, k=1)
+            cell = voronoi_cell(site, others, square)
+            assert dom.area == pytest.approx(sum(_area(p) for p in cell), rel=1e-6)
+
+    def test_k1_cell_contains_site(self, square, random_sites):
+        site = random_sites[3]
+        others = [s for j, s in enumerate(random_sites) if j != 3]
+        dom = compute_dominating_region(site, others, square, k=1)
+        assert dom.contains(site)
+
+
+class TestAgainstRasterOracle:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_membership_agrees_with_oracle(self, square, k):
+        rng = np.random.default_rng(100 + k)
+        sites = square.random_points(15, rng=rng)
+        oracle = RasterOracle(sites, square, resolution=35)
+        for i in (0, 7, 14):
+            dom = compute_dominating_region(
+                sites[i], [s for j, s in enumerate(sites) if j != i], square, k
+            )
+            mask = oracle.dominating_mask(i, k)
+            mismatches = 0
+            for sample, inside in zip(oracle.samples, mask):
+                if dom.contains(tuple(sample), eps=1e-7) != bool(inside):
+                    # Allow disagreement only very near a bisector boundary.
+                    own = distance(tuple(sample), sites[i])
+                    margin = min(
+                        abs(distance(tuple(sample), s) - own)
+                        for j, s in enumerate(sites)
+                        if j != i
+                    )
+                    if margin > 1e-6:
+                        mismatches += 1
+            assert mismatches == 0
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_total_dominating_area_is_k_times_region(self, square, k):
+        rng = np.random.default_rng(200 + k)
+        sites = square.random_points(12, rng=rng)
+        total = 0.0
+        for i, site in enumerate(sites):
+            others = [s for j, s in enumerate(sites) if j != i]
+            total += compute_dominating_region(site, others, square, k).area
+        assert total == pytest.approx(k * square.area, rel=1e-4)
+
+
+class TestPrefilter:
+    def test_prefilter_matches_exhaustive(self, square):
+        rng = np.random.default_rng(5)
+        sites = square.random_points(30, rng=rng)
+        for i in (0, 10, 20):
+            others = [s for j, s in enumerate(sites) if j != i]
+            fast = compute_dominating_region(sites[i], others, square, 2, prefilter=True)
+            slow = compute_dominating_region(sites[i], others, square, 2, prefilter=False)
+            assert fast.area == pytest.approx(slow.area, rel=1e-9)
+            assert fast.circumradius() == pytest.approx(slow.circumradius(), rel=1e-9)
+
+    def test_prefilter_uses_fewer_competitors(self, square):
+        rng = np.random.default_rng(6)
+        sites = square.random_points(60, rng=rng)
+        others = [s for j, s in enumerate(sites) if j != 0]
+        dom = compute_dominating_region(sites[0], others, square, 1, prefilter=True)
+        assert dom.competitors_used < len(others)
+
+    def test_initial_radius_respected(self, square):
+        rng = np.random.default_rng(7)
+        sites = square.random_points(25, rng=rng)
+        others = [s for j, s in enumerate(sites) if j != 0]
+        dom = compute_dominating_region(
+            sites[0], others, square, 1, initial_radius=5.0
+        )
+        assert dom.search_radius >= 5.0
+
+
+class TestRegionWithHoles:
+    def test_dominating_region_avoids_hole(self):
+        region = figure8_region_one()
+        sites = [(0.2, 0.2), (0.8, 0.2), (0.8, 0.8), (0.2, 0.8)]
+        dom = compute_dominating_region(sites[0], sites[1:], region, k=1)
+        # The hole center is not dominated (it is not even in the region).
+        assert not dom.contains((0.5, 0.5), eps=1e-9)
+        assert dom.area < region.area
+
+    def test_total_area_with_holes(self):
+        region = figure8_region_one()
+        rng = np.random.default_rng(9)
+        sites = region.random_points(8, rng=rng)
+        total = sum(
+            compute_dominating_region(
+                s, [t for j, t in enumerate(sites) if j != i], region, 2
+            ).area
+            for i, s in enumerate(sites)
+        )
+        assert total == pytest.approx(2 * region.area, rel=1e-4)
+
+
+class TestDominatingRegionObject:
+    def test_empty_region_properties(self):
+        dom = DominatingRegion(site=(0.5, 0.5), k=1, pieces=[])
+        assert dom.is_empty
+        assert dom.area == 0.0
+        assert dom.circumradius() == 0.0
+        center, radius = dom.chebyshev_center()
+        assert center == (0.5, 0.5)
+        assert radius == 0.0
+
+    def test_circumradius_from_other_point(self, square):
+        dom = compute_dominating_region((0.5, 0.5), [], square, 1)
+        # From the corner the farthest area point is the opposite corner.
+        assert dom.circumradius((0.0, 0.0)) == pytest.approx(math.sqrt(2.0))
+
+    def test_chebyshev_radius_not_larger_than_site_radius(self, square, random_sites):
+        site = random_sites[0]
+        others = random_sites[1:]
+        dom = compute_dominating_region(site, others, square, 2)
+        _, cheb_radius = dom.chebyshev_center()
+        assert cheb_radius <= dom.circumradius(site) + 1e-9
+
+    def test_max_distance_alias(self, square, random_sites):
+        dom = compute_dominating_region(random_sites[0], random_sites[1:], square, 1)
+        assert dom.max_distance_from_site() == pytest.approx(dom.circumradius())
+
+
+def _area(polygon):
+    from repro.geometry.polygon import polygon_area
+
+    return polygon_area(polygon)

@@ -1,0 +1,151 @@
+"""Unit tests for the full k-order diagram, ordinary Voronoi cells and raster oracle."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import polygon_area
+from repro.regions.shapes import unit_square
+from repro.voronoi.korder import KOrderVoronoiDiagram
+from repro.voronoi.ordinary import voronoi_cell, voronoi_partition
+from repro.voronoi.raster import RasterOracle
+
+
+@pytest.fixture(scope="module")
+def sites():
+    region = unit_square()
+    rng = np.random.default_rng(77)
+    return region.random_points(16, rng=rng)
+
+
+class TestOrdinaryVoronoi:
+    def test_cells_tile_region(self, sites):
+        region = unit_square()
+        cells = voronoi_partition(sites, region)
+        total = sum(polygon_area(p) for pieces in cells for p in pieces)
+        assert total == pytest.approx(region.area, rel=1e-6)
+
+    def test_cell_contains_its_site(self, sites):
+        region = unit_square()
+        from repro.geometry.polygon import point_in_polygon
+
+        others = sites[1:]
+        pieces = voronoi_cell(sites[0], others, region)
+        assert any(point_in_polygon(sites[0], p) for p in pieces)
+
+    def test_single_site_gets_whole_region(self):
+        region = unit_square()
+        pieces = voronoi_cell((0.3, 0.3), [], region)
+        assert sum(polygon_area(p) for p in pieces) == pytest.approx(1.0)
+
+
+class TestKOrderDiagram:
+    def test_invalid_parameters(self, sites):
+        region = unit_square()
+        with pytest.raises(ValueError):
+            KOrderVoronoiDiagram(sites, region, 0)
+        with pytest.raises(ValueError):
+            KOrderVoronoiDiagram(sites[:2], region, 3)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_cells_tile_region(self, sites, k):
+        region = unit_square()
+        diagram = KOrderVoronoiDiagram(sites, region, k, seed_resolution=60)
+        assert diagram.total_cell_area() == pytest.approx(region.area, rel=0.02)
+
+    def test_k1_cell_count_equals_site_count(self, sites):
+        region = unit_square()
+        diagram = KOrderVoronoiDiagram(sites, region, 1, seed_resolution=60)
+        assert diagram.num_cells() == len(sites)
+
+    def test_generator_sets_have_size_k(self, sites):
+        region = unit_square()
+        diagram = KOrderVoronoiDiagram(sites, region, 2, seed_resolution=40)
+        assert all(len(gen) == 2 for gen in diagram.cells())
+
+    def test_cell_count_bound_holds(self, sites):
+        region = unit_square()
+        for k in (1, 2, 3):
+            diagram = KOrderVoronoiDiagram(sites, region, k, seed_resolution=50)
+            assert diagram.num_cells() <= diagram.cell_count_bound() + len(sites)
+
+    def test_dominating_region_matches_cell_union(self, sites):
+        region = unit_square()
+        diagram = KOrderVoronoiDiagram(sites, region, 2, seed_resolution=60)
+        for i in (0, 5):
+            from_cells = sum(polygon_area(p) for p in diagram.dominating_region_from_cells(i))
+            exact = diagram.dominating_region(i).area
+            assert from_cells == pytest.approx(exact, rel=0.03)
+
+    def test_site_index_validation(self, sites):
+        region = unit_square()
+        diagram = KOrderVoronoiDiagram(sites, region, 2, seed_resolution=30)
+        with pytest.raises(IndexError):
+            diagram.dominating_region(len(sites))
+        with pytest.raises(IndexError):
+            diagram.dominating_region_from_cells(-1)
+
+
+class TestRasterOracle:
+    def test_requires_sites(self):
+        with pytest.raises(ValueError):
+            RasterOracle([], unit_square())
+
+    def test_closer_counts_zero_for_single_site(self):
+        oracle = RasterOracle([(0.5, 0.5)], unit_square(), resolution=10)
+        assert np.all(oracle.closer_counts(0) == 0)
+
+    def test_dominating_mask_k1_partition(self, sites):
+        oracle = RasterOracle(sites, unit_square(), resolution=30)
+        masks = np.stack([oracle.dominating_mask(i, 1) for i in range(len(sites))])
+        # For k = 1 every sample belongs to exactly one dominating region
+        # (ties are measure-zero on a generic grid).
+        assert np.all(masks.sum(axis=0) == 1)
+
+    def test_dominating_mask_k_partition_multiplicity(self, sites):
+        oracle = RasterOracle(sites, unit_square(), resolution=30)
+        k = 3
+        masks = np.stack([oracle.dominating_mask(i, k) for i in range(len(sites))])
+        assert np.all(masks.sum(axis=0) == k)
+
+    def test_kth_nearest_distance_monotone_in_k(self, sites):
+        oracle = RasterOracle(sites, unit_square(), resolution=20)
+        d1 = oracle.kth_nearest_distance(1)
+        d3 = oracle.kth_nearest_distance(3)
+        assert np.all(d3 >= d1)
+
+    def test_kth_nearest_validation(self, sites):
+        oracle = RasterOracle(sites, unit_square(), resolution=10)
+        with pytest.raises(ValueError):
+            oracle.kth_nearest_distance(0)
+        with pytest.raises(ValueError):
+            oracle.kth_nearest_distance(len(sites) + 1)
+
+    def test_coverage_counts_and_k_covered(self, sites):
+        oracle = RasterOracle(sites, unit_square(), resolution=25)
+        # Every sample is k-covered when ranges equal the k-th nearest distance.
+        k = 2
+        needed = float(oracle.kth_nearest_distance(k).max())
+        ranges = [needed] * len(sites)
+        assert oracle.is_k_covered(ranges, k)
+        assert not oracle.is_k_covered([needed * 0.3] * len(sites), k)
+
+    def test_coverage_counts_validation(self, sites):
+        oracle = RasterOracle(sites, unit_square(), resolution=10)
+        with pytest.raises(ValueError):
+            oracle.coverage_counts([0.1] * (len(sites) - 1))
+
+    def test_dominating_area_positive(self, sites):
+        oracle = RasterOracle(sites, unit_square(), resolution=30)
+        assert oracle.dominating_area(0, 2) > 0.0
+
+    def test_k_nearest_sets_size(self, sites):
+        oracle = RasterOracle(sites, unit_square(), resolution=15)
+        sets = oracle.k_nearest_sets(3)
+        assert all(len(s) == 3 for s in sets)
+
+    def test_index_validation(self, sites):
+        oracle = RasterOracle(sites, unit_square(), resolution=10)
+        with pytest.raises(IndexError):
+            oracle.closer_counts(len(sites))
+        with pytest.raises(ValueError):
+            oracle.dominating_mask(0, 0)
