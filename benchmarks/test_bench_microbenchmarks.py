@@ -2,13 +2,18 @@
 
 These are conventional timing benchmarks (multiple rounds) for the two
 inner loops: the budgeted-clipping dominating-region computation and
-Welzl's smallest enclosing circle.  They are what you would profile when
-porting the engine to a faster backend.
+Welzl's smallest enclosing circle, plus the round-engine comparison
+benchmarks tracking the batched backend's speedup over the legacy
+per-node path (single-round timings for N in {50, 200, 500} and the
+N=200, k=2 corner-cluster deployment).
 """
 
 import numpy as np
 import pytest
 
+from repro.core.config import LaacadConfig
+from repro.core.laacad import LaacadRunner
+from repro.engine import make_engine
 from repro.geometry.welzl import welzl_disk
 from repro.regions.shapes import unit_square
 from repro.voronoi.dominating import compute_dominating_region
@@ -47,3 +52,57 @@ def test_welzl_speed(benchmark, size):
     points = [tuple(p) for p in rng.uniform(0, 1, size=(size, 2))]
     circle = benchmark(lambda: welzl_disk(points))
     assert circle.radius > 0
+
+
+# ----------------------------------------------------------------------
+# Round-engine comparisons (batched vs. legacy)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="engine-round")
+@pytest.mark.parametrize("engine_name", ["legacy", "batched"])
+@pytest.mark.parametrize("n", [50, 200, 500])
+def test_engine_round_time(benchmark, engine_name, n):
+    """One full round of region computation on a random deployment.
+
+    The ``engine-round`` group tracks the per-round speedup of the
+    batched array-native engine over the legacy per-node path as the
+    network grows.
+    """
+    region = unit_square()
+    network = SensorNetwork(
+        region, region.random_points(n, rng=np.random.default_rng(7)), comm_range=0.25
+    )
+    config = LaacadConfig(k=2, engine=engine_name)
+    engine = make_engine(engine_name, network, config)
+    result = benchmark.pedantic(engine.compute_round, rounds=1, iterations=1)
+    assert len(result.regions) == n
+    benchmark.extra_info["engine"] = engine_name
+    benchmark.extra_info["n"] = n
+
+
+@pytest.mark.benchmark(group="engine-deployment")
+@pytest.mark.parametrize("engine_name", ["legacy", "batched"])
+def test_engine_full_deployment_n200_k2(benchmark, engine_name):
+    """The N=200, k=2 corner-cluster deployment (Figure 5 workload).
+
+    Runs the deployment transient — the rounds in which the cluster
+    actually spreads across the area, after which only epsilon-level
+    refinement remains — under each engine.  The batched engine is
+    expected to be at least ~3x faster here; in the converged
+    steady-state the gap narrows to ~2x (see DESIGN.md).
+    """
+    region = unit_square()
+
+    def deploy():
+        network = SensorNetwork.from_corner_cluster(
+            region, 200, comm_range=0.25, rng=np.random.default_rng(11)
+        )
+        config = LaacadConfig(
+            k=2, alpha=1.0, epsilon=1e-3, max_rounds=6, seed=11, engine=engine_name
+        )
+        return LaacadRunner(network, config).run()
+
+    result = benchmark.pedantic(deploy, rounds=1, iterations=1)
+    assert result.rounds_executed == 6
+    assert result.max_sensing_range > 0
+    benchmark.extra_info["engine"] = engine_name
+    benchmark.extra_info["max_sensing_range"] = result.max_sensing_range

@@ -22,6 +22,14 @@ from repro.core.config import LaacadConfig
 from repro.core.laacad import LaacadResult, LaacadRunner, RoundStats, run_laacad
 from repro.core.dominating import localized_dominating_region
 from repro.core.minnode import MinNodeSizer
+from repro.engine import (
+    BatchedRoundEngine,
+    LegacyRoundEngine,
+    NodeArrayState,
+    RoundEngine,
+    available_engines,
+    make_engine,
+)
 from repro.network.network import SensorNetwork
 from repro.network.energy import EnergyModel
 from repro.regions.region import Region
@@ -47,6 +55,12 @@ __all__ = [
     "run_laacad",
     "localized_dominating_region",
     "MinNodeSizer",
+    "BatchedRoundEngine",
+    "LegacyRoundEngine",
+    "NodeArrayState",
+    "RoundEngine",
+    "available_engines",
+    "make_engine",
     "SensorNetwork",
     "EnergyModel",
     "Region",

@@ -4,6 +4,10 @@ The paper's Definition 1 requires every point of the area to be covered
 by at least ``k`` sensing disks.  We verify it on a dense grid of sample
 points; the grid spacing is reported alongside the verdict so callers can
 reason about the sampling error.
+
+The disk counting runs through the shared chunked kernel in
+``repro.engine.kernels``, so arbitrarily dense grids no longer
+materialise an ``(M, N, 2)`` broadcast tensor.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.engine.kernels import disk_cover_counts
 from repro.geometry.primitives import Point
 from repro.regions.grid import GridSampler
 from repro.regions.region import Region
@@ -59,17 +64,7 @@ def coverage_counts(
         slack: additive tolerance on the disk boundary, so that points
             exactly on a sensing-range circle count as covered.
     """
-    pos = np.asarray(positions, dtype=float)
-    rng = np.asarray(ranges, dtype=float)
-    if pos.shape[0] != rng.shape[0]:
-        raise ValueError("positions and ranges must have the same length")
-    samples = np.asarray(sample_points, dtype=float)
-    if samples.size == 0:
-        return np.zeros(0, dtype=int)
-    diff = samples[:, None, :] - pos[None, :, :]
-    dist = np.sqrt(np.sum(diff * diff, axis=2))
-    covered = dist <= rng[None, :] + slack
-    return covered.sum(axis=1)
+    return disk_cover_counts(positions, ranges, sample_points, slack=slack)
 
 
 def coverage_fraction(

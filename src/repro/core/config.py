@@ -38,6 +38,13 @@ class LaacadConfig:
         convergence_patience: number of consecutive rounds with all
             displacements below ``epsilon`` required before declaring
             convergence; 1 reproduces the paper's stopping rule.
+        engine: which round-execution backend drives Algorithm 1:
+            ``"batched"`` (the array-native engine that computes all
+            dominating regions per round through vectorized kernels) or
+            ``"legacy"`` (the original per-node scalar path).  Both
+            produce identical results; see ``repro.engine`` and
+            DESIGN.md.  Orthogonal to ``use_localized``, which selects
+            how each individual region is computed.
     """
 
     k: int = 1
@@ -52,6 +59,7 @@ class LaacadConfig:
     seed: Optional[int] = 0
     record_positions: bool = False
     convergence_patience: int = 1
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -70,6 +78,8 @@ class LaacadConfig:
             raise ValueError("circle_check_samples must be at least 8")
         if self.convergence_patience < 1:
             raise ValueError("convergence_patience must be at least 1")
+        if not self.engine or not isinstance(self.engine, str):
+            raise ValueError("engine must be a non-empty backend name")
 
     def with_k(self, k: int) -> "LaacadConfig":
         """A copy of this configuration with a different coverage order."""
@@ -78,3 +88,7 @@ class LaacadConfig:
     def with_alpha(self, alpha: float) -> "LaacadConfig":
         """A copy of this configuration with a different step size."""
         return dataclasses.replace(self, alpha=alpha)
+
+    def with_engine(self, engine: str) -> "LaacadConfig":
+        """A copy of this configuration with a different round-engine backend."""
+        return dataclasses.replace(self, engine=engine)

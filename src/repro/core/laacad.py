@@ -9,8 +9,11 @@ when every node is within ``epsilon`` of its Chebyshev center (or after
 circumradius of its dominating region measured from its final position,
 which guarantees k-coverage of the whole area (Proposition 4's argument).
 
-Two region back-ends are available, selected by
-``LaacadConfig.use_localized``:
+Round execution is delegated to a pluggable :class:`RoundEngine`
+backend selected by ``LaacadConfig.engine`` (``"batched"`` — the
+array-native vectorized engine — by default, or ``"legacy"`` — the
+original per-node scalar path).  Orthogonally,
+``LaacadConfig.use_localized`` selects how each region is computed:
 
 * the exact engine with the global node set (plus the Lemma-1 pre-filter
   for speed), and
@@ -18,25 +21,26 @@ Two region back-ends are available, selected by
   reads positions of ring members and additionally reports ring radii /
   hop counts.
 
-Both produce identical regions; the equivalence is covered by tests.
+All combinations produce identical regions; the equivalences are
+covered by tests.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import LaacadConfig
 from repro.core.convergence import ConvergenceTracker
-from repro.core.dominating import localized_dominating_region
+from repro.engine import make_engine
 from repro.geometry.primitives import Point, distance
 from repro.network.mobility import MobilityModel
 from repro.network.network import SensorNetwork
 from repro.regions.region import Region
-from repro.voronoi.dominating import DominatingRegion, compute_dominating_region
+from repro.voronoi.dominating import DominatingRegion
 
 
 @dataclasses.dataclass
@@ -134,38 +138,8 @@ class LaacadRunner:
         self.config = config
         self.mobility = mobility if mobility is not None else MobilityModel()
         self._rng = np.random.default_rng(config.seed)
-
-    # ------------------------------------------------------------------
-    # Region computation back-ends
-    # ------------------------------------------------------------------
-    def _compute_regions(self) -> Tuple[Dict[int, DominatingRegion], int]:
-        """Dominating regions of every alive node; returns (regions, max ring hops)."""
-        regions: Dict[int, DominatingRegion] = {}
-        max_hops = 0
-        alive = self.network.alive_nodes()
-        if self.config.use_localized:
-            for node in alive:
-                computation = localized_dominating_region(
-                    self.network,
-                    node.node_id,
-                    self.config.k,
-                    ring_granularity=self.config.ring_granularity,
-                    circle_check_samples=self.config.circle_check_samples,
-                )
-                regions[node.node_id] = computation.region
-                max_hops = max(max_hops, computation.hops)
-        else:
-            positions = {n.node_id: n.position for n in alive}
-            for node in alive:
-                others = [p for j, p in positions.items() if j != node.node_id]
-                regions[node.node_id] = compute_dominating_region(
-                    node.position,
-                    others,
-                    self.network.region,
-                    self.config.k,
-                    prefilter=self.config.prefilter,
-                )
-        return regions, max_hops
+        #: The round-execution backend (see ``repro.engine``).
+        self.engine = make_engine(config.engine, network, config)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -186,20 +160,12 @@ class LaacadRunner:
         last_regions: Dict[int, DominatingRegion] = {}
         for round_index in range(config.max_rounds):
             rounds = round_index + 1
-            regions, max_hops = self._compute_regions()
-            last_regions = regions
-
-            centers: Dict[int, Point] = {}
-            circumradii: List[float] = []
-            ranges_from_position: List[float] = []
-            displacements: List[float] = []
-            for node_id, region in regions.items():
-                node = network.node(node_id)
-                center, radius = region.chebyshev_center()
-                centers[node_id] = center
-                circumradii.append(radius)
-                ranges_from_position.append(region.circumradius(node.position))
-                displacements.append(distance(node.position, center))
+            engine_round = self.engine.compute_round()
+            last_regions = engine_round.regions
+            centers = engine_round.centers
+            circumradii = engine_round.circumradii
+            ranges_from_position = engine_round.ranges_from_position
+            displacements = engine_round.displacements
 
             stats = RoundStats(
                 round_index=round_index,
@@ -209,7 +175,7 @@ class LaacadRunner:
                 min_range_from_position=min(ranges_from_position) if ranges_from_position else 0.0,
                 max_displacement=max(displacements) if displacements else 0.0,
                 mean_displacement=(sum(displacements) / len(displacements)) if displacements else 0.0,
-                max_ring_hops=max_hops,
+                max_ring_hops=engine_round.max_ring_hops,
             )
             history.append(stats)
 
@@ -236,7 +202,7 @@ class LaacadRunner:
         # region measured from its final position.  Recompute the regions
         # if the last move changed positions after the last measurement.
         if not converged:
-            last_regions, _ = self._compute_regions()
+            last_regions, _ = self.engine.compute_regions()
         sensing_ranges: List[float] = []
         for node in network.nodes:
             if not node.alive:

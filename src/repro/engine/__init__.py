@@ -1,0 +1,42 @@
+"""Pluggable round-execution backends for the LAACAD iteration.
+
+The engine subsystem splits the hot path of Algorithm 1 into four
+layers (see DESIGN.md for the full diagram):
+
+* :mod:`repro.engine.arrays` — struct-of-arrays network state
+  (:class:`NodeArrayState`) with explicit sync to/from node objects;
+* :mod:`repro.engine.kernels` — vectorized distance, pre-filter and
+  clipping kernels shared with the analysis layer;
+* :mod:`repro.engine.base` — the :class:`RoundEngine` protocol, the
+  backend registry and the shared per-round summarisation;
+* :mod:`repro.engine.batch` / :mod:`repro.engine.legacy` — the two
+  built-in backends, selected by ``LaacadConfig.engine``.
+
+Both backends produce bitwise-identical results; ``"batched"`` is the
+default and is the foundation future sharded/async backends plug into
+via :func:`register_engine`.
+"""
+
+from repro.engine.arrays import NodeArrayState
+from repro.engine.base import (
+    EngineRound,
+    RoundEngine,
+    available_engines,
+    make_engine,
+    register_engine,
+    summarize_regions,
+)
+from repro.engine.batch import BatchedRoundEngine
+from repro.engine.legacy import LegacyRoundEngine
+
+__all__ = [
+    "BatchedRoundEngine",
+    "EngineRound",
+    "LegacyRoundEngine",
+    "NodeArrayState",
+    "RoundEngine",
+    "available_engines",
+    "make_engine",
+    "register_engine",
+    "summarize_regions",
+]

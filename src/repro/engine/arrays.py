@@ -1,0 +1,112 @@
+"""Array-of-structs → struct-of-arrays bridge for the sensor network.
+
+The batched round engine works on contiguous NumPy arrays; the rest of
+the repo works on :class:`~repro.network.node.Node` objects.
+:class:`NodeArrayState` is the explicit synchronisation point between
+the two worlds: a snapshot of positions, sensing ranges, movement
+energy and liveness as ``(N, 2)`` / ``(N,)`` arrays, index-aligned with
+``network.nodes``, with helpers to write array-side updates back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.network import SensorNetwork
+
+
+@dataclasses.dataclass
+class NodeArrayState:
+    """Struct-of-arrays snapshot of a :class:`SensorNetwork`.
+
+    Attributes:
+        node_ids: ``(N,)`` integer node identifiers.
+        positions: ``(N, 2)`` float positions ``u_i``.
+        sensing_ranges: ``(N,)`` float sensing ranges ``r_i``.
+        distance_traveled: ``(N,)`` cumulative movement (the one-time
+            movement-energy investment of the paper's energy model).
+        alive: ``(N,)`` boolean liveness mask.
+    """
+
+    node_ids: np.ndarray
+    positions: np.ndarray
+    sensing_ranges: np.ndarray
+    distance_traveled: np.ndarray
+    alive: np.ndarray
+
+    # ------------------------------------------------------------------
+    # Construction / synchronisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(cls, network: "SensorNetwork") -> "NodeArrayState":
+        """Snapshot the network's node attributes into contiguous arrays."""
+        nodes = network.nodes
+        return cls(
+            node_ids=np.asarray([n.node_id for n in nodes], dtype=np.intp),
+            positions=np.asarray([n.position for n in nodes], dtype=float),
+            sensing_ranges=np.asarray([n.sensing_range for n in nodes], dtype=float),
+            distance_traveled=np.asarray(
+                [n.distance_traveled for n in nodes], dtype=float
+            ),
+            alive=network.alive_mask(),
+        )
+
+    def apply_to_network(
+        self,
+        network: "SensorNetwork",
+        positions: bool = True,
+        sensing_ranges: bool = True,
+    ) -> None:
+        """Write the array-side state back onto the network's nodes.
+
+        Positions are applied through ``Node.move_to`` so that
+        ``distance_traveled`` keeps accounting for the movement energy;
+        the network's spatial caches are invalidated once at the end
+        rather than per node.
+        """
+        if self.positions.shape[0] != len(network.nodes):
+            raise ValueError("array state and network have different node counts")
+        for idx, node in enumerate(network.nodes):
+            if positions:
+                target = (float(self.positions[idx, 0]), float(self.positions[idx, 1]))
+                if target != node.position:
+                    node.move_to(target)
+            if sensing_ranges:
+                node.sensing_range = float(self.sensing_ranges[idx])
+        network._invalidate()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.positions.shape[0])
+
+    def alive_indices(self) -> np.ndarray:
+        """Indices (into the full arrays) of alive nodes, ascending."""
+        return np.nonzero(self.alive)[0]
+
+    def alive_positions(self) -> np.ndarray:
+        """Positions of alive nodes only, ``(A, 2)``, in node order."""
+        return self.positions[self.alive]
+
+    def alive_node_ids(self) -> np.ndarray:
+        """Node ids of alive nodes, in node order."""
+        return self.node_ids[self.alive]
+
+    def sensing_energy(self) -> np.ndarray:
+        """Vectorized per-node sensing energy ``E(r_i) = pi * r_i**2``."""
+        return np.pi * self.sensing_ranges * self.sensing_ranges
+
+    def copy(self) -> "NodeArrayState":
+        """An independent copy of every array."""
+        return NodeArrayState(
+            node_ids=self.node_ids.copy(),
+            positions=self.positions.copy(),
+            sensing_ranges=self.sensing_ranges.copy(),
+            distance_traveled=self.distance_traveled.copy(),
+            alive=self.alive.copy(),
+        )

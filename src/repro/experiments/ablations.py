@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.config import LaacadConfig
 from repro.core.dominating import localized_dominating_region
 from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, resolve_engine
 from repro.network.network import SensorNetwork
 from repro.regions.shapes import unit_square
 from repro.runtime.protocol import DistributedLaacadRunner
@@ -45,7 +45,8 @@ def run_alpha_ablation(
             region, node_count, comm_range=comm_range, rng=np.random.default_rng(seed)
         )
         config = LaacadConfig(
-            k=k, alpha=alpha, epsilon=epsilon, max_rounds=max_rounds, seed=seed
+            k=k, alpha=alpha, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
+            engine=resolve_engine(),
         )
         result = LaacadRunner(network, config).run()
         rows.append(
@@ -123,6 +124,84 @@ def run_localized_ablation(
     )
 
 
+def run_engine_ablation(
+    node_count: int = 60,
+    k: int = 2,
+    comm_range: float = 0.25,
+    max_rounds: int = 8,
+    epsilon: float = 1e-3,
+    seed: int = 57,
+) -> ExperimentResult:
+    """Batched vs. legacy round engine: wall time and result agreement.
+
+    Runs the corner-cluster deployment once per backend on identical
+    initial conditions and reports per-engine wall-clock time plus the
+    largest discrepancy in final positions and sensing ranges (expected
+    exactly zero — the engines are bitwise equivalent).
+    """
+    import time
+
+    region = unit_square()
+    rows: List[Dict] = []
+    results = {}
+    for engine in ("legacy", "batched"):
+        network = SensorNetwork.from_corner_cluster(
+            region, node_count, comm_range=comm_range, rng=np.random.default_rng(seed)
+        )
+        config = LaacadConfig(
+            k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed, engine=engine
+        )
+        start = time.perf_counter()
+        result = LaacadRunner(network, config).run()
+        elapsed = time.perf_counter() - start
+        results[engine] = result
+        rows.append(
+            {
+                "engine": engine,
+                "wall_seconds": elapsed,
+                "rounds": result.rounds_executed,
+                "converged": result.converged,
+                "max_sensing_range": result.max_sensing_range,
+                "min_sensing_range": result.min_sensing_range,
+            }
+        )
+    legacy, batched = results["legacy"], results["batched"]
+    max_position_diff = max(
+        (
+            max(abs(a[0] - b[0]), abs(a[1] - b[1]))
+            for a, b in zip(legacy.final_positions, batched.final_positions)
+        ),
+        default=0.0,
+    )
+    max_range_diff = max(
+        (abs(a - b) for a, b in zip(legacy.sensing_ranges, batched.sensing_ranges)),
+        default=0.0,
+    )
+    speedup = (
+        rows[0]["wall_seconds"] / rows[1]["wall_seconds"]
+        if rows[1]["wall_seconds"] > 0
+        else 0.0
+    )
+    return ExperimentResult(
+        name="ablation_engine",
+        description=(
+            "Wall-clock comparison of the batched array-native round engine "
+            "against the legacy per-node path on identical deployments"
+        ),
+        rows=rows,
+        metadata={
+            "node_count": node_count,
+            "k": k,
+            "max_rounds": max_rounds,
+            "seed": seed,
+            "speedup_batched_over_legacy": speedup,
+            "max_position_difference": max_position_diff,
+            "max_range_difference": max_range_diff,
+            "identical": max_position_diff == 0.0 and max_range_diff == 0.0,
+        },
+    )
+
+
 def run_protocol_overhead(
     node_count: int = 30,
     k: int = 2,
@@ -137,7 +216,9 @@ def run_protocol_overhead(
     network = SensorNetwork.from_random(
         region, node_count, comm_range=comm_range, rng=np.random.default_rng(seed)
     )
-    config = LaacadConfig(k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed)
+    config = LaacadConfig(
+        k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed
+    )
     runner = DistributedLaacadRunner(
         network, config, drop_probability=drop_probability
     )

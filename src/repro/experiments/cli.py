@@ -15,12 +15,15 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+import os
+
 from repro.experiments.ablations import (
     run_alpha_ablation,
+    run_engine_ablation,
     run_localized_ablation,
     run_protocol_overhead,
 )
-from repro.experiments.common import ExperimentResult, default_output_dir
+from repro.experiments.common import ENGINE_ENV, ExperimentResult, default_output_dir
 from repro.experiments.fig1_voronoi import run_fig1_voronoi
 from repro.experiments.fig2_rings import run_fig2_rings
 from repro.experiments.fig5_deployment import run_fig5_deployment
@@ -42,6 +45,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "table2_ammari": run_table2_ammari,
     "fig8_obstacles": run_fig8_obstacles,
     "ablation_alpha": run_alpha_ablation,
+    "ablation_engine": run_engine_ablation,
     "ablation_localized": run_localized_ablation,
     "ablation_protocol_overhead": run_protocol_overhead,
     "lifetime_comparison": run_lifetime_comparison,
@@ -80,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=40,
         help="Maximum number of rows to print (default: 40)",
     )
+    run_parser.add_argument(
+        "--engine",
+        choices=["batched", "legacy"],
+        default=None,
+        help=(
+            "Round-engine backend for the LAACAD runs (default: batched). "
+            "Both produce identical results; this only changes speed."
+        ),
+    )
     return parser
 
 
@@ -110,6 +123,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
+        if getattr(args, "engine", None):
+            os.environ[ENGINE_ENV] = args.engine
         if args.experiment != "all" and args.experiment not in EXPERIMENTS:
             print(
                 f"unknown experiment {args.experiment!r}; use 'list' to see choices",

@@ -15,6 +15,12 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 #: CI-friendly time; see DESIGN.md.
 FULL_SCALE_ENV = "REPRO_FULL_SCALE"
 
+#: Environment variable selecting the round-engine backend every
+#: experiment runner uses ("batched" or "legacy"); the CLI's ``--engine``
+#: flag sets it.  Both backends produce identical results (see
+#: DESIGN.md), so this only affects wall-clock time.
+ENGINE_ENV = "REPRO_ENGINE"
+
 
 def resolve_scale() -> str:
     """Return ``"full"`` when REPRO_FULL_SCALE is set to a truthy value, else ``"reduced"``."""
@@ -22,6 +28,27 @@ def resolve_scale() -> str:
     if value in {"1", "true", "yes", "full"}:
         return "full"
     return "reduced"
+
+
+def resolve_engine() -> str:
+    """Round-engine backend from REPRO_ENGINE (default ``"batched"``).
+
+    Raises:
+        ValueError: if REPRO_ENGINE is set to an unknown backend name —
+            failing fast mirrors the engine registry, so a typo cannot
+            silently benchmark the wrong backend.
+    """
+    value = os.environ.get(ENGINE_ENV, "").strip().lower()
+    if not value:
+        return "batched"
+    from repro.engine import available_engines
+
+    if value not in available_engines():
+        raise ValueError(
+            f"{ENGINE_ENV}={value!r} is not a known round engine; "
+            f"available: {', '.join(available_engines())}"
+        )
+    return value
 
 
 @dataclasses.dataclass

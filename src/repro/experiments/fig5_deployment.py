@@ -22,7 +22,7 @@ import numpy as np
 from repro.analysis.coverage import evaluate_coverage
 from repro.core.config import LaacadConfig
 from repro.core.laacad import LaacadResult, LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_scale
+from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
 from repro.geometry.primitives import distance
 from repro.network.network import SensorNetwork
 from repro.regions.shapes import unit_square
@@ -69,6 +69,7 @@ def run_fig5_deployment(
     seed: int = 11,
     coverage_resolution: int = 60,
     include_positions: bool = False,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     """Run the Figure 5 corner-cluster deployment for each k.
 
@@ -83,8 +84,12 @@ def run_fig5_deployment(
         coverage_resolution: grid resolution of the coverage check.
         include_positions: embed the final node positions in the rows
             (one row per node per k) in addition to the summary rows.
+        engine: round-engine backend ("batched" or "legacy"; defaults
+            to the REPRO_ENGINE environment selection).
     """
     scale = resolve_scale()
+    if engine is None:
+        engine = resolve_engine()
     if node_count is None:
         node_count = 100 if scale == "full" else 60
     if max_rounds is None:
@@ -101,7 +106,9 @@ def run_fig5_deployment(
             comm_range=comm_range,
             rng=np.random.default_rng(seed),
         )
-        config = LaacadConfig(k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed)
+        config = LaacadConfig(
+            k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed, engine=engine
+        )
         result: LaacadResult = LaacadRunner(network, config).run()
         coverage = evaluate_coverage(
             result.final_positions, result.sensing_ranges, region, k, resolution=coverage_resolution
@@ -142,5 +149,6 @@ def run_fig5_deployment(
             "max_rounds": max_rounds,
             "seed": seed,
             "scale": scale,
+            "engine": engine,
         },
     )

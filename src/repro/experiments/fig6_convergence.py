@@ -16,7 +16,7 @@ import numpy as np
 from repro.analysis.traces import is_monotone_nonincreasing, relative_gap
 from repro.core.config import LaacadConfig
 from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_scale
+from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
 from repro.network.network import SensorNetwork
 from repro.regions.shapes import unit_square
 
@@ -30,14 +30,18 @@ def run_fig6_convergence(
     epsilon: float = 1e-3,
     alpha: float = 1.0,
     seed: int = 11,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     """Produce the Figure 6 convergence traces.
 
     Rows contain one entry per (k, round) with the max/min circumradius;
     the metadata carries the per-k summary (monotonicity of the max
-    trace, final max/min gap, rounds to convergence).
+    trace, final max/min gap, rounds to convergence).  ``engine``
+    selects the round backend (default: REPRO_ENGINE / batched).
     """
     scale = resolve_scale()
+    if engine is None:
+        engine = resolve_engine()
     if node_count is None:
         node_count = 100 if scale == "full" else 60
     if max_rounds is None:
@@ -55,7 +59,7 @@ def run_fig6_convergence(
             rng=np.random.default_rng(seed),
         )
         config = LaacadConfig(
-            k=k, alpha=alpha, epsilon=epsilon, max_rounds=max_rounds, seed=seed
+            k=k, alpha=alpha, epsilon=epsilon, max_rounds=max_rounds, seed=seed, engine=engine
         )
         result = LaacadRunner(network, config).run()
         max_trace = result.max_circumradius_trace()
@@ -96,6 +100,7 @@ def run_fig6_convergence(
             "max_rounds": max_rounds,
             "seed": seed,
             "scale": scale,
+            "engine": engine,
             "summaries": summaries,
         },
     )

@@ -19,7 +19,7 @@ from repro.analysis.coverage import evaluate_coverage
 from repro.analysis.energy import energy_report
 from repro.core.config import LaacadConfig
 from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_scale
+from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
 from repro.network.network import SensorNetwork
 from repro.regions.shapes import unit_square
 
@@ -63,7 +63,8 @@ def run_fig7_energy(
             rng = np.random.default_rng(seed + 1000 * n + k)
             network = SensorNetwork.from_random(region, n, comm_range=comm_range, rng=rng)
             config = LaacadConfig(
-                k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed
+                k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
+                engine=resolve_engine(),
             )
             result = LaacadRunner(network, config).run()
             report = energy_report(result.sensing_ranges)

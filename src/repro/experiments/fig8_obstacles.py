@@ -16,7 +16,7 @@ import numpy as np
 from repro.analysis.coverage import evaluate_coverage
 from repro.core.config import LaacadConfig
 from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_scale
+from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
 from repro.experiments.fig5_deployment import clustering_statistic
 from repro.network.network import SensorNetwork
 from repro.regions.shapes import figure8_region_one, figure8_region_two
@@ -60,7 +60,8 @@ def run_fig8_obstacles(
             rng = np.random.default_rng(seed + k)
             network = SensorNetwork.from_random(region, node_count, comm_range=comm_range, rng=rng)
             config = LaacadConfig(
-                k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed
+                k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
+                engine=resolve_engine(),
             )
             result = LaacadRunner(network, config).run()
             coverage = evaluate_coverage(

@@ -32,7 +32,7 @@ from repro.analysis.lifetime import lifetime_report
 from repro.baselines.lattice import lattice_for_count
 from repro.core.config import LaacadConfig
 from repro.core.laacad import run_laacad
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, resolve_engine
 from repro.geometry.primitives import Point
 from repro.regions.region import Region
 from repro.regions.shapes import unit_square
@@ -78,7 +78,10 @@ def run_lifetime_comparison(
     deployments: Dict[str, Dict[str, object]] = {}
 
     # LAACAD (mobile nodes).
-    config = LaacadConfig(k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed)
+    config = LaacadConfig(
+        k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
+        engine=resolve_engine(),
+    )
     laacad = run_laacad(region, initial_positions, config, comm_range=comm_range)
     deployments["laacad"] = {
         "positions": laacad.final_positions,

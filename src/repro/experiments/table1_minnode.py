@@ -24,7 +24,7 @@ import numpy as np
 from repro.baselines.bai import bai_minimum_nodes
 from repro.core.config import LaacadConfig
 from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_scale
+from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
 from repro.network.network import SensorNetwork
 from repro.regions.shapes import unit_square
 
@@ -57,7 +57,10 @@ def run_table1_minnode(
     for n in node_counts:
         rng = np.random.default_rng(seed + n)
         network = SensorNetwork.from_random(region, n, comm_range=comm_range, rng=rng)
-        config = LaacadConfig(k=2, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed)
+        config = LaacadConfig(
+            k=2, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
+            engine=resolve_engine(),
+        )
         result = LaacadRunner(network, config).run()
         r_star = result.max_sensing_range
         bound = bai_minimum_nodes(region.area, r_star)

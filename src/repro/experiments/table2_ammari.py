@@ -19,7 +19,7 @@ import numpy as np
 from repro.baselines.ammari import ammari_node_count
 from repro.core.config import LaacadConfig
 from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_scale
+from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
 from repro.network.network import SensorNetwork
 from repro.regions.shapes import unit_square
 
@@ -55,7 +55,10 @@ def run_table2_ammari(
     for k in k_values:
         rng = np.random.default_rng(seed + k)
         network = SensorNetwork.from_random(region, node_count, comm_range=comm_range, rng=rng)
-        config = LaacadConfig(k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed)
+        config = LaacadConfig(
+            k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
+            engine=resolve_engine(),
+        )
         result = LaacadRunner(network, config).run()
         r_star = result.max_sensing_range
         ammari_nodes = ammari_node_count(region.area, r_star, k)

@@ -50,13 +50,18 @@ def chebyshev_center_of_pieces(
 
     The union's farthest point from any center is still a vertex of the
     union's convex hull, so pooling the vertices of all pieces is exact.
+    Adjacent pieces of a clipped region share boundary vertices exactly,
+    so the pool is deduplicated (insertion-ordered, hence deterministic)
+    before running Welzl — duplicates cannot change the smallest
+    enclosing circle but would inflate its input.
     """
     vertices: List[Point] = []
     for piece in pieces:
         vertices.extend(piece)
     if not vertices:
         raise ValueError("Chebyshev center of an empty region is undefined")
-    return chebyshev_center_of_points(vertices, seed=seed)
+    unique = list(dict.fromkeys(vertices))
+    return chebyshev_center_of_points(unique, seed=seed)
 
 
 def farthest_point_distance(origin: Point, points: Sequence[Point]) -> float:

@@ -110,17 +110,26 @@ def clip_polygon_halfplane(
             output.append(halfplane.boundary_intersection(prev, current))
         prev, prev_val = current, cur_val
 
-    return _dedupe_ring(output, eps)
+    return dedupe_ring(output, eps)
 
 
-def _dedupe_ring(points: List[Point], eps: float) -> List[Point]:
-    """Remove consecutive (cyclically) duplicated vertices."""
+def dedupe_ring(points: List[Point], eps: float = EPS) -> List[Point]:
+    """Remove consecutive (cyclically) duplicated vertices.
+
+    Shared by the scalar clip above and the array-native clipping kernel
+    in :mod:`repro.engine.kernels`; both paths must run the exact same
+    dedupe so that clipped polygons stay bitwise identical across
+    backends.  Returns ``[]`` when fewer than 3 distinct vertices remain.
+    """
     if not points:
         return []
     cleaned: List[Point] = []
+    append = cleaned.append
+    last_x = last_y = None
     for p in points:
-        if not cleaned or abs(p[0] - cleaned[-1][0]) > eps or abs(p[1] - cleaned[-1][1]) > eps:
-            cleaned.append(p)
+        if last_x is None or abs(p[0] - last_x) > eps or abs(p[1] - last_y) > eps:
+            append(p)
+            last_x, last_y = p[0], p[1]
     while len(cleaned) >= 2 and (
         abs(cleaned[0][0] - cleaned[-1][0]) <= eps and abs(cleaned[0][1] - cleaned[-1][1]) <= eps
     ):
@@ -151,7 +160,7 @@ def clip_polygon_polygon(
         # inside = left of directed edge a->b
         hp = HalfPlane(b[1] - a[1], a[0] - b[0], (b[1] - a[1]) * a[0] + (a[0] - b[0]) * a[1])
         result = _clip_general_halfplane(result, hp, eps)
-    return _dedupe_ring(result, eps)
+    return dedupe_ring(result, eps)
 
 
 def _clip_general_halfplane(

@@ -23,8 +23,28 @@ def convex_hull(points: Sequence[Point], eps: float = EPS) -> List[Point]:
     def half_hull(pts: Sequence[Point]) -> List[Point]:
         hull: List[Point] = []
         for p in pts:
-            while len(hull) >= 2 and cross(sub(hull[-1], hull[-2]), sub(p, hull[-2])) <= eps:
-                hull.pop()
+            while len(hull) >= 2:
+                anchor, middle = hull[-2], hull[-1]
+                turn = cross(sub(middle, anchor), sub(p, anchor))
+                if turn < 0.0:
+                    hull.pop()
+                    continue
+                if turn <= eps:
+                    # Near-collinear: drop the middle vertex only when
+                    # it lies between its neighbours.  A tiny cross
+                    # product can also come from a genuine left turn at
+                    # degenerate coordinate scales (e.g. a denormal x
+                    # breaking the sort tie of a vertical triple), where
+                    # the "middle" vertex is an extreme point that must
+                    # stay on the hull.
+                    span = sub(p, anchor)
+                    span_sq = span[0] * span[0] + span[1] * span[1]
+                    offset = sub(middle, anchor)
+                    projection = offset[0] * span[0] + offset[1] * span[1]
+                    if 0.0 <= projection <= span_sq:
+                        hull.pop()
+                        continue
+                break
             hull.append(p)
         return hull
 

@@ -16,15 +16,22 @@ from repro.geometry.primitives import EPS, Point
 
 
 def signed_area(polygon: Sequence[Point]) -> float:
-    """Signed area via the shoelace formula (positive for CCW)."""
+    """Signed area via the shoelace formula (positive for CCW).
+
+    The cross terms are accumulated in vertex order (edge 0-1 first,
+    closing edge last) so the floating-point sum is reproducible.
+    """
     n = len(polygon)
     if n < 3:
         return 0.0
     total = 0.0
-    for i in range(n):
-        x1, y1 = polygon[i]
-        x2, y2 = polygon[(i + 1) % n]
-        total += x1 * y2 - x2 * y1
+    prev_x, prev_y = polygon[0]
+    for vertex in polygon[1:]:
+        x2, y2 = vertex
+        total += prev_x * y2 - x2 * prev_y
+        prev_x, prev_y = x2, y2
+    first = polygon[0]
+    total += prev_x * first[1] - first[0] * prev_y
     return total / 2.0
 
 

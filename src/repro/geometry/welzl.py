@@ -12,11 +12,12 @@ reproducible.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import List, Optional, Sequence
 
 from repro.geometry.circle import Circle, circle_from_2, circle_from_3
-from repro.geometry.primitives import Point, distance
+from repro.geometry.primitives import Point
 
 
 def _circle_from_boundary(boundary: Sequence[Point]) -> Circle:
@@ -66,26 +67,48 @@ def welzl_disk(points: Sequence[Point], seed: Optional[int] = 0) -> Circle:
     rng = random.Random(seed)
     rng.shuffle(pts)
 
-    circle = Circle(pts[0], 0.0)
-    for i, p in enumerate(pts):
-        if circle.contains(p):
+    # The candidate circle is tracked as plain floats and the closed
+    # containment test of Circle.contains (distance <= radius + slack
+    # with slack = 1e-9 * max(1, radius)) is inlined: this loop runs
+    # hundreds of thousands of times per LAACAD round and the arithmetic
+    # below is operation-for-operation what the dataclass methods do.
+    hypot = math.hypot
+    cx, cy = pts[0]
+    radius = 0.0
+    limit = radius + 1e-9 * (radius if radius > 1.0 else 1.0)
+    for i, (px, py) in enumerate(pts):
+        if hypot(px - cx, py - cy) <= limit:
             continue
         # p must be on the boundary of the minimal circle of pts[:i+1].
-        circle = Circle(p, 0.0)
+        cx, cy, radius = px, py, 0.0
+        limit = radius + 1e-9 * (radius if radius > 1.0 else 1.0)
         for j in range(i):
-            q = pts[j]
-            if circle.contains(q):
+            qx, qy = pts[j]
+            if hypot(qx - cx, qy - cy) <= limit:
                 continue
-            # p and q are both on the boundary.
-            circle = circle_from_2(p, q)
+            # p and q are both on the boundary (diameter circle).
+            cx = (px + qx) / 2.0
+            cy = (py + qy) / 2.0
+            radius = hypot(px - qx, py - qy) / 2.0
+            limit = radius + 1e-9 * (radius if radius > 1.0 else 1.0)
             for l in range(j):
-                r = pts[l]
-                if circle.contains(r):
+                rx, ry = pts[l]
+                if hypot(rx - cx, ry - cy) <= limit:
                     continue
-                circle = _circle_from_boundary([p, q, r])
+                boundary_circle = _circle_from_boundary(
+                    [(px, py), (qx, qy), (rx, ry)]
+                )
+                cx, cy = boundary_circle.center
+                radius = boundary_circle.radius
+                limit = radius + 1e-9 * (radius if radius > 1.0 else 1.0)
         # Guard against pathological floating point drift: grow the
         # radius minimally so that every processed point is enclosed.
-        worst = max(distance(circle.center, pts[m]) for m in range(i + 1))
-        if worst > circle.radius:
-            circle = Circle(circle.center, worst)
-    return circle
+        worst = 0.0
+        for mx, my in pts[: i + 1]:
+            d = hypot(mx - cx, my - cy)
+            if d > worst:
+                worst = d
+        if worst > radius:
+            radius = worst
+            limit = radius + 1e-9 * (radius if radius > 1.0 else 1.0)
+    return Circle((cx, cy), radius)

@@ -28,26 +28,51 @@ class SpatialGrid:
         self._buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
         for idx, (x, y) in enumerate(self.points):
             self._buckets[self._key(x, y)].append(idx)
+        # Bounding box of the occupied buckets: query windows are clamped
+        # to it, so oversized radii degrade to scanning the occupied
+        # extent instead of huge swaths of empty cells.
+        if self._buckets:
+            keys = self._buckets.keys()
+            self._kx_min = min(k[0] for k in keys)
+            self._kx_max = max(k[0] for k in keys)
+            self._ky_min = min(k[1] for k in keys)
+            self._ky_max = max(k[1] for k in keys)
+        else:
+            self._kx_min = self._kx_max = self._ky_min = self._ky_max = 0
 
     def _key(self, x: float, y: float) -> Tuple[int, int]:
         return (int(math.floor(x / self.cell_size)), int(math.floor(y / self.cell_size)))
 
     def query_radius(self, center: Point, radius: float) -> List[int]:
-        """Indices of all points within ``radius`` of ``center`` (inclusive)."""
+        """Indices of all points within ``radius`` of ``center`` (inclusive).
+
+        The scanned cell window is the query disk's cell neighbourhood
+        *clamped to the bounding box of occupied buckets*, so a radius
+        far larger than the indexed extent costs no more than scanning
+        every stored point.
+        """
         if radius < 0:
             raise ValueError("radius must be non-negative")
+        if not self.points:
+            return []
         cx, cy = float(center[0]), float(center[1])
         reach = int(math.ceil(radius / self.cell_size)) + 1
         kx, ky = self._key(cx, cy)
+        ix_lo = max(kx - reach, self._kx_min)
+        ix_hi = min(kx + reach, self._kx_max)
+        iy_lo = max(ky - reach, self._ky_min)
+        iy_hi = min(ky + reach, self._ky_max)
         result: List[int] = []
         r2 = radius * radius
-        for ix in range(kx - reach, kx + reach + 1):
-            for iy in range(ky - reach, ky + reach + 1):
-                bucket = self._buckets.get((ix, iy))
+        buckets = self._buckets
+        points = self.points
+        for ix in range(ix_lo, ix_hi + 1):
+            for iy in range(iy_lo, iy_hi + 1):
+                bucket = buckets.get((ix, iy))
                 if not bucket:
                     continue
                 for idx in bucket:
-                    px, py = self.points[idx]
+                    px, py = points[idx]
                     dx, dy = px - cx, py - cy
                     if dx * dx + dy * dy <= r2 + 1e-15:
                         result.append(idx)

@@ -79,6 +79,16 @@ class SensorNetwork:
             return [n.sensing_range for n in self.nodes if n.alive]
         return [n.sensing_range for n in self.nodes]
 
+    def alive_mask(self) -> np.ndarray:
+        """Boolean liveness mask, index-aligned with ``self.nodes``."""
+        return np.asarray([n.alive for n in self.nodes], dtype=bool)
+
+    def array_state(self) -> "NodeArrayState":
+        """Struct-of-arrays snapshot of the node set (see ``repro.engine.arrays``)."""
+        from repro.engine.arrays import NodeArrayState
+
+        return NodeArrayState.from_network(self)
+
     def node(self, node_id: int) -> Node:
         """Node lookup by identifier."""
         if not 0 <= node_id < len(self.nodes):

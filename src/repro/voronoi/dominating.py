@@ -78,10 +78,15 @@ class DominatingRegion:
     def circumradius(self, from_point: Optional[Point] = None) -> float:
         """Sensing range needed from ``from_point`` (default: the site) to cover the region."""
         origin = from_point if from_point is not None else self.site
-        verts = self.vertices()
-        if not verts:
-            return 0.0
-        return max(distance(origin, v) for v in verts)
+        ox, oy = origin
+        hypot = math.hypot
+        best = 0.0
+        for piece in self.pieces:
+            for v in piece:
+                d = hypot(v[0] - ox, v[1] - oy)
+                if d > best:
+                    best = d
+        return best
 
     def chebyshev_center(self) -> Tuple[Point, float]:
         """Chebyshev center and minimal covering radius of the region.
@@ -161,6 +166,22 @@ def dominating_pieces(
     return [poly for poly, _ in state]
 
 
+def initial_prefilter_radius(
+    sorted_distances: Sequence[float], k: int, diameter: float, eps: float = EPS
+) -> float:
+    """Starting search radius ``rho`` of the Lemma-1 competitor pre-filter.
+
+    ``sorted_distances`` are the distances from the site to every
+    competitor in ascending order.  The radius is large enough to see
+    roughly the ``k`` nearest competitors while never collapsing below a
+    small fraction of the area diameter.  Shared by the scalar
+    :func:`compute_dominating_region` path and the batched round engine
+    so both backends walk the exact same radius schedule.
+    """
+    idx = min(k, len(sorted_distances)) - 1
+    return max(2.0 * sorted_distances[idx], diameter * 0.05, eps * 10)
+
+
 def compute_dominating_region(
     site: Point,
     others: Sequence[Point],
@@ -210,8 +231,7 @@ def compute_dominating_region(
         rho = max(initial_radius, eps)
     else:
         # Enough to see roughly the k nearest competitors at the start.
-        idx = min(k, len(distances)) - 1
-        rho = max(2.0 * distances[idx], region.diameter * 0.05, eps * 10)
+        rho = initial_prefilter_radius(distances, k, region.diameter, eps)
 
     while True:
         competitors = [q for q in others if distance(site, q) < rho]

@@ -20,9 +20,14 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.kernels import cross_distances
 from repro.geometry.primitives import Point
 from repro.regions.grid import GridSampler
 from repro.regions.region import Region
+
+#: Row-block size for the sample-to-site distance matrix; bounds the
+#: peak memory of the oracle construction for dense grids.
+_DISTANCE_CHUNK = 8192
 
 
 class RasterOracle:
@@ -43,9 +48,11 @@ class RasterOracle:
             self.samples = np.asarray(samples, dtype=float)
         else:
             self.samples = GridSampler(region, resolution).points
-        # Pairwise distances: (num_samples, num_sites)
-        diff = self.samples[:, None, :] - self.sites[None, :, :]
-        self.distances = np.sqrt(np.sum(diff * diff, axis=2))
+        # Pairwise distances: (num_samples, num_sites), via the shared
+        # chunked kernel (identical arithmetic to the dense broadcast).
+        self.distances = cross_distances(
+            self.samples, self.sites, chunk_size=_DISTANCE_CHUNK
+        )
 
     @property
     def num_samples(self) -> int:
