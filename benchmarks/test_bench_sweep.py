@@ -1,0 +1,60 @@
+"""Benchmark: sweep orchestration wall-clock, serial vs worker pool.
+
+Runs the same 3x3 scenario grid (N = 50 nodes; three coverage orders x
+three placement seeds) through the SweepRunner twice — serially and with
+``jobs=4`` — and records both wall-clock times plus the speedup.  On a
+multi-core machine the pooled sweep must beat the serial one; on a
+single-core machine the numbers are recorded but not asserted (process
+fan-out cannot win without cores).
+
+A third, cache-warm pass documents the resumability contract: it must
+perform zero simulation work.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.scenarios import SweepRunner, expand_grid, make_scenario
+
+
+def _benchmark_grid():
+    base = make_scenario("open_field", node_count=50, max_rounds=12, seed=77)
+    return expand_grid(base, {"k": [1, 2, 3], "placement_seed": [101, 102, 103]})
+
+
+def test_sweep_serial_vs_jobs4(benchmark, tmp_path):
+    specs = _benchmark_grid()
+
+    def serial_sweep():
+        return SweepRunner(jobs=1).run(specs)
+
+    serial_report = benchmark.pedantic(serial_sweep, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    parallel_report = SweepRunner(jobs=4).run(specs)
+    parallel_seconds = time.perf_counter() - start
+
+    assert parallel_report.results == serial_report.results
+
+    cache_runner = SweepRunner(cache_dir=tmp_path, jobs=4)
+    cache_runner.run(specs)
+    warm = cache_runner.run(specs)
+    assert warm.misses == 0, "second sweep over the same grid must be all cache hits"
+
+    cpus = os.cpu_count() or 1
+    benchmark.extra_info["grid_cells"] = len(specs)
+    benchmark.extra_info["serial_seconds"] = serial_report.elapsed_seconds
+    benchmark.extra_info["jobs4_seconds"] = parallel_seconds
+    benchmark.extra_info["speedup"] = (
+        serial_report.elapsed_seconds / parallel_seconds if parallel_seconds else 0.0
+    )
+    benchmark.extra_info["cpus"] = cpus
+    benchmark.extra_info["cache_warm_seconds"] = warm.elapsed_seconds
+
+    if cpus >= 2:
+        assert parallel_seconds < serial_report.elapsed_seconds, (
+            f"jobs=4 ({parallel_seconds:.2f}s) should beat serial "
+            f"({serial_report.elapsed_seconds:.2f}s) on {cpus} cores"
+        )

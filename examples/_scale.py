@@ -1,0 +1,22 @@
+"""Shared size scaling for the example scripts.
+
+Every example reads ``REPRO_EXAMPLE_SCALE`` (a float factor, default 1.0)
+so the smoke test can execute all of them at a fraction of their
+demonstration sizes.  ``scaled(40)`` is 40 in a normal run and e.g. 10
+under ``REPRO_EXAMPLE_SCALE=0.25``.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scale_factor() -> float:
+    """The configured example scale factor (default 1.0)."""
+    raw = os.environ.get("REPRO_EXAMPLE_SCALE", "").strip()
+    return float(raw) if raw else 1.0
+
+
+def scaled(value: int, minimum: int = 6) -> int:
+    """Scale an integer size (node counts, rounds), with a floor."""
+    return max(minimum, int(round(value * scale_factor())))

@@ -10,10 +10,11 @@ the converged nodes sit in tight groups of roughly k.
 
 from __future__ import annotations
 
-import numpy as np
+from _scale import scaled
 
-from repro import LaacadConfig, LaacadRunner, SensorNetwork, evaluate_coverage, unit_square
+from repro import evaluate_coverage, unit_square
 from repro.experiments.fig5_deployment import clustering_statistic, nearest_neighbor_distances
+from repro.scenarios import make_scenario
 
 
 def render_ascii_map(positions, width: int = 48, height: int = 24) -> str:
@@ -30,12 +31,15 @@ def render_ascii_map(positions, width: int = 48, height: int = 24) -> str:
 def main() -> None:
     region = unit_square()
     for k in (1, 2, 3):
-        network = SensorNetwork.from_corner_cluster(
-            region, count=45, cluster_fraction=0.15, comm_range=0.25,
-            rng=np.random.default_rng(5),
+        spec = make_scenario(
+            "corner_cluster",
+            node_count=scaled(45, minimum=12),
+            k=k,
+            comm_range=0.25,
+            max_rounds=scaled(120, minimum=30),
+            seed=5,
         )
-        config = LaacadConfig(k=k, alpha=1.0, epsilon=1e-3, max_rounds=120)
-        result = LaacadRunner(network, config).run()
+        result = spec.build_runner().run()
         coverage = evaluate_coverage(
             result.final_positions, result.sensing_ranges, region, k, resolution=50
         )

@@ -3,36 +3,42 @@
 
 The distributed runtime executes Algorithm 1+2 through explicit ring
 queries and position replies, so every round has a communication cost.
-This script runs the protocol on a small network, reports the message
-overhead, then kills a few nodes mid-run and shows that (a) the deployment
-still converges and (b) k-coverage survives thanks to the redundancy the
-coverage order provides.
+This script declares both runs as scenarios from the ``node_failures``
+family: a loss-free baseline and a run that kills a few nodes mid-flight
+with 2 % message loss.  It reports the message overhead and shows that
+(a) the deployment still converges and (b) k-coverage survives thanks to
+the redundancy the coverage order provides.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from _scale import scaled
 
-from repro import LaacadConfig, SensorNetwork, evaluate_coverage, unit_square
-from repro.runtime.failures import FailureInjector
-from repro.runtime.protocol import DistributedLaacadRunner
+from repro import evaluate_coverage
+from repro.scenarios import make_scenario
 
 
 def main() -> None:
-    region = unit_square()
     k = 3
+    base = make_scenario(
+        "node_failures",
+        node_count=scaled(36, minimum=12),
+        k=k,
+        comm_range=0.3,
+        max_rounds=scaled(80, minimum=20),
+        seed=8,
+        failures={},
+    )
+    region = base.build_region()
 
     # --- loss-free run -------------------------------------------------
-    network = SensorNetwork.from_random(
-        region, count=36, comm_range=0.3, rng=np.random.default_rng(8)
-    )
-    config = LaacadConfig(k=k, alpha=1.0, epsilon=1e-3, max_rounds=80)
-    runner = DistributedLaacadRunner(network, config)
+    runner = base.build_distributed_runner()
     result, comm = runner.run()
     coverage = evaluate_coverage(
         result.final_positions, result.sensing_ranges, region, k, resolution=50
     )
     print("=== loss-free protocol run ===")
+    print(f"scenario digest: {base.digest()[:12]}")
     print(f"rounds: {result.rounds_executed}, converged: {result.converged}")
     print(f"messages: {comm.messages}, transmissions: {comm.transmissions}, "
           f"bytes: {comm.bytes_sent}")
@@ -40,19 +46,20 @@ def main() -> None:
     print(f"R* = {result.max_sensing_range:.4f}")
 
     # --- run with node failures ----------------------------------------
-    network = SensorNetwork.from_random(
-        region, count=36, comm_range=0.3, rng=np.random.default_rng(8)
+    crashing = base.replace(
+        failures={"scheduled": {"10": [0, 1], "20": [2]}},
+        drop_probability=0.02,
     )
-    injector = FailureInjector(scheduled={10: [0, 1], 20: [2]})
-    runner = DistributedLaacadRunner(
-        network, config, failure_injector=injector, drop_probability=0.02
-    )
+    runner = crashing.build_distributed_runner()
     result, comm = runner.run()
+    network = runner.network
+    injector = runner.failure_injector
     alive_positions = [n.position for n in network.alive_nodes()]
     alive_ranges = [n.sensing_range for n in network.alive_nodes()]
     coverage_k = evaluate_coverage(alive_positions, alive_ranges, region, k, resolution=50)
     coverage_k1 = evaluate_coverage(alive_positions, alive_ranges, region, k - 1, resolution=50)
     print("\n=== run with 3 node crashes and 2% message loss ===")
+    print(f"scenario digest: {crashing.digest()[:12]}")
     print(f"nodes killed: {injector.total_killed()}, rounds: {result.rounds_executed}")
     print(f"messages dropped: {comm.dropped}/{comm.messages}")
     print(f"{k}-coverage fraction of survivors   : {coverage_k.fraction_k_covered:.4f}")

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from _scale import scaled
+
 from repro import KOrderVoronoiDiagram, SensorNetwork, compute_dominating_region, unit_square
 from repro.core.dominating import localized_dominating_region
 
@@ -17,7 +19,7 @@ from repro.core.dominating import localized_dominating_region
 def main() -> None:
     region = unit_square()
     rng = np.random.default_rng(12)
-    sites = region.random_points(30, rng=rng)
+    sites = region.random_points(scaled(30, minimum=10), rng=rng)
 
     print("dominating regions of node 0 for increasing k:")
     others = sites[1:]

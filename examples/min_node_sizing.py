@@ -9,6 +9,8 @@ the answer with the Bai et al. density lower bound.
 
 from __future__ import annotations
 
+from _scale import scaled
+
 from repro import LaacadConfig, unit_square
 from repro.baselines.bai import bai_minimum_nodes
 from repro.core.minnode import MinNodeSizer
@@ -19,13 +21,17 @@ def main() -> None:
     target_range = 0.2  # every node will sense up to 0.2 km
     k = 2
 
-    config = LaacadConfig(k=k, alpha=1.0, epsilon=2e-3, max_rounds=60)
+    config = LaacadConfig(
+        k=k, alpha=1.0, epsilon=2e-3, max_rounds=scaled(60, minimum=15)
+    )
     sizer = MinNodeSizer(region, k=k, config=config, comm_range=0.3, seed=3)
 
     print(f"target sensing range : {target_range} km, coverage order k = {k}")
     print(f"analytic first guess : {sizer.analytic_estimate(target_range)} nodes")
 
-    result = sizer.find_min_nodes(target_range, max_evaluations=8)
+    result = sizer.find_min_nodes(
+        target_range, max_evaluations=scaled(8, minimum=3)
+    )
     bound = bai_minimum_nodes(region.area, target_range)
 
     print(f"\nLAACAD-based minimum : {result.node_count} nodes "

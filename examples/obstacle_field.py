@@ -10,22 +10,28 @@ the holes.
 
 from __future__ import annotations
 
-import numpy as np
+from _scale import scaled
 
-from repro import LaacadConfig, LaacadRunner, SensorNetwork, evaluate_coverage
-from repro.regions.shapes import figure8_region_two
+from repro import evaluate_coverage
+from repro.scenarios import make_scenario
 from repro.voronoi.dominating import compute_dominating_region
 
 
 def main() -> None:
-    region = figure8_region_two()
+    spec = make_scenario(
+        "l_hall_obstacles",
+        node_count=scaled(45, minimum=15),
+        k=2,
+        comm_range=0.25,
+        max_rounds=scaled(100, minimum=25),
+        seed=17,
+    )
+    region = spec.build_region()
     print(f"target area: {region.name}")
     print(f"free area  : {region.area:.4f} (outer minus {len(region.holes)} obstacles)")
+    print(f"scenario digest: {spec.digest()[:12]}")
 
-    rng = np.random.default_rng(17)
-    network = SensorNetwork.from_random(region, count=45, comm_range=0.25, rng=rng)
-    config = LaacadConfig(k=2, alpha=1.0, epsilon=1e-3, max_rounds=100)
-    result = LaacadRunner(network, config).run()
+    result = spec.build_runner().run()
 
     inside = sum(1 for p in result.final_positions if region.contains(p))
     coverage = evaluate_coverage(

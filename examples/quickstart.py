@@ -1,32 +1,33 @@
 #!/usr/bin/env python3
 """Quickstart: 2-cover a unit square with 40 mobile sensor nodes.
 
-Runs LAACAD from a random initial deployment, prints the per-round
-convergence of the maximum circumradius, verifies the resulting
-2-coverage on a grid, and reports the sensing-load balance.
+Declares the run as a scenario from the ``open_field`` family, executes
+LAACAD, prints the per-round convergence of the maximum circumradius,
+verifies the resulting 2-coverage on a grid, and reports the
+sensing-load balance.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from _scale import scaled
 
-from repro import (
-    LaacadConfig,
-    LaacadRunner,
-    SensorNetwork,
-    evaluate_coverage,
-    unit_square,
-)
+from repro import evaluate_coverage
 from repro.analysis.energy import energy_report
+from repro.scenarios import make_scenario
 
 
 def main() -> None:
-    region = unit_square()
-    rng = np.random.default_rng(2026)
-    network = SensorNetwork.from_random(region, count=40, comm_range=0.25, rng=rng)
-
-    config = LaacadConfig(k=2, alpha=1.0, epsilon=1e-3, max_rounds=80)
-    result = LaacadRunner(network, config).run()
+    spec = make_scenario(
+        "open_field",
+        node_count=scaled(40, minimum=10),
+        k=2,
+        comm_range=0.25,
+        max_rounds=scaled(80, minimum=20),
+        seed=2026,
+    )
+    region = spec.build_region()
+    print(f"scenario digest: {spec.digest()[:12]}")
+    result = spec.build_runner().run()
 
     print(f"converged            : {result.converged} ({result.rounds_executed} rounds)")
     print(f"max sensing range R* : {result.max_sensing_range:.4f} km")

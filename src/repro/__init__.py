@@ -31,6 +31,16 @@ from repro.engine import (
     make_engine,
 )
 from repro.network.network import SensorNetwork
+from repro.scenarios import (
+    ScenarioFamily,
+    ScenarioSpec,
+    SweepRunner,
+    available_families,
+    expand_grid,
+    make_scenario,
+    register_family,
+    run_scenarios,
+)
 from repro.network.energy import EnergyModel
 from repro.regions.region import Region
 from repro.regions.shapes import (
@@ -62,6 +72,14 @@ __all__ = [
     "available_engines",
     "make_engine",
     "SensorNetwork",
+    "ScenarioFamily",
+    "ScenarioSpec",
+    "SweepRunner",
+    "available_families",
+    "expand_grid",
+    "make_scenario",
+    "register_family",
+    "run_scenarios",
     "EnergyModel",
     "Region",
     "square_region",

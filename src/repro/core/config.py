@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,6 +80,19 @@ class LaacadConfig:
             raise ValueError("convergence_patience must be at least 1")
         if not self.engine or not isinstance(self.engine, str):
             raise ValueError("engine must be a non-empty backend name")
+
+    @classmethod
+    def from_mapping(cls, options: Mapping[str, Any]) -> "LaacadConfig":
+        """Scenario-driven constructor: build a config from plain options.
+
+        Unknown keys raise immediately so a typo in a scenario spec
+        cannot silently fall back to a default.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(options) - known
+        if unknown:
+            raise ValueError(f"unknown LaacadConfig options: {sorted(unknown)}")
+        return cls(**dict(options))
 
     def with_k(self, k: int) -> "LaacadConfig":
         """A copy of this configuration with a different coverage order."""

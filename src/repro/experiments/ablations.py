@@ -14,18 +14,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-import numpy as np
-
-from repro.core.config import LaacadConfig
-from repro.core.dominating import localized_dominating_region
-from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_engine
-from repro.network.network import SensorNetwork
-from repro.regions.shapes import unit_square
-from repro.runtime.protocol import DistributedLaacadRunner
-from repro.voronoi.dominating import compute_dominating_region
+from repro.experiments.common import ExperimentResult, execute_scenarios, resolve_engine
+from repro.scenarios import ScenarioSpec, expand_grid, make_scenario
 
 
 def run_alpha_ablation(
@@ -38,25 +30,29 @@ def run_alpha_ablation(
     seed: int = 51,
 ) -> ExperimentResult:
     """Step-size ablation: convergence speed and final quality vs alpha."""
-    region = unit_square()
+    base = make_scenario(
+        "corner_cluster",
+        node_count=node_count,
+        k=k,
+        comm_range=comm_range,
+        epsilon=epsilon,
+        max_rounds=max_rounds,
+        seed=seed,
+        engine=resolve_engine(),
+    )
+    specs = expand_grid(base, {"alpha": list(alphas)})
+    results = execute_scenarios(specs)
+
     rows: List[Dict] = []
-    for alpha in alphas:
-        network = SensorNetwork.from_corner_cluster(
-            region, node_count, comm_range=comm_range, rng=np.random.default_rng(seed)
-        )
-        config = LaacadConfig(
-            k=k, alpha=alpha, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
-            engine=resolve_engine(),
-        )
-        result = LaacadRunner(network, config).run()
+    for alpha, result in zip(alphas, results):
         rows.append(
             {
                 "alpha": alpha,
-                "rounds": result.rounds_executed,
-                "converged": result.converged,
-                "max_sensing_range": result.max_sensing_range,
-                "min_sensing_range": result.min_sensing_range,
-                "total_movement": result.total_distance_traveled(),
+                "rounds": result["rounds_executed"],
+                "converged": result["converged"],
+                "max_sensing_range": result["max_sensing_range"],
+                "min_sensing_range": result["min_sensing_range"],
+                "total_movement": result["total_movement"],
             }
         )
     return ExperimentResult(
@@ -80,36 +76,29 @@ def run_localized_ablation(
     derived sensing range (expected ~0) and the ring statistics of the
     localized computation.
     """
-    region = unit_square()
-    rows: List[Dict] = []
-    for k in k_values:
-        network = SensorNetwork.from_random(
-            region, node_count, comm_range=comm_range, rng=np.random.default_rng(seed + k)
+    specs = [
+        ScenarioSpec(
+            name="ablation_localized",
+            pipeline="localized_compare",
+            node_count=node_count,
+            k=k,
+            comm_range=comm_range,
+            seed=seed,
+            placement_seed=seed + k,
         )
-        positions = network.positions()
-        max_diff = 0.0
-        hops: List[int] = []
-        neighbors_used: List[int] = []
-        for node in network.nodes:
-            others = [p for j, p in enumerate(positions) if j != node.node_id]
-            global_region = compute_dominating_region(
-                node.position, others, region, k
-            )
-            local = localized_dominating_region(network, node.node_id, k)
-            diff = abs(
-                global_region.circumradius(node.position)
-                - local.region.circumradius(node.position)
-            )
-            max_diff = max(max_diff, diff)
-            hops.append(local.hops)
-            neighbors_used.append(local.neighbors_used)
+        for k in k_values
+    ]
+    results = execute_scenarios(specs)
+
+    rows: List[Dict] = []
+    for k, result in zip(k_values, results):
         rows.append(
             {
                 "k": k,
-                "max_range_difference": max_diff,
-                "max_hops": max(hops),
-                "mean_hops": float(np.mean(hops)),
-                "mean_neighbors_used": float(np.mean(neighbors_used)),
+                "max_range_difference": result["max_range_difference"],
+                "max_hops": result["max_hops"],
+                "mean_hops": result["mean_hops"],
+                "mean_neighbors_used": result["mean_neighbors_used"],
                 "node_count": node_count,
             }
         )
@@ -141,18 +130,22 @@ def run_engine_ablation(
     """
     import time
 
-    region = unit_square()
+    # Wall-clock rows cannot come from the cache, so the scenarios are
+    # executed directly; the spec still provides the construction.
+    base = make_scenario(
+        "corner_cluster",
+        node_count=node_count,
+        k=k,
+        comm_range=comm_range,
+        epsilon=epsilon,
+        max_rounds=max_rounds,
+        seed=seed,
+    )
     rows: List[Dict] = []
     results = {}
     for engine in ("legacy", "batched"):
-        network = SensorNetwork.from_corner_cluster(
-            region, node_count, comm_range=comm_range, rng=np.random.default_rng(seed)
-        )
-        config = LaacadConfig(
-            k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed, engine=engine
-        )
         start = time.perf_counter()
-        result = LaacadRunner(network, config).run()
+        result = base.replace(engine=engine).build_runner().run()
         elapsed = time.perf_counter() - start
         results[engine] = result
         rows.append(
@@ -212,28 +205,30 @@ def run_protocol_overhead(
     drop_probability: float = 0.0,
 ) -> ExperimentResult:
     """Communication cost of the distributed protocol per round."""
-    region = unit_square()
-    network = SensorNetwork.from_random(
-        region, node_count, comm_range=comm_range, rng=np.random.default_rng(seed)
+    spec = ScenarioSpec(
+        name="ablation_protocol_overhead",
+        pipeline="distributed",
+        node_count=node_count,
+        k=k,
+        comm_range=comm_range,
+        epsilon=epsilon,
+        max_rounds=max_rounds,
+        seed=seed,
+        drop_probability=drop_probability,
     )
-    config = LaacadConfig(
-        k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed
-    )
-    runner = DistributedLaacadRunner(
-        network, config, drop_probability=drop_probability
-    )
-    result, stats = runner.run()
+    result = execute_scenarios([spec])[0]
     rows: List[Dict] = []
-    for round_stats in result.history:
+    for round_stats in result["history"]:
         rows.append(
             {
-                "round": round_stats.round_index,
-                "messages": getattr(round_stats, "messages", 0),
-                "transmissions": getattr(round_stats, "transmissions", 0),
-                "bytes": getattr(round_stats, "bytes_sent", 0),
-                "max_circumradius": round_stats.max_circumradius,
+                "round": round_stats["round_index"],
+                "messages": round_stats.get("messages", 0),
+                "transmissions": round_stats.get("transmissions", 0),
+                "bytes": round_stats.get("bytes_sent", 0),
+                "max_circumradius": round_stats["max_circumradius"],
             }
         )
+    comm = result["communication"]
     return ExperimentResult(
         name="ablation_protocol_overhead",
         description="Per-round communication cost of the message-passing LAACAD protocol",
@@ -241,11 +236,11 @@ def run_protocol_overhead(
         metadata={
             "node_count": node_count,
             "k": k,
-            "total_messages": stats.messages,
-            "total_bytes": stats.bytes_sent,
-            "dropped": stats.dropped,
-            "converged": result.converged,
-            "rounds": result.rounds_executed,
+            "total_messages": comm["messages"],
+            "total_bytes": comm["bytes_sent"],
+            "dropped": comm["dropped"],
+            "converged": result["converged"],
+            "rounds": result["rounds_executed"],
             "drop_probability": drop_probability,
             "seed": seed,
         },

@@ -1,19 +1,21 @@
-"""Command-line entry point for the experiment runners.
+"""Command-line entry point for the experiment runners and scenario sweeps.
 
 Examples::
 
     laacad-experiments list
     laacad-experiments run fig6_convergence
-    laacad-experiments run all --output-dir results
+    laacad-experiments run all --output-dir results --cache-dir .cache --jobs 4
+    laacad-experiments sweep corner_cluster --grid k=1,2,3 --jobs 2
     REPRO_FULL_SCALE=1 laacad-experiments run table1_minnode
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import os
 
@@ -23,7 +25,13 @@ from repro.experiments.ablations import (
     run_localized_ablation,
     run_protocol_overhead,
 )
-from repro.experiments.common import ENGINE_ENV, ExperimentResult, default_output_dir
+from repro.experiments.common import (
+    CACHE_DIR_ENV,
+    ENGINE_ENV,
+    JOBS_ENV,
+    ExperimentResult,
+    default_output_dir,
+)
 from repro.experiments.fig1_voronoi import run_fig1_voronoi
 from repro.experiments.fig2_rings import run_fig2_rings
 from repro.experiments.fig5_deployment import run_fig5_deployment
@@ -52,6 +60,44 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every command that executes scenarios."""
+    parser.add_argument(
+        "--engine",
+        choices=["batched", "legacy"],
+        default=None,
+        help=(
+            "Round-engine backend for the LAACAD runs (default: batched). "
+            "Both produce identical results; this only changes speed."
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="Worker processes for the scenario sweeps (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "Directory of the content-addressed scenario-result cache; "
+            "re-runs only compute missing cells (default: no cache)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -60,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="List available experiments")
+    sub.add_parser("list", help="List available experiments and scenario families")
 
     run_parser = sub.add_parser("run", help="Run one experiment (or 'all')")
     run_parser.add_argument(
@@ -84,15 +130,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=40,
         help="Maximum number of rows to print (default: 40)",
     )
-    run_parser.add_argument(
-        "--engine",
-        choices=["batched", "legacy"],
-        default=None,
+    _add_sweep_options(run_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="Sweep a scenario family over a parameter grid"
+    )
+    sweep_parser.add_argument(
+        "family",
+        help="Scenario family name (see 'list')",
+    )
+    sweep_parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="PARAM=V1,V2,...",
         help=(
-            "Round-engine backend for the LAACAD runs (default: batched). "
-            "Both produce identical results; this only changes speed."
+            "Sweep axis, repeatable (e.g. --grid k=1,2,3 "
+            "--grid node_count=20,40).  Dotted paths reach into dict "
+            "fields (--grid placement.cluster_fraction=0.1,0.2).  "
+            "Default: the family's built-in grid."
         ),
     )
+    sweep_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="PARAM=VALUE",
+        help="Fixed override applied to every scenario, repeatable",
+    )
+    sweep_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="Directory for CSV/JSON output (default: ./results)",
+    )
+    sweep_parser.add_argument(
+        "--no-files",
+        action="store_true",
+        help="Only print the table, do not write CSV/JSON files",
+    )
+    sweep_parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=40,
+        help="Maximum number of rows to print (default: 40)",
+    )
+    _add_sweep_options(sweep_parser)
     return parser
 
 
@@ -112,19 +196,134 @@ def _run_one(
     return result
 
 
+def _apply_sweep_options(args: argparse.Namespace) -> None:
+    """Thread --engine/--jobs/--cache-dir into the runner environment."""
+    if getattr(args, "engine", None):
+        os.environ[ENGINE_ENV] = args.engine
+    if getattr(args, "jobs", None):
+        os.environ[JOBS_ENV] = str(args.jobs)
+    if getattr(args, "cache_dir", None) is not None:
+        os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
+
+
+def _parse_grid_value(text: str) -> Any:
+    """One grid value: JSON when it parses, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_grid_args(items: List[str]) -> Dict[str, List[Any]]:
+    """``["k=1,2", "placement.kind=random"]`` -> ``{"k": [1, 2], ...}``."""
+    grid: Dict[str, List[Any]] = {}
+    for item in items:
+        if "=" not in item:
+            raise ValueError(f"grid axis {item!r} is not of the form PARAM=V1,V2,...")
+        param, _, values = item.partition("=")
+        grid[param.strip()] = [_parse_grid_value(v) for v in values.split(",")]
+    return grid
+
+
+def _sweep_rows(report) -> List[Dict[str, Any]]:
+    """Flatten sweep outcomes into printable/CSV-able rows.
+
+    Each row carries the scenario's varying knobs plus every scalar the
+    pipeline reported (lists/dicts such as positions and histories stay
+    in the cache files, addressed by the digest column).
+    """
+    rows: List[Dict[str, Any]] = []
+    for outcome in report.outcomes:
+        row: Dict[str, Any] = {
+            "scenario": outcome.spec.name,
+            "pipeline": outcome.spec.pipeline,
+            "k": outcome.spec.k,
+            "node_count": outcome.spec.node_count,
+            "seed": outcome.spec.seed,
+            "digest": outcome.spec.digest()[:12],
+            "cached": outcome.cached,
+        }
+        for key, value in outcome.result.items():
+            if isinstance(value, (int, float, bool, str)):
+                row[key] = value
+        rows.append(row)
+    return rows
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.common import resolve_cache_dir, resolve_jobs
+    from repro.scenarios import SweepRunner, get_family
+
+    try:
+        family = get_family(args.family)
+    except KeyError:
+        print(
+            f"unknown scenario family {args.family!r}; use 'list' to see choices",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        grid = _parse_grid_args(args.grid)
+        overrides = {
+            param.strip(): _parse_grid_value(value)
+            for param, _, value in (item.partition("=") for item in args.overrides)
+        }
+        # Overridden parameters are pinned: they drop out of the default
+        # grid instead of being swept away (see ScenarioFamily.grid).
+        effective_grid = grid or {
+            key: values
+            for key, values in family.default_grid.items()
+            if key not in overrides
+        }
+        specs = family.grid(effective_grid, **overrides)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    runner = SweepRunner(cache_dir=resolve_cache_dir(), jobs=resolve_jobs())
+    print(f"== sweeping {family.name}: {len(specs)} scenarios ==")
+    report = runner.run(specs)
+    result = ExperimentResult(
+        name=f"sweep_{family.name}",
+        description=family.description,
+        rows=_sweep_rows(report),
+        metadata={
+            "family": family.name,
+            "grid": {k: list(v) for k, v in effective_grid.items()},
+            "jobs": report.jobs,
+            "cache_hits": report.hits,
+            "cache_misses": report.misses,
+            "elapsed_seconds": report.elapsed_seconds,
+        },
+    )
+    print(result.format_table(max_rows=args.max_rows))
+    print(report.summary())
+    if not args.no_files:
+        out = args.output_dir if args.output_dir is not None else default_output_dir()
+        csv_path = result.to_csv(out / f"{result.name}.csv")
+        json_path = result.to_json(out / f"{result.name}.json")
+        print(f"wrote {csv_path} and {json_path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.command == "list":
+        from repro.scenarios import available_families, get_family
+
+        print("experiments:")
         for name in EXPERIMENTS:
-            print(name)
+            print(f"  {name}")
+        print()
+        print("scenario families (for 'sweep'):")
+        for name in available_families():
+            print(f"  {name}: {get_family(name).description}")
         return 0
 
     if args.command == "run":
-        if getattr(args, "engine", None):
-            os.environ[ENGINE_ENV] = args.engine
+        _apply_sweep_options(args)
         if args.experiment != "all" and args.experiment not in EXPERIMENTS:
             print(
                 f"unknown experiment {args.experiment!r}; use 'list' to see choices",
@@ -135,6 +334,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in names:
             _run_one(name, args.output_dir, not args.no_files, args.max_rows)
         return 0
+
+    if args.command == "sweep":
+        _apply_sweep_options(args)
+        return _run_sweep(args)
 
     return 2  # pragma: no cover - argparse enforces valid commands
 

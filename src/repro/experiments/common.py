@@ -21,6 +21,14 @@ FULL_SCALE_ENV = "REPRO_FULL_SCALE"
 #: DESIGN.md), so this only affects wall-clock time.
 ENGINE_ENV = "REPRO_ENGINE"
 
+#: Worker processes every runner's scenario sweep uses; the CLI's
+#: ``--jobs`` flag sets it.  The default (1) runs serially in-process.
+JOBS_ENV = "REPRO_JOBS"
+
+#: Directory of the content-addressed scenario-result cache; the CLI's
+#: ``--cache-dir`` flag sets it.  Unset disables caching.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
 
 def resolve_scale() -> str:
     """Return ``"full"`` when REPRO_FULL_SCALE is set to a truthy value, else ``"reduced"``."""
@@ -49,6 +57,47 @@ def resolve_engine() -> str:
             f"available: {', '.join(available_engines())}"
         )
     return value
+
+
+def resolve_jobs() -> int:
+    """Sweep worker count from REPRO_JOBS (default 1 = serial).
+
+    Raises:
+        ValueError: for non-integer or non-positive settings.
+    """
+    value = os.environ.get(JOBS_ENV, "").strip()
+    if not value:
+        return 1
+    jobs = int(value)
+    if jobs < 1:
+        raise ValueError(f"{JOBS_ENV} must be >= 1, got {jobs}")
+    return jobs
+
+
+def resolve_cache_dir() -> Optional[Path]:
+    """Scenario cache directory from REPRO_CACHE_DIR (unset = no cache)."""
+    value = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(value) if value else None
+
+
+def execute_scenarios(
+    specs: Sequence["ScenarioSpec"],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
+) -> List[Dict[str, Any]]:
+    """Run a scenario list through the sweep orchestrator.
+
+    Every experiment runner funnels its grid through here, so the CLI's
+    ``--jobs`` / ``--cache-dir`` flags (via the environment) apply to all
+    of them uniformly.  Results come back in input order.
+    """
+    from repro.scenarios.sweep import run_scenarios
+
+    return run_scenarios(
+        specs,
+        cache_dir=resolve_cache_dir() if cache_dir is None else cache_dir,
+        jobs=resolve_jobs() if jobs is None else jobs,
+    )
 
 
 @dataclasses.dataclass

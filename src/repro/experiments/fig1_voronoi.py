@@ -10,13 +10,10 @@ polygons for plotting by external tools.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.experiments.common import ExperimentResult, resolve_scale
-from repro.regions.shapes import unit_square
-from repro.voronoi.korder import KOrderVoronoiDiagram
+from repro.experiments.common import ExperimentResult, execute_scenarios, resolve_scale
+from repro.scenarios import expand_grid, make_scenario
 
 
 def run_fig1_voronoi(
@@ -37,34 +34,25 @@ def run_fig1_voronoi(
     scale = resolve_scale()
     if seed_resolution is None:
         seed_resolution = 90 if scale == "full" else 60
-    region = unit_square()
-    rng = np.random.default_rng(seed)
-    sites = region.random_points(node_count, rng=rng)
+
+    base = make_scenario(
+        "voronoi_partition", node_count=node_count, seed=seed
+    ).override("extra.seed_resolution", seed_resolution)
+    specs = expand_grid(base, {"k": list(k_values)})
+    results = execute_scenarios(specs)
 
     rows: List[dict] = []
-    for k in k_values:
-        diagram = KOrderVoronoiDiagram(sites, region, k, seed_resolution=seed_resolution)
-        cells = diagram.cells()
-        areas = [
-            sum(
-                _polygon_area(piece)
-                for piece in pieces
-            )
-            for pieces in cells.values()
-        ]
-        dominating_areas = [
-            diagram.dominating_region(i).area for i in range(node_count)
-        ]
+    for k, result in zip(k_values, results):
         rows.append(
             {
                 "k": k,
-                "num_cells": diagram.num_cells(),
-                "cell_count_bound": diagram.cell_count_bound(),
-                "total_cell_area": diagram.total_cell_area(),
-                "region_area": region.area,
-                "mean_cell_area": float(np.mean(areas)) if areas else 0.0,
-                "mean_dominating_area": float(np.mean(dominating_areas)),
-                "max_dominating_area": float(np.max(dominating_areas)),
+                "num_cells": result["num_cells"],
+                "cell_count_bound": result["cell_count_bound"],
+                "total_cell_area": result["total_cell_area"],
+                "region_area": result["region_area"],
+                "mean_cell_area": result["mean_cell_area"],
+                "mean_dominating_area": result["mean_dominating_area"],
+                "max_dominating_area": result["max_dominating_area"],
             }
         )
     return ExperimentResult(
@@ -82,9 +70,3 @@ def run_fig1_voronoi(
             "scale": scale,
         },
     )
-
-
-def _polygon_area(polygon: Iterable) -> float:
-    from repro.geometry.polygon import polygon_area
-
-    return polygon_area(list(polygon))

@@ -11,15 +11,12 @@ number of neighbours involved.
 
 from __future__ import annotations
 
-import math
 from typing import List, Sequence
 
-from repro.core.dominating import localized_dominating_region
-from repro.experiments.common import ExperimentResult
-from repro.geometry.primitives import distance
-from repro.network.network import SensorNetwork
-from repro.regions.shapes import square_region
 from repro.baselines.lattice import triangular_lattice
+from repro.experiments.common import ExperimentResult, execute_scenarios
+from repro.regions.shapes import square_region
+from repro.scenarios import expand_grid, make_scenario
 
 
 def run_fig2_rings(
@@ -27,6 +24,7 @@ def run_fig2_rings(
     lattice_spacing: float = 0.1,
     region_side: float = 1.0,
     comm_factor: float = 1.2,
+    seed: int = 13,
 ) -> ExperimentResult:
     """Reproduce the Figure 2 hop-requirement sweep on a triangular lattice.
 
@@ -39,6 +37,9 @@ def run_fig2_rings(
             slightly exceeds the nearest-neighbour distance (so the six
             closest nodes are one-hop neighbours and suffice for k = 1);
             1.2 reproduces that regime.
+        seed: scenario seed.  The lattice probe itself is deterministic;
+            the explicit seed keeps the scenario hash self-describing
+            like every other runner's.
     """
     if comm_factor <= 0:
         raise ValueError("comm_factor must be positive")
@@ -46,28 +47,29 @@ def run_fig2_rings(
     positions = triangular_lattice(region, lattice_spacing)
     if len(positions) <= max(k_values):
         raise ValueError("the lattice is too sparse for the requested k values")
-    network = SensorNetwork(region, positions, comm_range=lattice_spacing * comm_factor)
 
-    # The "central node": closest to the region's center.
-    center_point = (region_side / 2.0, region_side / 2.0)
-    central = min(
-        range(len(positions)), key=lambda i: distance(positions[i], center_point)
-    )
+    base = make_scenario(
+        "ring_probe",
+        region={"kind": "square", "side": region_side},
+        comm_range=lattice_spacing * comm_factor,
+        seed=seed,
+    ).override("placement.spacing", lattice_spacing)
+    base = base.override("extra.comm_factor", comm_factor)
+    specs = expand_grid(base, {"k": list(k_values)})
+    results = execute_scenarios(specs)
+    central = results[0]["central_node"] if results else 0
 
     rows: List[dict] = []
-    for k in k_values:
-        computation = localized_dominating_region(
-            network, central, k, ring_granularity=1.0, circle_check_samples=72
-        )
+    for k, result in zip(k_values, results):
         rows.append(
             {
                 "k": k,
-                "ring_radius": computation.ring_radius,
-                "hops": computation.hops,
-                "neighbors_used": computation.neighbors_used,
-                "competitors_in_region": computation.region.competitors_used,
-                "dominating_area": computation.region.area,
-                "circumradius": computation.region.chebyshev_center()[1],
+                "ring_radius": result["ring_radius"],
+                "hops": result["hops"],
+                "neighbors_used": result["neighbors_used"],
+                "competitors_in_region": result["competitors_in_region"],
+                "dominating_area": result["dominating_area"],
+                "circumradius": result["circumradius"],
             }
         )
     return ExperimentResult(
@@ -84,5 +86,6 @@ def run_fig2_rings(
             "comm_factor": comm_factor,
             "lattice_size": len(positions),
             "central_node": central,
+            "seed": seed,
         },
     )

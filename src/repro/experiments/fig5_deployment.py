@@ -20,12 +20,15 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.coverage import evaluate_coverage
-from repro.core.config import LaacadConfig
-from repro.core.laacad import LaacadResult, LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
+from repro.experiments.common import (
+    ExperimentResult,
+    execute_scenarios,
+    resolve_engine,
+    resolve_scale,
+)
 from repro.geometry.primitives import distance
-from repro.network.network import SensorNetwork
 from repro.regions.shapes import unit_square
+from repro.scenarios import expand_grid, make_scenario
 
 
 def nearest_neighbor_distances(positions: Sequence) -> List[float]:
@@ -96,40 +99,44 @@ def run_fig5_deployment(
         max_rounds = 250 if scale == "full" else 120
     region = unit_square()
 
+    base = make_scenario(
+        "corner_cluster",
+        node_count=node_count,
+        comm_range=comm_range,
+        alpha=1.0,
+        epsilon=epsilon,
+        max_rounds=max_rounds,
+        seed=seed,
+        engine=engine,
+    ).override("placement.cluster_fraction", cluster_fraction)
+    specs = expand_grid(base, {"k": list(k_values)})
+    results = execute_scenarios(specs)
+
     rows: List[Dict] = []
     position_rows: List[Dict] = []
-    for k in k_values:
-        network = SensorNetwork.from_corner_cluster(
-            region,
-            node_count,
-            cluster_fraction=cluster_fraction,
-            comm_range=comm_range,
-            rng=np.random.default_rng(seed),
-        )
-        config = LaacadConfig(
-            k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed, engine=engine
-        )
-        result: LaacadResult = LaacadRunner(network, config).run()
+    for k, result in zip(k_values, results):
+        final_positions = [tuple(p) for p in result["final_positions"]]
         coverage = evaluate_coverage(
-            result.final_positions, result.sensing_ranges, region, k, resolution=coverage_resolution
+            final_positions, result["sensing_ranges"], region, k,
+            resolution=coverage_resolution,
         )
         rows.append(
             {
                 "k": k,
                 "node_count": node_count,
-                "rounds": result.rounds_executed,
-                "converged": result.converged,
-                "max_sensing_range": result.max_sensing_range,
-                "min_sensing_range": result.min_sensing_range,
+                "rounds": result["rounds_executed"],
+                "converged": result["converged"],
+                "max_sensing_range": result["max_sensing_range"],
+                "min_sensing_range": result["min_sensing_range"],
                 "coverage_fraction": coverage.fraction_k_covered,
                 "min_coverage": coverage.min_coverage,
                 "clustering_statistic": clustering_statistic(
-                    result.final_positions, k, region.area
+                    final_positions, k, region.area
                 ),
             }
         )
         if include_positions:
-            for node_id, pos in enumerate(result.final_positions):
+            for node_id, pos in enumerate(final_positions):
                 position_rows.append(
                     {"k": k, "node_id": node_id, "x": pos[0], "y": pos[1]}
                 )

@@ -11,14 +11,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.analysis.traces import is_monotone_nonincreasing, relative_gap
-from repro.core.config import LaacadConfig
-from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
-from repro.network.network import SensorNetwork
-from repro.regions.shapes import unit_square
+from repro.experiments.common import (
+    ExperimentResult,
+    execute_scenarios,
+    resolve_engine,
+    resolve_scale,
+)
+from repro.scenarios import expand_grid, make_scenario
 
 
 def run_fig6_convergence(
@@ -46,37 +46,38 @@ def run_fig6_convergence(
         node_count = 100 if scale == "full" else 60
     if max_rounds is None:
         max_rounds = 250 if scale == "full" else 120
-    region = unit_square()
+    base = make_scenario(
+        "corner_cluster",
+        node_count=node_count,
+        comm_range=comm_range,
+        alpha=alpha,
+        epsilon=epsilon,
+        max_rounds=max_rounds,
+        seed=seed,
+        engine=engine,
+    ).override("placement.cluster_fraction", cluster_fraction)
+    specs = expand_grid(base, {"k": list(k_values)})
+    results = execute_scenarios(specs)
 
     rows: List[Dict] = []
     summaries: Dict[str, Dict] = {}
-    for k in k_values:
-        network = SensorNetwork.from_corner_cluster(
-            region,
-            node_count,
-            cluster_fraction=cluster_fraction,
-            comm_range=comm_range,
-            rng=np.random.default_rng(seed),
-        )
-        config = LaacadConfig(
-            k=k, alpha=alpha, epsilon=epsilon, max_rounds=max_rounds, seed=seed, engine=engine
-        )
-        result = LaacadRunner(network, config).run()
-        max_trace = result.max_circumradius_trace()
-        min_trace = result.min_circumradius_trace()
-        for stats in result.history:
+    for k, result in zip(k_values, results):
+        history = result["history"]
+        max_trace = [stats["max_circumradius"] for stats in history]
+        min_trace = [stats["min_circumradius"] for stats in history]
+        for stats in history:
             rows.append(
                 {
                     "k": k,
-                    "round": stats.round_index,
-                    "max_circumradius": stats.max_circumradius,
-                    "min_circumradius": stats.min_circumradius,
-                    "max_displacement": stats.max_displacement,
+                    "round": stats["round_index"],
+                    "max_circumradius": stats["max_circumradius"],
+                    "min_circumradius": stats["min_circumradius"],
+                    "max_displacement": stats["max_displacement"],
                 }
             )
         summaries[str(k)] = {
-            "rounds": result.rounds_executed,
-            "converged": result.converged,
+            "rounds": result["rounds_executed"],
+            "converged": result["converged"],
             # Proposition 4 guarantees monotonicity in exact arithmetic; the
             # tolerance absorbs the ~1e-4 wobble the clipping cascades and
             # Welzl restarts introduce for large k.

@@ -13,15 +13,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.analysis.coverage import evaluate_coverage
 from repro.analysis.energy import energy_report
-from repro.core.config import LaacadConfig
-from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
-from repro.network.network import SensorNetwork
+from repro.experiments.common import (
+    ExperimentResult,
+    execute_scenarios,
+    resolve_engine,
+    resolve_scale,
+)
 from repro.regions.shapes import unit_square
+from repro.scenarios import make_scenario
 
 
 def run_fig7_energy(
@@ -55,40 +56,51 @@ def run_fig7_energy(
         max_rounds = 150 if scale == "full" else 60
     region = unit_square()
 
+    # The paper derives one deployment per (N, k) cell; the placement seed
+    # is an explicit function of the cell so every run is reproducible in
+    # isolation.
+    cells = [(n, k) for n in node_counts for k in k_values if n >= k]
+    specs = [
+        make_scenario(
+            "open_field",
+            node_count=n,
+            k=k,
+            comm_range=comm_range,
+            alpha=1.0,
+            epsilon=epsilon,
+            max_rounds=max_rounds,
+            seed=seed,
+            placement_seed=seed + 1000 * n + k,
+            engine=resolve_engine(),
+        )
+        for n, k in cells
+    ]
+    results = execute_scenarios(specs)
+
     rows: List[Dict] = []
-    for n in node_counts:
-        for k in k_values:
-            if n < k:
-                continue
-            rng = np.random.default_rng(seed + 1000 * n + k)
-            network = SensorNetwork.from_random(region, n, comm_range=comm_range, rng=rng)
-            config = LaacadConfig(
-                k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
-                engine=resolve_engine(),
+    for (n, k), result in zip(cells, results):
+        report = energy_report(result["sensing_ranges"])
+        row = {
+            "node_count": n,
+            "k": k,
+            "rounds": result["rounds_executed"],
+            "converged": result["converged"],
+            "max_sensing_range": result["max_sensing_range"],
+            "max_load": report.max_load,
+            "total_load": report.total_load,
+            "mean_load": report.mean_load,
+            "load_imbalance": report.imbalance,
+        }
+        if verify_coverage:
+            coverage = evaluate_coverage(
+                [tuple(p) for p in result["final_positions"]],
+                result["sensing_ranges"],
+                region,
+                k,
+                resolution=coverage_resolution,
             )
-            result = LaacadRunner(network, config).run()
-            report = energy_report(result.sensing_ranges)
-            row = {
-                "node_count": n,
-                "k": k,
-                "rounds": result.rounds_executed,
-                "converged": result.converged,
-                "max_sensing_range": result.max_sensing_range,
-                "max_load": report.max_load,
-                "total_load": report.total_load,
-                "mean_load": report.mean_load,
-                "load_imbalance": report.imbalance,
-            }
-            if verify_coverage:
-                coverage = evaluate_coverage(
-                    result.final_positions,
-                    result.sensing_ranges,
-                    region,
-                    k,
-                    resolution=coverage_resolution,
-                )
-                row["coverage_fraction"] = coverage.fraction_k_covered
-            rows.append(row)
+            row["coverage_fraction"] = coverage.fraction_k_covered
+        rows.append(row)
 
     return ExperimentResult(
         name="fig7_energy",

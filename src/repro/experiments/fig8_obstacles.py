@@ -11,15 +11,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.analysis.coverage import evaluate_coverage
-from repro.core.config import LaacadConfig
-from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
+from repro.experiments.common import (
+    ExperimentResult,
+    execute_scenarios,
+    resolve_engine,
+    resolve_scale,
+)
 from repro.experiments.fig5_deployment import clustering_statistic
-from repro.network.network import SensorNetwork
 from repro.regions.shapes import figure8_region_one, figure8_region_two
+from repro.scenarios import make_scenario
 
 
 def run_fig8_obstacles(
@@ -51,44 +52,59 @@ def run_fig8_obstacles(
         max_rounds = 200 if scale == "full" else 80
 
     regions = {
-        "region-I": figure8_region_one(),
-        "region-II": figure8_region_two(),
+        "region-I": ("obstacle_field", figure8_region_one()),
+        "region-II": ("l_hall_obstacles", figure8_region_two()),
     }
+    cells = [
+        (region_name, family, region, k)
+        for region_name, (family, region) in regions.items()
+        for k in k_values
+    ]
+    specs = [
+        make_scenario(
+            family,
+            node_count=node_count,
+            k=k,
+            comm_range=comm_range,
+            alpha=1.0,
+            epsilon=epsilon,
+            max_rounds=max_rounds,
+            seed=seed,
+            placement_seed=seed + k,
+            engine=resolve_engine(),
+        )
+        for _, family, _, k in cells
+    ]
+    results = execute_scenarios(specs)
+
     rows: List[Dict] = []
-    for region_name, region in regions.items():
-        for k in k_values:
-            rng = np.random.default_rng(seed + k)
-            network = SensorNetwork.from_random(region, node_count, comm_range=comm_range, rng=rng)
-            config = LaacadConfig(
-                k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
-                engine=resolve_engine(),
-            )
-            result = LaacadRunner(network, config).run()
-            coverage = evaluate_coverage(
-                result.final_positions,
-                result.sensing_ranges,
-                region,
-                k,
-                resolution=coverage_resolution,
-            )
-            all_free = all(region.contains(p) for p in result.final_positions)
-            rows.append(
-                {
-                    "region": region_name,
-                    "k": k,
-                    "node_count": node_count,
-                    "rounds": result.rounds_executed,
-                    "converged": result.converged,
-                    "max_sensing_range": result.max_sensing_range,
-                    "min_sensing_range": result.min_sensing_range,
-                    "coverage_fraction": coverage.fraction_k_covered,
-                    "min_coverage": coverage.min_coverage,
-                    "all_nodes_in_free_area": all_free,
-                    "clustering_statistic": clustering_statistic(
-                        result.final_positions, k, region.area
-                    ),
-                }
-            )
+    for (region_name, _, region, k), result in zip(cells, results):
+        final_positions = [tuple(p) for p in result["final_positions"]]
+        coverage = evaluate_coverage(
+            final_positions,
+            result["sensing_ranges"],
+            region,
+            k,
+            resolution=coverage_resolution,
+        )
+        all_free = all(region.contains(p) for p in final_positions)
+        rows.append(
+            {
+                "region": region_name,
+                "k": k,
+                "node_count": node_count,
+                "rounds": result["rounds_executed"],
+                "converged": result["converged"],
+                "max_sensing_range": result["max_sensing_range"],
+                "min_sensing_range": result["min_sensing_range"],
+                "coverage_fraction": coverage.fraction_k_covered,
+                "min_coverage": coverage.min_coverage,
+                "all_nodes_in_free_area": all_free,
+                "clustering_statistic": clustering_statistic(
+                    final_positions, k, region.area
+                ),
+            }
+        )
 
     return ExperimentResult(
         name="fig8_obstacles",

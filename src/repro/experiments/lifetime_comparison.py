@@ -22,31 +22,14 @@ random deployment's and close to the (centrally planned) lattice's.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List
 
 from repro.analysis.coverage import coverage_fraction
 from repro.analysis.energy import energy_report
 from repro.analysis.lifetime import lifetime_report
-from repro.baselines.lattice import lattice_for_count
-from repro.core.config import LaacadConfig
-from repro.core.laacad import run_laacad
-from repro.experiments.common import ExperimentResult, resolve_engine
-from repro.geometry.primitives import Point
-from repro.regions.region import Region
+from repro.experiments.common import ExperimentResult, execute_scenarios, resolve_engine
 from repro.regions.shapes import unit_square
-from repro.voronoi.dominating import compute_dominating_region
-
-
-def _static_ranges(positions: Sequence[Point], region: Region, k: int) -> List[float]:
-    """Minimum per-node sensing ranges that k-cover the area without moving."""
-    ranges: List[float] = []
-    for i, pos in enumerate(positions):
-        others = [p for j, p in enumerate(positions) if j != i]
-        dom = compute_dominating_region(pos, others, region, k)
-        ranges.append(dom.circumradius(pos))
-    return ranges
+from repro.scenarios import make_scenario
 
 
 def run_lifetime_comparison(
@@ -72,39 +55,42 @@ def run_lifetime_comparison(
         coverage_resolution: grid resolution of the coverage check.
     """
     region = unit_square()
-    rng = np.random.default_rng(seed)
-    initial_positions = region.random_points(node_count, rng=rng)
 
-    deployments: Dict[str, Dict[str, object]] = {}
-
-    # LAACAD (mobile nodes).
-    config = LaacadConfig(
-        k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
-        engine=resolve_engine(),
+    # Three deployments over the same target area: the LAACAD run (mobile
+    # nodes), a static random deployment with ranges sized to keep
+    # k-coverage, and a triangular-lattice "blueprint" of the same size.
+    shared = dict(
+        node_count=node_count,
+        k=k,
+        comm_range=comm_range,
+        seed=seed,
     )
-    laacad = run_laacad(region, initial_positions, config, comm_range=comm_range)
-    deployments["laacad"] = {
-        "positions": laacad.final_positions,
-        "ranges": laacad.sensing_ranges,
-    }
-
-    # Static random (no movement, ranges sized to keep k-coverage).
-    deployments["static-random"] = {
-        "positions": list(initial_positions),
-        "ranges": _static_ranges(initial_positions, region, k),
-    }
-
-    # Triangular lattice of the same size (centralized blueprint).
-    lattice_positions = lattice_for_count(region, node_count, kind="triangular")
-    deployments["lattice"] = {
-        "positions": lattice_positions,
-        "ranges": _static_ranges(lattice_positions, region, k),
-    }
+    deployments = [
+        (
+            "laacad",
+            make_scenario(
+                "open_field",
+                alpha=1.0,
+                epsilon=epsilon,
+                max_rounds=max_rounds,
+                engine=resolve_engine(),
+                **shared,
+            ),
+        ),
+        ("static-random", make_scenario("static_blueprint", **shared)),
+        (
+            "lattice",
+            make_scenario("static_blueprint", **shared).override(
+                "placement", {"kind": "lattice", "lattice": "triangular"}
+            ),
+        ),
+    ]
+    results = execute_scenarios([spec for _, spec in deployments])
 
     rows: List[Dict] = []
-    for name, deployment in deployments.items():
-        positions = deployment["positions"]
-        ranges = deployment["ranges"]
+    for (name, _), result in zip(deployments, results):
+        positions = [tuple(p) for p in result["final_positions"]]
+        ranges = result["sensing_ranges"]
         energy = energy_report(ranges)
         lifetime = lifetime_report(ranges, battery_capacity=battery_capacity)
         rows.append(

@@ -19,14 +19,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.baselines.bai import bai_minimum_nodes
-from repro.core.config import LaacadConfig
-from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
-from repro.network.network import SensorNetwork
+from repro.experiments.common import (
+    ExperimentResult,
+    execute_scenarios,
+    resolve_engine,
+    resolve_scale,
+)
 from repro.regions.shapes import unit_square
+from repro.scenarios import make_scenario
 
 
 def run_table1_minnode(
@@ -53,16 +54,26 @@ def run_table1_minnode(
         max_rounds = 120 if scale == "full" else 60
     region = unit_square()
 
-    rows: List[Dict] = []
-    for n in node_counts:
-        rng = np.random.default_rng(seed + n)
-        network = SensorNetwork.from_random(region, n, comm_range=comm_range, rng=rng)
-        config = LaacadConfig(
-            k=2, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
+    specs = [
+        make_scenario(
+            "dense_uniform",
+            node_count=n,
+            k=2,
+            comm_range=comm_range,
+            alpha=1.0,
+            epsilon=epsilon,
+            max_rounds=max_rounds,
+            seed=seed,
+            placement_seed=seed + n,
             engine=resolve_engine(),
         )
-        result = LaacadRunner(network, config).run()
-        r_star = result.max_sensing_range
+        for n in node_counts
+    ]
+    results = execute_scenarios(specs)
+
+    rows: List[Dict] = []
+    for n, result in zip(node_counts, results):
+        r_star = result["max_sensing_range"]
         bound = bai_minimum_nodes(region.area, r_star)
         rows.append(
             {
@@ -70,8 +81,8 @@ def run_table1_minnode(
                 "max_sensing_range": r_star,
                 "bai_minimum_nodes": bound,
                 "laacad_over_bound": n / bound if bound else float("inf"),
-                "rounds": result.rounds_executed,
-                "converged": result.converged,
+                "rounds": result["rounds_executed"],
+                "converged": result["converged"],
             }
         )
 

@@ -14,14 +14,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.baselines.ammari import ammari_node_count
-from repro.core.config import LaacadConfig
-from repro.core.laacad import LaacadRunner
-from repro.experiments.common import ExperimentResult, resolve_engine, resolve_scale
-from repro.network.network import SensorNetwork
+from repro.experiments.common import (
+    ExperimentResult,
+    execute_scenarios,
+    resolve_engine,
+    resolve_scale,
+)
 from repro.regions.shapes import unit_square
+from repro.scenarios import make_scenario
 
 
 def run_table2_ammari(
@@ -51,16 +52,26 @@ def run_table2_ammari(
         max_rounds = 150 if scale == "full" else 60
     region = unit_square()
 
-    rows: List[Dict] = []
-    for k in k_values:
-        rng = np.random.default_rng(seed + k)
-        network = SensorNetwork.from_random(region, node_count, comm_range=comm_range, rng=rng)
-        config = LaacadConfig(
-            k=k, alpha=1.0, epsilon=epsilon, max_rounds=max_rounds, seed=seed,
+    specs = [
+        make_scenario(
+            "open_field",
+            node_count=node_count,
+            k=k,
+            comm_range=comm_range,
+            alpha=1.0,
+            epsilon=epsilon,
+            max_rounds=max_rounds,
+            seed=seed,
+            placement_seed=seed + k,
             engine=resolve_engine(),
         )
-        result = LaacadRunner(network, config).run()
-        r_star = result.max_sensing_range
+        for k in k_values
+    ]
+    results = execute_scenarios(specs)
+
+    rows: List[Dict] = []
+    for k, result in zip(k_values, results):
+        r_star = result["max_sensing_range"]
         ammari_nodes = ammari_node_count(region.area, r_star, k)
         rows.append(
             {
@@ -69,8 +80,8 @@ def run_table2_ammari(
                 "max_sensing_range": r_star,
                 "ammari_nodes": ammari_nodes,
                 "ammari_over_laacad": ammari_nodes / node_count,
-                "rounds": result.rounds_executed,
-                "converged": result.converged,
+                "rounds": result["rounds_executed"],
+                "converged": result["converged"],
             }
         )
 

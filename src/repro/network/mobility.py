@@ -11,7 +11,7 @@ slow actuators and also gives an ablation knob independent of ``alpha``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Any, Mapping, Optional, Tuple
 
 from repro.geometry.primitives import Point, distance
 from repro.regions.region import Region
@@ -32,6 +32,22 @@ class MobilityModel:
     def __post_init__(self) -> None:
         if self.max_step is not None and self.max_step <= 0:
             raise ValueError("max_step must be positive when given")
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "MobilityModel":
+        """Scenario-driven constructor from a plain mobility dict.
+
+        ``{}`` yields the default model; recognised keys are ``max_step``
+        and ``keep_in_region``.
+        """
+        unknown = set(spec) - {"max_step", "keep_in_region"}
+        if unknown:
+            raise ValueError(f"unknown mobility options: {sorted(unknown)}")
+        max_step = spec.get("max_step")
+        return cls(
+            max_step=float(max_step) if max_step is not None else None,
+            keep_in_region=bool(spec.get("keep_in_region", True)),
+        )
 
     def constrain(
         self, region: Region, current: Point, target: Point

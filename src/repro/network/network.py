@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -218,6 +218,62 @@ class SensorNetwork:
     ) -> "SensorNetwork":
         """Uniform random deployment of ``count`` nodes over the free area."""
         return cls(region, region.random_points(count, rng=rng), comm_range=comm_range)
+
+    @classmethod
+    def from_placement(
+        cls,
+        region: Region,
+        placement: Mapping[str, object],
+        count: int,
+        comm_range: float = 0.25,
+        seed: Optional[int] = 0,
+    ) -> "SensorNetwork":
+        """Scenario-driven constructor: build a network from a placement dict.
+
+        Supported kinds (the scenario layer serializes these as plain
+        JSON, so every parameter is a number, string or list):
+
+        * ``{"kind": "random"}`` — uniform over the free area;
+        * ``{"kind": "corner_cluster", "cluster_fraction": f}`` — the
+          paper's Figure 5(a) start;
+        * ``{"kind": "lattice", "lattice": "triangular"|"square"|"hexagonal"}``
+          — a lattice sized to ``count`` nodes;
+        * ``{"kind": "triangular_spacing", "spacing": s}`` — a triangular
+          lattice with explicit spacing (``count`` is ignored; the
+          lattice fills the region);
+        * ``{"kind": "explicit", "positions": [[x, y], ...]}`` — verbatim
+          positions.
+        """
+        kind = placement.get("kind", "random")
+        params = {k: v for k, v in placement.items() if k != "kind"}
+        if kind == "random":
+            return cls.from_random(
+                region, count, comm_range=comm_range, rng=np.random.default_rng(seed)
+            )
+        if kind == "corner_cluster":
+            return cls.from_corner_cluster(
+                region,
+                count,
+                cluster_fraction=float(params.get("cluster_fraction", 0.15)),
+                comm_range=comm_range,
+                rng=np.random.default_rng(seed),
+            )
+        if kind == "lattice":
+            from repro.baselines.lattice import lattice_for_count
+
+            positions = lattice_for_count(
+                region, count, kind=str(params.get("lattice", "triangular"))
+            )
+            return cls(region, positions, comm_range=comm_range)
+        if kind == "triangular_spacing":
+            from repro.baselines.lattice import triangular_lattice
+
+            positions = triangular_lattice(region, float(params["spacing"]))
+            return cls(region, positions, comm_range=comm_range)
+        if kind == "explicit":
+            positions = [(float(p[0]), float(p[1])) for p in params["positions"]]
+            return cls(region, positions, comm_range=comm_range)
+        raise ValueError(f"unknown placement kind {kind!r}")
 
     @classmethod
     def from_corner_cluster(

@@ -41,6 +41,28 @@ class FailureInjector:
         if self.rng is None:
             self.rng = np.random.default_rng(0)
 
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, object]) -> "FailureInjector":
+        """Scenario-driven constructor from a plain failure dict.
+
+        Recognised keys: ``scheduled`` (round -> node ids; JSON object
+        keys arrive as strings and are coerced back to ints),
+        ``random_failure_rate`` and ``seed`` (for the random failures).
+        """
+        unknown = set(spec) - {"scheduled", "random_failure_rate", "seed"}
+        if unknown:
+            raise ValueError(f"unknown failure options: {sorted(unknown)}")
+        scheduled_raw = spec.get("scheduled", {}) or {}
+        scheduled: Dict[int, List[int]] = {
+            int(round_index): [int(node_id) for node_id in node_ids]
+            for round_index, node_ids in scheduled_raw.items()
+        }
+        return cls(
+            scheduled=scheduled,
+            random_failure_rate=float(spec.get("random_failure_rate", 0.0)),
+            rng=np.random.default_rng(int(spec.get("seed", 0))),
+        )
+
     def apply(self, network: SensorNetwork, round_index: int) -> List[int]:
         """Kill the nodes scheduled for this round; returns the ids killed now."""
         killed_now: List[int] = []

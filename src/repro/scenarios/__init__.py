@@ -1,0 +1,49 @@
+"""Declarative scenarios: spec -> registry -> sweep -> cache.
+
+The scenario subsystem turns every experiment into data (see DESIGN.md):
+
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, the frozen,
+  hashable description of one simulation;
+* :mod:`repro.scenarios.pipelines` — the execution pipelines that
+  interpret a spec (``laacad``, ``static``, ``distributed``, ...);
+* :mod:`repro.scenarios.registry` — named scenario families and the
+  ``{param: [values...]}`` grid expander;
+* :mod:`repro.scenarios.sweep` — :class:`SweepRunner`, the parallel,
+  cached, resumable sweep orchestrator.
+"""
+
+from repro.scenarios.pipelines import (
+    available_pipelines,
+    execute_pipeline,
+    register_pipeline,
+    serialize_laacad_result,
+)
+from repro.scenarios.registry import (
+    ScenarioFamily,
+    available_families,
+    expand_grid,
+    get_family,
+    make_scenario,
+    register_family,
+)
+from repro.scenarios.spec import RESULT_SCHEMA_VERSION, ScenarioSpec
+from repro.scenarios.sweep import SweepOutcome, SweepReport, SweepRunner, run_scenarios
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "ScenarioFamily",
+    "ScenarioSpec",
+    "SweepOutcome",
+    "SweepReport",
+    "SweepRunner",
+    "available_families",
+    "available_pipelines",
+    "execute_pipeline",
+    "expand_grid",
+    "get_family",
+    "make_scenario",
+    "register_family",
+    "register_pipeline",
+    "run_scenarios",
+    "serialize_laacad_result",
+]

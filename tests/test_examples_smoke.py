@@ -1,0 +1,46 @@
+"""Smoke test: every example script executes end-to-end at reduced scale.
+
+The examples double as documentation, so they must keep running as the
+APIs evolve.  Each script honours ``REPRO_EXAMPLE_SCALE`` (see
+``examples/_scale.py``); the smoke run shrinks the node counts and round
+budgets to a fraction of the demonstration sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(
+    p for p in EXAMPLES_DIR.glob("*.py") if not p.name.startswith("_")
+)
+
+
+def test_every_example_is_covered():
+    """The parametrized list below must pick up new example files."""
+    assert len(EXAMPLE_SCRIPTS) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_at_reduced_scale(script):
+    env = dict(os.environ)
+    src = str(Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_EXAMPLE_SCALE"] = "0.25"
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} produced no output"

@@ -164,6 +164,20 @@ class TestAblations:
         assert result.metadata["total_messages"] > 0
 
 
+@pytest.fixture(autouse=True)
+def _isolate_runner_env():
+    """The CLI threads --engine/--jobs/--cache-dir through the environment;
+    keep those settings from leaking between tests."""
+    keys = ("REPRO_ENGINE", "REPRO_JOBS", "REPRO_CACHE_DIR")
+    saved = {key: os.environ.get(key) for key in keys}
+    yield
+    for key, value in saved.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+
+
 class TestCli:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) >= {
@@ -195,6 +209,116 @@ class TestCli:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args([])
+
+    def test_list_shows_scenario_families(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "corner_cluster" in out
+        assert "node_failures" in out
+
+
+class TestSweepCommand:
+    GRID_ARGS = [
+        "sweep",
+        "corner_cluster",
+        "--grid",
+        "k=1,2",
+        "--set",
+        "node_count=10",
+        "--set",
+        "max_rounds=6",
+    ]
+
+    def test_unknown_family(self, capsys):
+        assert main(["sweep", "not_a_family", "--no-files"]) == 2
+        assert "unknown scenario family" in capsys.readouterr().err
+
+    def test_malformed_grid(self, capsys):
+        assert main(["sweep", "corner_cluster", "--grid", "k", "--no-files"]) == 2
+        assert "grid axis" in capsys.readouterr().err
+
+    def test_typoed_parameter_is_a_clean_error(self, capsys):
+        args = ["sweep", "corner_cluster", "--no-files"]
+        assert main(args + ["--grid", "node_cout=8,9"]) == 2
+        assert "unknown scenario parameter" in capsys.readouterr().err
+        assert main(args + ["--set", "sed=3"]) == 2
+        assert "unknown scenario parameter" in capsys.readouterr().err
+
+    def test_jobs_must_be_positive(self, capsys):
+        for bad in ("0", "-2"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["sweep", "corner_cluster", "--no-files", "--jobs", bad])
+            assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_set_pins_default_grid_axis(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        code = main(
+            [
+                "sweep",
+                "corner_cluster",
+                "--set",
+                "k=2",
+                "--set",
+                "node_count=10",
+                "--set",
+                "max_rounds=5",
+                "--output-dir",
+                str(out),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads((out / "sweep_corner_cluster.json").read_text())
+        # The family's default grid sweeps k; --set k=2 pins it instead.
+        assert [row["k"] for row in payload["rows"]] == [2]
+
+    def test_sweep_writes_files_and_reports_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        out = tmp_path / "results"
+        args = self.GRID_ARGS + ["--cache-dir", str(cache), "--output-dir", str(out)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "2 misses" in first
+        assert (out / "sweep_corner_cluster.csv").exists()
+        payload = json.loads((out / "sweep_corner_cluster.json").read_text())
+        assert payload["metadata"]["cache_misses"] == 2
+        assert [row["k"] for row in payload["rows"]] == [1, 2]
+
+        # A second invocation over the same grid does zero simulation work.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "2 cache hits, 0 misses" in second
+
+    def test_sweep_jobs_roundtrip_matches_serial(self, tmp_path, capsys):
+        serial_out = tmp_path / "serial"
+        parallel_out = tmp_path / "parallel"
+        assert main(self.GRID_ARGS + ["--output-dir", str(serial_out)]) == 0
+        assert (
+            main(self.GRID_ARGS + ["--jobs", "2", "--output-dir", str(parallel_out)])
+            == 0
+        )
+        capsys.readouterr()
+        serial = json.loads((serial_out / "sweep_corner_cluster.json").read_text())
+        parallel = json.loads((parallel_out / "sweep_corner_cluster.json").read_text())
+        assert serial["rows"] == parallel["rows"]
+        assert parallel["metadata"]["jobs"] == 2
+
+    def test_run_accepts_jobs_and_cache_dir(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        code = main(
+            [
+                "run",
+                "ablation_localized",
+                "--no-files",
+                "--jobs",
+                "2",
+                "--cache-dir",
+                str(cache),
+            ]
+        )
+        assert code == 0
+        assert any(cache.rglob("*.json"))
 
 
 class TestFig5Helpers:

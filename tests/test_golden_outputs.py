@@ -1,0 +1,135 @@
+"""Golden-output regression test for the experiment runners.
+
+The scenario/sweep refactor must not change the scientific output of any
+runner: at a fixed seed and reduced scale every runner has to produce the
+exact same CSV bytes and row values it produced before the port.  The
+golden files under ``tests/golden/`` were generated from the pre-refactor
+runners; regenerate them (only when an output change is intended and
+understood) with::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_golden_outputs.py
+
+``ablation_engine`` is excluded: its rows contain wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = os.environ.get("REPRO_REGEN_GOLDENS", "").strip() in {"1", "true", "yes"}
+
+#: Every case is (runner import path, kwargs).  The parameters are the
+#: small-but-representative sizes the unit tests already exercise, so a
+#: full golden sweep stays CI-friendly.
+GOLDEN_CASES = {
+    "fig1_voronoi": (
+        "repro.experiments.fig1_voronoi:run_fig1_voronoi",
+        {"node_count": 14, "k_values": (1, 2), "seed_resolution": 35},
+    ),
+    "fig2_rings": (
+        "repro.experiments.fig2_rings:run_fig2_rings",
+        {"k_values": (1, 2, 4, 6)},
+    ),
+    "fig5_deployment": (
+        "repro.experiments.fig5_deployment:run_fig5_deployment",
+        {
+            "node_count": 24,
+            "k_values": (1, 2),
+            "max_rounds": 60,
+            "coverage_resolution": 40,
+            "include_positions": True,
+        },
+    ),
+    "fig6_convergence": (
+        "repro.experiments.fig6_convergence:run_fig6_convergence",
+        {"node_count": 20, "k_values": (1, 2), "max_rounds": 50},
+    ),
+    "fig7_energy": (
+        "repro.experiments.fig7_energy:run_fig7_energy",
+        {
+            "node_counts": (15, 30),
+            "k_values": (1, 2),
+            "max_rounds": 40,
+            "coverage_resolution": 35,
+        },
+    ),
+    "fig8_obstacles": (
+        "repro.experiments.fig8_obstacles:run_fig8_obstacles",
+        {"node_count": 30, "k_values": (2,), "max_rounds": 50, "coverage_resolution": 45},
+    ),
+    "table1_minnode": (
+        "repro.experiments.table1_minnode:run_table1_minnode",
+        {"node_counts": (60,), "max_rounds": 40, "comm_range": 0.2},
+    ),
+    "table2_ammari": (
+        "repro.experiments.table2_ammari:run_table2_ammari",
+        {"node_count": 40, "k_values": (3,), "max_rounds": 40},
+    ),
+    "lifetime_comparison": (
+        "repro.experiments.lifetime_comparison:run_lifetime_comparison",
+        {"node_count": 18, "k": 2, "max_rounds": 40, "coverage_resolution": 35},
+    ),
+    "ablation_alpha": (
+        "repro.experiments.ablations:run_alpha_ablation",
+        {"alphas": (0.5, 1.0), "node_count": 14, "k": 1, "max_rounds": 120},
+    ),
+    "ablation_localized": (
+        "repro.experiments.ablations:run_localized_ablation",
+        {"node_count": 16, "k_values": (1, 2)},
+    ),
+    "ablation_protocol_overhead": (
+        "repro.experiments.ablations:run_protocol_overhead",
+        {"node_count": 12, "k": 1, "max_rounds": 20},
+    ),
+}
+
+
+def _load_runner(path: str):
+    module_name, func_name = path.split(":")
+    module = __import__(module_name, fromlist=[func_name])
+    return getattr(module, func_name)
+
+
+def _rows_json(result) -> str:
+    return json.dumps(result.rows, indent=2, default=float, sort_keys=True)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_runner_matches_golden(name, tmp_path):
+    runner_path, kwargs = GOLDEN_CASES[name]
+    runner = _load_runner(runner_path)
+    result = runner(**kwargs)
+    csv_text = (result.to_csv(tmp_path / f"{name}.csv")).read_text()
+    rows_text = _rows_json(result)
+
+    csv_golden = GOLDEN_DIR / f"{name}.csv"
+    rows_golden = GOLDEN_DIR / f"{name}.rows.json"
+    meta_golden = GOLDEN_DIR / f"{name}.meta.json"
+
+    if REGEN:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        csv_golden.write_text(csv_text)
+        rows_golden.write_text(rows_text)
+        meta_golden.write_text(
+            json.dumps(result.metadata, indent=2, default=float, sort_keys=True)
+        )
+        pytest.skip("regenerated golden files")
+
+    assert csv_golden.exists(), (
+        f"missing golden files for {name}; run with REPRO_REGEN_GOLDENS=1"
+    )
+    assert csv_text == csv_golden.read_text(), f"{name}: CSV output changed"
+    assert rows_text == rows_golden.read_text(), f"{name}: row values changed"
+
+    # Metadata may gain keys across refactors (e.g. engine/cache info) but
+    # every pre-existing key must keep its exact value.
+    golden_meta = json.loads(meta_golden.read_text())
+    new_meta = json.loads(json.dumps(result.metadata, default=float))
+    for key, value in golden_meta.items():
+        assert key in new_meta, f"{name}: metadata key {key!r} disappeared"
+        assert new_meta[key] == value, f"{name}: metadata[{key!r}] changed"

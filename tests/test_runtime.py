@@ -122,6 +122,38 @@ class TestFailureInjector:
         with pytest.raises(ValueError):
             FailureInjector(random_failure_rate=1.5)
 
+    def test_from_dict_coerces_json_keys(self, square):
+        # Scenario specs round-trip through JSON, which stringifies the
+        # round indices; from_dict must coerce them back.
+        injector = FailureInjector.from_dict(
+            {"scheduled": {"2": [0, 1]}, "random_failure_rate": 0.0, "seed": 3}
+        )
+        assert injector.scheduled == {2: [0, 1]}
+        net = SensorNetwork(square, [(0.1, 0.1), (0.5, 0.5), (0.9, 0.9)], comm_range=0.3)
+        assert set(injector.apply(net, 2)) == {0, 1}
+
+    def test_from_dict_defaults_and_validation(self):
+        injector = FailureInjector.from_dict({})
+        assert injector.scheduled == {}
+        assert injector.random_failure_rate == 0.0
+        with pytest.raises(ValueError, match="unknown failure options"):
+            FailureInjector.from_dict({"cadence": 3})
+        with pytest.raises(ValueError):
+            FailureInjector.from_dict({"random_failure_rate": 2.0})
+
+    def test_from_dict_random_failures_are_seeded(self, square):
+        spec = {"random_failure_rate": 0.5, "seed": 7}
+
+        def run():
+            net = SensorNetwork(
+                square, [(0.1 * i, 0.5) for i in range(1, 10)], comm_range=0.3
+            )
+            injector = FailureInjector.from_dict(spec)
+            injector.apply(net, 0)
+            return injector.killed
+
+        assert run() == run()
+
 
 class TestLaacadAgent:
     def test_dead_agent_is_inert(self, square):
