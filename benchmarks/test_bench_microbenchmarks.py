@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import LaacadConfig
-from repro.core.laacad import LaacadRunner
+from repro.api import Simulation
 from repro.engine import make_engine
 from repro.geometry.welzl import welzl_disk
 from repro.regions.shapes import unit_square
@@ -99,7 +99,7 @@ def test_engine_full_deployment_n200_k2(benchmark, engine_name):
         config = LaacadConfig(
             k=2, alpha=1.0, epsilon=1e-3, max_rounds=6, seed=11, engine=engine_name
         )
-        return LaacadRunner(network, config).run()
+        return Simulation(network=network, config=config).run()
 
     result = benchmark.pedantic(deploy, rounds=1, iterations=1)
     assert result.rounds_executed == 6

@@ -39,7 +39,7 @@ def main() -> None:
             max_rounds=scaled(120, minimum=30),
             seed=5,
         )
-        result = spec.build_runner().run()
+        result = spec.simulation().run()
         coverage = evaluate_coverage(
             result.final_positions, result.sensing_ranges, region, k, resolution=50
         )

@@ -32,8 +32,8 @@ def main() -> None:
     region = base.build_region()
 
     # --- loss-free run -------------------------------------------------
-    runner = base.build_distributed_runner()
-    result, comm = runner.run()
+    result = base.simulation().run()
+    comm = result.communication
     coverage = evaluate_coverage(
         result.final_positions, result.sensing_ranges, region, k, resolution=50
     )
@@ -50,17 +50,18 @@ def main() -> None:
         failures={"scheduled": {"10": [0, 1], "20": [2]}},
         drop_probability=0.02,
     )
-    runner = crashing.build_distributed_runner()
-    result, comm = runner.run()
-    network = runner.network
-    injector = runner.failure_injector
+    sim = crashing.simulation()
+    result = sim.run()
+    comm = result.communication
+    network = sim.network
+    killed = result.killed_nodes or []
     alive_positions = [n.position for n in network.alive_nodes()]
     alive_ranges = [n.sensing_range for n in network.alive_nodes()]
     coverage_k = evaluate_coverage(alive_positions, alive_ranges, region, k, resolution=50)
     coverage_k1 = evaluate_coverage(alive_positions, alive_ranges, region, k - 1, resolution=50)
     print("\n=== run with 3 node crashes and 2% message loss ===")
     print(f"scenario digest: {crashing.digest()[:12]}")
-    print(f"nodes killed: {injector.total_killed()}, rounds: {result.rounds_executed}")
+    print(f"nodes killed: {len(killed)}, rounds: {result.rounds_executed}")
     print(f"messages dropped: {comm.dropped}/{comm.messages}")
     print(f"{k}-coverage fraction of survivors   : {coverage_k.fraction_k_covered:.4f}")
     print(f"{k-1}-coverage fraction of survivors : {coverage_k1.fraction_k_covered:.4f}")

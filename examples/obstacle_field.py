@@ -31,7 +31,7 @@ def main() -> None:
     print(f"free area  : {region.area:.4f} (outer minus {len(region.holes)} obstacles)")
     print(f"scenario digest: {spec.digest()[:12]}")
 
-    result = spec.build_runner().run()
+    result = spec.simulation().run()
 
     inside = sum(1 for p in result.final_positions if region.contains(p))
     coverage = evaluate_coverage(

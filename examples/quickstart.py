@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: 2-cover a unit square with 40 mobile sensor nodes.
 
-Declares the run as a scenario from the ``open_field`` family, executes
-LAACAD, prints the per-round convergence of the maximum circumradius,
-verifies the resulting 2-coverage on a grid, and reports the
-sensing-load balance.
+Declares the run as a scenario from the ``open_field`` family, drives it
+through the ``repro.api`` session with a live observer (the convergence
+of the maximum circumradius is printed *while the run executes*, not
+reconstructed afterwards), verifies the resulting 2-coverage on a grid,
+and reports the sensing-load balance.
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from _scale import scaled
 
 from repro import evaluate_coverage
 from repro.analysis.energy import energy_report
+from repro.api import ConvergenceProbe, Simulation
 from repro.scenarios import make_scenario
 
 
@@ -27,16 +29,31 @@ def main() -> None:
     )
     region = spec.build_region()
     print(f"scenario digest: {spec.digest()[:12]}")
-    result = spec.build_runner().run()
 
-    print(f"converged            : {result.converged} ({result.rounds_executed} rounds)")
+    sim = Simulation.from_spec(spec)
+
+    # Observers receive a typed RoundEvent per round.  Attach as many as
+    # you like: here a ready-made probe collecting the convergence traces
+    # plus an ad-hoc progress printer for every 5th round.
+    probe = ConvergenceProbe()
+    sim.add_observer(probe)
+
+    @sim.add_observer
+    def progress(event) -> None:
+        if event.round_index % 5 == 0 or event.done:
+            bar = "#" * int(event.stats.max_circumradius * 120)
+            print(
+                f"  round {event.round_index:3d}  "
+                f"{event.stats.max_circumradius:.4f}  {bar}"
+            )
+
+    print("\nmax circumradius per round (live, every 5th round):")
+    result = sim.run()
+
+    print(f"\nconverged            : {result.converged} ({result.rounds_executed} rounds)")
     print(f"max sensing range R* : {result.max_sensing_range:.4f} km")
     print(f"min sensing range    : {result.min_sensing_range:.4f} km")
-
-    print("\nmax circumradius per round (every 5th round):")
-    for stats in result.history[::5]:
-        bar = "#" * int(stats.max_circumradius * 120)
-        print(f"  round {stats.round_index:3d}  {stats.max_circumradius:.4f}  {bar}")
+    print(f"rounds observed      : {probe.rounds} (probe), converged at round {probe.converged_at}")
 
     coverage = evaluate_coverage(
         result.final_positions, result.sensing_ranges, region, k=2, resolution=60

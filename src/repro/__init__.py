@@ -8,16 +8,30 @@ relies on (computational geometry, k-order Voronoi diagrams, a WSN and
 message-passing simulator), the baselines it is compared against, and
 runners regenerating every figure and table of the paper's evaluation.
 
-Quickstart::
+Quickstart (the v1 API — see :mod:`repro.api`)::
 
-    from repro import LaacadConfig, SensorNetwork, LaacadRunner, unit_square
+    from repro import LaacadConfig, SensorNetwork, Simulation, unit_square
 
     region = unit_square()
     network = SensorNetwork.from_corner_cluster(region, 60)
-    result = LaacadRunner(network, LaacadConfig(k=2)).run()
+    sim = Simulation(network=network, config=LaacadConfig(k=2))
+    sim.add_observer(lambda e: print(e.round_index, e.stats.max_circumradius))
+    result = sim.run()
     print(result.max_sensing_range, result.converged)
+
+The old entry points (``run_laacad``, ``LaacadRunner``,
+``DistributedLaacadRunner``) remain importable as deprecated shims.
 """
 
+from repro.api import (
+    Deployer,
+    RoundEvent,
+    SessionState,
+    Simulation,
+    SimulationCheckpoint,
+    SimulationResult,
+    deploy,
+)
 from repro.core.config import LaacadConfig
 from repro.core.laacad import LaacadResult, LaacadRunner, RoundStats, run_laacad
 from repro.core.dominating import localized_dominating_region
@@ -58,6 +72,13 @@ from repro.runtime.protocol import DistributedLaacadRunner
 __version__ = "1.0.0"
 
 __all__ = [
+    "Deployer",
+    "RoundEvent",
+    "SessionState",
+    "Simulation",
+    "SimulationCheckpoint",
+    "SimulationResult",
+    "deploy",
     "LaacadConfig",
     "LaacadResult",
     "LaacadRunner",

@@ -1,0 +1,59 @@
+"""The typed per-round event stream of a :class:`~repro.api.Simulation`.
+
+Every :meth:`Simulation.step` produces one :class:`RoundEvent`; session
+observers receive the same object.  The event carries everything the
+round computed — the recorded :class:`RoundStats`, the raw displacement
+and range vectors, the Chebyshev centers, the post-move positions and
+(optionally) the dominating regions themselves — so probes can measure
+coverage, energy or convergence *during* the run instead of recomputing
+from final state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.api.results import RoundStats
+from repro.geometry.primitives import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.voronoi.dominating import DominatingRegion
+
+
+@dataclasses.dataclass
+class RoundEvent:
+    """Everything one synchronous round produced.
+
+    Attributes:
+        round_index: zero-based index of the round just executed.
+        stats: the per-round summary recorded into the result history.
+        displacements: node-to-Chebyshev-center distance per alive node,
+            in alive-node order (the stopping-rule quantity).
+        ranges_from_position: the paper's ``R-hat`` per alive node —
+            distance from the node's start-of-round position to the
+            farthest point of its dominating region.
+        centers: Chebyshev center of every alive node's region, keyed
+            by node id.
+        positions: positions of *all* nodes after this round's move
+            (identical to the start-of-round positions when the round
+            converged — a converged round does not move).
+        moved: whether the synchronous move was applied this round.
+        converged: whether this round satisfied the stopping rule.
+        done: whether the session is complete (converged or round cap).
+        regions: the dominating regions themselves, keyed by node id —
+            only populated when the session was created with
+            ``expose_regions=True`` (they are live geometry objects,
+            omitted by default to keep observers cheap).
+    """
+
+    round_index: int
+    stats: RoundStats
+    displacements: List[float]
+    ranges_from_position: List[float]
+    centers: Dict[int, Point]
+    positions: List[Point]
+    moved: bool
+    converged: bool
+    done: bool
+    regions: Optional[Dict[int, "DominatingRegion"]] = None

@@ -1,0 +1,127 @@
+"""Ready-made session observers (probes) built on ``repro.analysis``.
+
+Probes attach to a :class:`~repro.api.Simulation` with
+``sim.add_observer(probe)`` and measure the deployment *while it runs*
+instead of recomputing from final state:
+
+* :class:`ConvergenceProbe` — the stopping-rule trace (max displacement
+  per round) plus the Figure-6 circumradius curves;
+* :class:`EnergyProbe` — the sensing-load balance the current round's
+  ranges would imply (``R-hat`` as the hypothetical sensing range);
+* :class:`CoverageProbe` — periodic k-coverage evaluation of the
+  in-flight deployment on a sample grid.
+
+Each probe is a callable of one :class:`~repro.api.events.RoundEvent`
+and accumulates plain-data traces, so they compose with any other
+callback and serialize trivially.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.api.events import RoundEvent
+
+
+class ConvergenceProbe:
+    """Records the stopping-rule and circumradius traces round by round."""
+
+    def __init__(self) -> None:
+        self.max_displacements: List[float] = []
+        self.max_circumradii: List[float] = []
+        self.min_circumradii: List[float] = []
+        self.converged_at: Optional[int] = None
+
+    def __call__(self, event: RoundEvent) -> None:
+        self.max_displacements.append(event.stats.max_displacement)
+        self.max_circumradii.append(event.stats.max_circumradius)
+        self.min_circumradii.append(event.stats.min_circumradius)
+        if event.converged and self.converged_at is None:
+            self.converged_at = event.round_index
+
+    @property
+    def rounds(self) -> int:
+        """How many rounds have been observed."""
+        return len(self.max_displacements)
+
+
+class EnergyProbe:
+    """Tracks the sensing-load balance the in-flight ranges would imply.
+
+    Every round the paper's ``R-hat`` values (the range each node would
+    need *right now*) are fed to the energy model, yielding per-round
+    max/total sensing loads and the imbalance ratio — the load-balancing
+    story of Sec. V-A as a live trace.
+    """
+
+    def __init__(self, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+        self.rounds: List[int] = []
+        self.max_loads: List[float] = []
+        self.total_loads: List[float] = []
+        self.imbalances: List[float] = []
+
+    def __call__(self, event: RoundEvent) -> None:
+        if event.round_index % self.every and not event.done:
+            return
+        from repro.analysis.energy import energy_report
+
+        report = energy_report(event.ranges_from_position)
+        self.rounds.append(event.round_index)
+        self.max_loads.append(report.max_load)
+        self.total_loads.append(report.total_load)
+        self.imbalances.append(report.imbalance)
+
+
+class CoverageProbe:
+    """Periodically evaluates k-coverage of the in-flight deployment.
+
+    Coverage evaluation is grid-based and comparatively expensive, so
+    the probe samples every ``every`` rounds (and always on the final
+    round).  The hypothetical sensing ranges are the round's ``R-hat``
+    values — exactly the ranges the run would finalize with if it
+    stopped now.
+    """
+
+    def __init__(self, region: Any, k: int, resolution: int = 40, every: int = 5) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.region = region
+        self.k = k
+        self.resolution = resolution
+        self.every = every
+        self.rounds: List[int] = []
+        self.fractions: List[float] = []
+
+    def __call__(self, event: RoundEvent) -> None:
+        if event.round_index % self.every and not event.done:
+            return
+        from repro.analysis.coverage import evaluate_coverage
+
+        alive_positions = [
+            p for p, r in zip(event.positions, self._padded_ranges(event)) if r > 0.0
+        ]
+        alive_ranges = [r for r in self._padded_ranges(event) if r > 0.0]
+        report = evaluate_coverage(
+            alive_positions, alive_ranges, self.region, self.k, resolution=self.resolution
+        )
+        self.rounds.append(event.round_index)
+        self.fractions.append(report.fraction_k_covered)
+
+    def _padded_ranges(self, event: RoundEvent) -> List[float]:
+        # ranges_from_position is alive-node-ordered; positions covers all
+        # nodes.  When they already agree in length, use them verbatim;
+        # otherwise pad dead slots with zero (dead nodes sense nothing).
+        if len(event.ranges_from_position) == len(event.positions):
+            return event.ranges_from_position
+        ranges = [0.0] * len(event.positions)
+        alive_ids = sorted(event.centers)
+        for node_id, r in zip(alive_ids, event.ranges_from_position):
+            ranges[node_id] = r
+        return ranges
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact trace summary (rounds sampled and fractions seen)."""
+        return {"rounds": list(self.rounds), "fractions": list(self.fractions)}

@@ -1,127 +1,50 @@
-"""Algorithm 1: the LAACAD deployment iteration.
+"""Algorithm 1: the LAACAD deployment iteration (legacy entry points).
 
-The runner executes synchronous rounds: every (alive) node computes its
-k-order dominating region with respect to the node positions at the
-start of the round, derives the Chebyshev center, and then all nodes move
-simultaneously by ``alpha`` towards their centers.  The iteration stops
-when every node is within ``epsilon`` of its Chebyshev center (or after
-``max_rounds``).  On termination each node's sensing range is set to the
-circumradius of its dominating region measured from its final position,
-which guarantees k-coverage of the whole area (Proposition 4's argument).
+.. deprecated::
+    The run-to-completion monoliths that used to live here are now thin
+    shims over the v1 API in :mod:`repro.api`.  New code should use::
 
-Round execution is delegated to a pluggable :class:`RoundEngine`
-backend selected by ``LaacadConfig.engine`` (``"batched"`` — the
-array-native vectorized engine — by default, or ``"legacy"`` — the
-original per-node scalar path).  Orthogonally,
-``LaacadConfig.use_localized`` selects how each region is computed:
+        from repro.api import Simulation, deploy
 
-* the exact engine with the global node set (plus the Lemma-1 pre-filter
-  for speed), and
-* the faithful Algorithm 2 expanding-ring computation, which only ever
-  reads positions of ring members and additionally reports ring radii /
-  hop counts.
+        result = Simulation(network=network, config=config).run()
+        result = deploy(region, positions, config, comm_range=0.25)
 
-All combinations produce identical regions; the equivalences are
-covered by tests.
+    The steppable :class:`~repro.api.deployers.CentralizedDeployer`
+    executes the exact same per-round order of operations the old
+    ``LaacadRunner.run`` loop did (region computation → statistics →
+    convergence check → synchronous move), so results are bitwise
+    identical; it additionally supports stepping, observation and
+    checkpoint/resume.
+
+The result types remain importable from here: ``LaacadResult`` is an
+alias of :class:`~repro.api.results.SimulationResult` (same fields, now
+with a lossless ``to_dict``/``from_dict`` pair) and ``RoundStats`` is
+re-exported unchanged.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import math
-from typing import Dict, List, Optional, Sequence
+import warnings
+from typing import Optional, Sequence
 
-import numpy as np
-
+from repro.api.results import RoundStats, SimulationResult
 from repro.core.config import LaacadConfig
-from repro.core.convergence import ConvergenceTracker
-from repro.engine import make_engine
-from repro.geometry.primitives import Point, distance
+from repro.geometry.primitives import Point
 from repro.network.mobility import MobilityModel
 from repro.network.network import SensorNetwork
 from repro.regions.region import Region
-from repro.voronoi.dominating import DominatingRegion
 
+__all__ = ["LaacadResult", "LaacadRunner", "RoundStats", "run_laacad"]
 
-@dataclasses.dataclass
-class RoundStats:
-    """Per-round summary of the deployment state.
-
-    Attributes:
-        round_index: zero-based round number.
-        max_circumradius: largest smallest-enclosing-circle radius over
-            all dominating regions (the quantity plotted in Figure 6).
-        min_circumradius: smallest such radius.
-        max_range_from_position: the paper's ``R-hat`` — the largest
-            distance from a node's *current* position to the farthest
-            point of its dominating region.
-        min_range_from_position: the smallest such distance.
-        max_displacement: largest node-to-Chebyshev-center distance this
-            round (the stopping-rule quantity).
-        mean_displacement: average of those distances.
-        max_ring_hops: deepest expanding-ring search this round (only
-            populated by the localized back-end; 0 otherwise).
-    """
-
-    round_index: int
-    max_circumradius: float
-    min_circumradius: float
-    max_range_from_position: float
-    min_range_from_position: float
-    max_displacement: float
-    mean_displacement: float
-    max_ring_hops: int = 0
-
-
-@dataclasses.dataclass
-class LaacadResult:
-    """Outcome of a LAACAD run."""
-
-    config: LaacadConfig
-    initial_positions: List[Point]
-    final_positions: List[Point]
-    sensing_ranges: List[float]
-    converged: bool
-    rounds_executed: int
-    history: List[RoundStats]
-    position_history: Optional[List[List[Point]]] = None
-
-    @property
-    def max_sensing_range(self) -> float:
-        """The optimisation objective ``R*`` (maximum sensing range)."""
-        return max(self.sensing_ranges) if self.sensing_ranges else 0.0
-
-    @property
-    def min_sensing_range(self) -> float:
-        """The smallest sensing range in the final deployment."""
-        return min(self.sensing_ranges) if self.sensing_ranges else 0.0
-
-    @property
-    def range_spread(self) -> float:
-        """Max minus min sensing range — the load-balance indicator of Sec. V-A."""
-        return self.max_sensing_range - self.min_sensing_range
-
-    def max_circumradius_trace(self) -> List[float]:
-        """Per-round maximum circumradius (the upper curves of Figure 6)."""
-        return [s.max_circumradius for s in self.history]
-
-    def min_circumradius_trace(self) -> List[float]:
-        """Per-round minimum circumradius (the lower curves of Figure 6)."""
-        return [s.min_circumradius for s in self.history]
-
-    def total_distance_traveled(self) -> float:
-        """Total movement of all nodes from start to final positions (straight-line lower bound)."""
-        return sum(
-            distance(a, b) for a, b in zip(self.initial_positions, self.final_positions)
-        )
+#: Backwards-compatible alias: the unified result type of ``repro.api``.
+LaacadResult = SimulationResult
 
 
 class LaacadRunner:
-    """Drives Algorithm 1 on a :class:`~repro.network.network.SensorNetwork`.
+    """Deprecated shim over :class:`repro.api.deployers.CentralizedDeployer`.
 
-    The runner mutates the supplied network: node positions evolve every
-    round and the final sensing ranges are written back to the nodes, so
-    the network afterwards *is* the converged deployment.
+    Construction emits a :class:`DeprecationWarning`; behaviour (including
+    the in-place network mutation contract) is unchanged.
     """
 
     def __init__(
@@ -130,102 +53,37 @@ class LaacadRunner:
         config: LaacadConfig,
         mobility: Optional[MobilityModel] = None,
     ) -> None:
-        if len(network.alive_nodes()) < config.k:
-            raise ValueError(
-                "the network needs at least k alive nodes to attempt k-coverage"
-            )
-        self.network = network
-        self.config = config
-        self.mobility = mobility if mobility is not None else MobilityModel()
-        self._rng = np.random.default_rng(config.seed)
-        #: The round-execution backend (see ``repro.engine``).
-        self.engine = make_engine(config.engine, network, config)
+        warnings.warn(
+            "repro.core.laacad.LaacadRunner is deprecated; use "
+            "repro.api.Simulation (e.g. Simulation(network=net, config=cfg).run())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Imported lazily: this module is re-exported by ``repro.core``,
+        # which loads during ``repro.api``'s own initialization.
+        from repro.api.deployers import CentralizedDeployer
 
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
-    def run(self) -> LaacadResult:
+        self._deployer = CentralizedDeployer(network, config, mobility=mobility)
+
+    @property
+    def network(self) -> SensorNetwork:
+        return self._deployer.network
+
+    @property
+    def config(self) -> LaacadConfig:
+        return self._deployer.config
+
+    @property
+    def mobility(self) -> MobilityModel:
+        return self._deployer.mobility
+
+    @property
+    def engine(self):
+        return self._deployer.engine
+
+    def run(self) -> SimulationResult:
         """Execute Algorithm 1 until convergence or the round cap."""
-        config = self.config
-        network = self.network
-        initial_positions = list(network.positions())
-        tracker = ConvergenceTracker(epsilon=config.epsilon, patience=config.convergence_patience)
-        history: List[RoundStats] = []
-        position_history: Optional[List[List[Point]]] = (
-            [list(network.positions())] if config.record_positions else None
-        )
-
-        converged = False
-        rounds = 0
-        last_regions: Dict[int, DominatingRegion] = {}
-        for round_index in range(config.max_rounds):
-            rounds = round_index + 1
-            engine_round = self.engine.compute_round()
-            last_regions = engine_round.regions
-            centers = engine_round.centers
-            circumradii = engine_round.circumradii
-            ranges_from_position = engine_round.ranges_from_position
-            displacements = engine_round.displacements
-
-            stats = RoundStats(
-                round_index=round_index,
-                max_circumradius=max(circumradii) if circumradii else 0.0,
-                min_circumradius=min(circumradii) if circumradii else 0.0,
-                max_range_from_position=max(ranges_from_position) if ranges_from_position else 0.0,
-                min_range_from_position=min(ranges_from_position) if ranges_from_position else 0.0,
-                max_displacement=max(displacements) if displacements else 0.0,
-                mean_displacement=(sum(displacements) / len(displacements)) if displacements else 0.0,
-                max_ring_hops=engine_round.max_ring_hops,
-            )
-            history.append(stats)
-
-            if tracker.observe(displacements):
-                converged = True
-                break
-
-            # Synchronous move: every node steps alpha of the way to its
-            # Chebyshev center, constrained by the mobility model.
-            for node_id, center in centers.items():
-                node = network.node(node_id)
-                if distance(node.position, center) <= config.epsilon:
-                    continue
-                target = (
-                    node.position[0] + config.alpha * (center[0] - node.position[0]),
-                    node.position[1] + config.alpha * (center[1] - node.position[1]),
-                )
-                constrained = self.mobility.constrain(network.region, node.position, target)
-                network.move_node(node_id, constrained, clamp_to_region=True)
-            if config.record_positions and position_history is not None:
-                position_history.append(list(network.positions()))
-
-        # Final sensing ranges: the circumradius of each node's dominating
-        # region measured from its final position.  Recompute the regions
-        # if the last move changed positions after the last measurement.
-        if not converged:
-            last_regions, _ = self.engine.compute_regions()
-        sensing_ranges: List[float] = []
-        for node in network.nodes:
-            if not node.alive:
-                sensing_ranges.append(0.0)
-                continue
-            region = last_regions.get(node.node_id)
-            if region is None:
-                sensing_ranges.append(0.0)
-                continue
-            r = region.circumradius(node.position)
-            network.set_sensing_range(node.node_id, r)
-            sensing_ranges.append(r)
-
-        return LaacadResult(
-            config=config,
-            initial_positions=initial_positions,
-            final_positions=list(network.positions()),
-            sensing_ranges=sensing_ranges,
-            converged=converged,
-            rounds_executed=rounds,
-            history=history,
-            position_history=position_history,
-        )
+        return self._deployer.run()
 
 
 def run_laacad(
@@ -234,8 +92,15 @@ def run_laacad(
     config: LaacadConfig,
     comm_range: float = 0.25,
     mobility: Optional[MobilityModel] = None,
-) -> LaacadResult:
-    """Convenience wrapper: build a network from positions and run LAACAD."""
-    network = SensorNetwork(region, list(initial_positions), comm_range=comm_range)
-    runner = LaacadRunner(network, config, mobility=mobility)
-    return runner.run()
+) -> SimulationResult:
+    """Deprecated shim over :func:`repro.api.deploy`."""
+    warnings.warn(
+        "repro.core.laacad.run_laacad is deprecated; use repro.api.deploy",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.session import deploy
+
+    return deploy(
+        region, initial_positions, config, comm_range=comm_range, mobility=mobility
+    )

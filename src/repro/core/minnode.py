@@ -21,7 +21,6 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.core.config import LaacadConfig
-from repro.core.laacad import LaacadResult, run_laacad
 from repro.regions.region import Region
 
 
@@ -83,9 +82,11 @@ class MinNodeSizer:
             raise ValueError("node_count must be at least k")
         if node_count in self._cache:
             return self._cache[node_count]
+        from repro.api.session import deploy
+
         rng = np.random.default_rng(self.seed + node_count)
         positions = self.region.random_points(node_count, rng=rng)
-        result = run_laacad(self.region, positions, self.config, comm_range=self.comm_range)
+        result = deploy(self.region, positions, self.config, comm_range=self.comm_range)
         self._cache[node_count] = result.max_sensing_range
         return self._cache[node_count]
 

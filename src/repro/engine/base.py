@@ -93,9 +93,10 @@ def summarize_regions(
 class RoundEngine(abc.ABC):
     """Computes all per-round dominating regions for a network.
 
-    Engines are constructed once per :class:`LaacadRunner` and queried
-    every round; they may cache anything derivable from the network and
-    config but must re-read node positions each call (the runner moves
+    Engines are constructed once per deployment session (see
+    :class:`repro.api.deployers.CentralizedDeployer`) and queried every
+    round; they may cache anything derivable from the network and
+    config but must re-read node positions each call (the deployer moves
     nodes between rounds).
     """
 

@@ -30,7 +30,6 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.core.dominating import localized_dominating_region
 from repro.engine.arrays import NodeArrayState
 from repro.engine.base import RoundEngine, register_engine
 from repro.engine.kernels import (
@@ -61,6 +60,11 @@ class BatchedRoundEngine(RoundEngine):
     # Localized (Algorithm 2) backend: delegated per node
     # ------------------------------------------------------------------
     def _compute_regions_localized(self) -> Tuple[Dict[int, DominatingRegion], int]:
+        # Imported lazily: core.dominating reaches back into the engine
+        # kernels via the voronoi layer, so a module-level import would
+        # be a hard cycle.
+        from repro.core.dominating import localized_dominating_region
+
         regions: Dict[int, DominatingRegion] = {}
         max_hops = 0
         config = self.config

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.core.dominating import localized_dominating_region
 from repro.engine.base import RoundEngine, register_engine
 from repro.voronoi.dominating import DominatingRegion, compute_dominating_region
 
@@ -23,6 +22,9 @@ class LegacyRoundEngine(RoundEngine):
     name = "legacy"
 
     def compute_regions(self) -> Tuple[Dict[int, DominatingRegion], int]:
+        # Lazy import: see the matching note in ``repro.engine.batch``.
+        from repro.core.dominating import localized_dominating_region
+
         regions: Dict[int, DominatingRegion] = {}
         max_hops = 0
         network = self.network

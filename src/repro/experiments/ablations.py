@@ -141,11 +141,13 @@ def run_engine_ablation(
         max_rounds=max_rounds,
         seed=seed,
     )
+    from repro.api.session import Simulation
+
     rows: List[Dict] = []
     results = {}
     for engine in ("legacy", "batched"):
         start = time.perf_counter()
-        result = base.replace(engine=engine).build_runner().run()
+        result = Simulation.from_spec(base.replace(engine=engine)).run()
         elapsed = time.perf_counter() - start
         results[engine] = result
         rows.append(

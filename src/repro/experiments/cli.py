@@ -7,6 +7,14 @@ Examples::
     laacad-experiments run all --output-dir results --cache-dir .cache --jobs 4
     laacad-experiments sweep corner_cluster --grid k=1,2,3 --jobs 2
     REPRO_FULL_SCALE=1 laacad-experiments run table1_minnode
+
+Preemptible runs (full mid-run checkpoints, bitwise-identical resume)::
+
+    laacad-experiments run fig5_deployment --checkpoint-every 10 \
+        --checkpoint-dir .ckpt
+    # after an interruption, either re-run with the same flags (cells
+    # resume from .ckpt) or resume one simulation directly:
+    laacad-experiments run --resume-from .ckpt/<digest>.ckpt.json
 """
 
 from __future__ import annotations
@@ -96,6 +104,27 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
             "re-runs only compute missing cells (default: no cache)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "Write a full mid-run checkpoint every N rounds for every "
+            "deployment scenario; interrupted runs resume "
+            "bitwise-identically on re-run (default: no checkpoints)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help=(
+            "Directory for the per-scenario checkpoint files (default "
+            "with --checkpoint-every: <output-dir>/checkpoints).  Given "
+            "on its own it enables checkpointing every 25 rounds"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,7 +140,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="Run one experiment (or 'all')")
     run_parser.add_argument(
         "experiment",
-        help="Experiment name (see 'list') or 'all'",
+        nargs="?",
+        default=None,
+        help="Experiment name (see 'list') or 'all'; optional with --resume-from FILE",
+    )
+    run_parser.add_argument(
+        "--resume-from",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "Resume from a checkpoint: a .ckpt.json FILE resumes that "
+            "single simulation to completion; a DIRECTORY is used as the "
+            "checkpoint dir, so the named experiment's interrupted "
+            "scenarios resume instead of restarting"
+        ),
     )
     run_parser.add_argument(
         "--output-dir",
@@ -197,13 +240,71 @@ def _run_one(
 
 
 def _apply_sweep_options(args: argparse.Namespace) -> None:
-    """Thread --engine/--jobs/--cache-dir into the runner environment."""
+    """Thread --engine/--jobs/--cache-dir/--checkpoint-* into the environment."""
+    from repro.api.checkpoint import CHECKPOINT_DIR_ENV, CHECKPOINT_EVERY_ENV
+
     if getattr(args, "engine", None):
         os.environ[ENGINE_ENV] = args.engine
     if getattr(args, "jobs", None):
         os.environ[JOBS_ENV] = str(args.jobs)
     if getattr(args, "cache_dir", None) is not None:
         os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resume_from = getattr(args, "resume_from", None)
+    if resume_from is not None and resume_from.is_dir():
+        checkpoint_dir = resume_from
+    if getattr(args, "checkpoint_every", None):
+        os.environ[CHECKPOINT_EVERY_ENV] = str(args.checkpoint_every)
+        if checkpoint_dir is None:
+            out = args.output_dir if getattr(args, "output_dir", None) else default_output_dir()
+            checkpoint_dir = out / "checkpoints"
+    if checkpoint_dir is not None:
+        os.environ[CHECKPOINT_DIR_ENV] = str(checkpoint_dir)
+        # A checkpoint dir without an explicit frequency (e.g. bare
+        # --resume-from DIR) still checkpoints, at a conservative cadence.
+        os.environ.setdefault(CHECKPOINT_EVERY_ENV, "25")
+
+
+def _resume_single(args: argparse.Namespace) -> int:
+    """Resume one checkpointed simulation to completion and report it."""
+    import json as _json
+
+    from repro.api.checkpoint import resolve_checkpoint_every
+    from repro.api.session import Simulation
+
+    path: Path = args.resume_from
+    try:
+        session = Simulation.restore(path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot restore checkpoint {path}: {exc}", file=sys.stderr)
+        return 2
+    state = session.state
+    print(
+        f"== resuming {state.kind} session from {path} "
+        f"(round {state.rounds_executed}, {state.alive_count} alive nodes) =="
+    )
+    every = resolve_checkpoint_every()
+    if every:
+        result = session.run(checkpoint_every=every, checkpoint_path=path)
+    else:
+        result = session.run()
+    print(
+        f"converged: {result.converged} after {result.rounds_executed} rounds; "
+        f"R* = {result.max_sensing_range:.6f}, "
+        f"min range = {result.min_sensing_range:.6f}"
+    )
+    if not args.no_files:
+        out = args.output_dir if args.output_dir is not None else default_output_dir()
+        out.mkdir(parents=True, exist_ok=True)
+        stem = path.name
+        for suffix in (".ckpt.json", ".json", ".ckpt"):
+            if stem.endswith(suffix):
+                stem = stem[: -len(suffix)]
+                break
+        result_path = out / f"{stem}.result.json"
+        result_path.write_text(_json.dumps(result.to_dict(), indent=2))
+        print(f"wrote {result_path}")
+    return 0
 
 
 def _parse_grid_value(text: str) -> Any:
@@ -324,6 +425,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         _apply_sweep_options(args)
+        if args.resume_from is not None and args.resume_from.is_file():
+            return _resume_single(args)
+        if args.experiment is None:
+            print(
+                "an experiment name is required unless --resume-from points "
+                "at a checkpoint file; use 'list' to see choices",
+                file=sys.stderr,
+            )
+            return 2
+        if args.resume_from is not None and not args.resume_from.exists():
+            print(f"--resume-from path {args.resume_from} does not exist", file=sys.stderr)
+            return 2
         if args.experiment != "all" and args.experiment not in EXPERIMENTS:
             print(
                 f"unknown experiment {args.experiment!r}; use 'list' to see choices",

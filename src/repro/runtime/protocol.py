@@ -17,15 +17,14 @@ produce identical trajectories (covered by an integration test).
 
 from __future__ import annotations
 
-import dataclasses
 import math
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.results import DistributedRoundStats, SimulationResult
 from repro.core.config import LaacadConfig
-from repro.core.convergence import ConvergenceTracker
-from repro.core.laacad import LaacadResult, RoundStats
 from repro.geometry.primitives import Point, distance
 from repro.network.mobility import MobilityModel
 from repro.network.network import SensorNetwork
@@ -35,14 +34,11 @@ from repro.runtime.messages import position_report, ring_query
 from repro.runtime.scheduler import CommunicationStats, SynchronousScheduler
 from repro.voronoi.dominating import DominatingRegion, dominating_pieces
 
-
-@dataclasses.dataclass
-class DistributedRoundStats(RoundStats):
-    """Round statistics extended with communication accounting."""
-
-    messages: int = 0
-    transmissions: int = 0
-    bytes_sent: int = 0
+__all__ = [
+    "DistributedLaacadRunner",
+    "DistributedRoundStats",
+    "LaacadAgent",
+]
 
 
 class LaacadAgent(NodeAgent):
@@ -161,7 +157,23 @@ class LaacadAgent(NodeAgent):
 
 
 class DistributedLaacadRunner:
-    """Runs LAACAD as a message-passing protocol over a sensor network."""
+    """Deprecated shim over :class:`repro.api.deployers.DistributedDeployer`.
+
+    .. deprecated::
+        Use :class:`repro.api.Simulation` with ``kind="distributed"``
+        (or a spec whose pipeline is ``"distributed"``) instead::
+
+            sim = Simulation(network=net, config=cfg, kind="distributed",
+                             drop_probability=0.02, failure_injector=injector)
+            result = sim.run()          # result.communication carries totals
+
+        The steppable deployer executes the exact per-round order of the
+        old loop, so results are bitwise identical; it additionally
+        supports stepping, observation and checkpoint/resume.
+
+    Construction emits a :class:`DeprecationWarning`; ``run()`` keeps
+    the historical ``(result, CommunicationStats)`` return shape.
+    """
 
     def __init__(
         self,
@@ -172,111 +184,48 @@ class DistributedLaacadRunner:
         failure_injector: Optional[FailureInjector] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        if len(network.alive_nodes()) < config.k:
-            raise ValueError("the network needs at least k alive nodes")
-        self.network = network
-        self.config = config
-        self.mobility = mobility if mobility is not None else MobilityModel()
-        self.scheduler = SynchronousScheduler(
+        warnings.warn(
+            "repro.runtime.protocol.DistributedLaacadRunner is deprecated; use "
+            "repro.api.Simulation(network=..., config=..., kind='distributed')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api.deployers import DistributedDeployer
+
+        self._deployer = DistributedDeployer(
+            network,
+            config,
+            mobility=mobility,
             drop_probability=drop_probability,
-            rng=rng if rng is not None else np.random.default_rng(config.seed),
+            failure_injector=failure_injector,
+            rng=rng,
         )
-        self.failure_injector = failure_injector
-        self.agents: Dict[int, LaacadAgent] = {
-            node.node_id: LaacadAgent(node.node_id, network, self.scheduler, config)
-            for node in network.nodes
-        }
 
-    # ------------------------------------------------------------------
-    def run(self) -> Tuple[LaacadResult, CommunicationStats]:
+    @property
+    def network(self) -> SensorNetwork:
+        return self._deployer.network
+
+    @property
+    def config(self) -> LaacadConfig:
+        return self._deployer.config
+
+    @property
+    def mobility(self) -> MobilityModel:
+        return self._deployer.mobility
+
+    @property
+    def scheduler(self) -> SynchronousScheduler:
+        return self._deployer.scheduler
+
+    @property
+    def failure_injector(self) -> Optional[FailureInjector]:
+        return self._deployer.failure_injector
+
+    @property
+    def agents(self) -> Dict[int, LaacadAgent]:
+        return self._deployer.agents
+
+    def run(self) -> Tuple[SimulationResult, CommunicationStats]:
         """Execute the protocol; returns the deployment result and comm stats."""
-        config = self.config
-        network = self.network
-        initial_positions = list(network.positions())
-        tracker = ConvergenceTracker(epsilon=config.epsilon, patience=config.convergence_patience)
-        history: List[RoundStats] = []
-
-        converged = False
-        rounds = 0
-        for round_index in range(config.max_rounds):
-            rounds = round_index + 1
-            self.scheduler.begin_round()
-            if self.failure_injector is not None:
-                self.failure_injector.apply(network, round_index)
-
-            messages_before = self.scheduler.stats.messages
-            transmissions_before = self.scheduler.stats.transmissions
-            bytes_before = self.scheduler.stats.bytes_sent
-
-            displacements: List[float] = []
-            circumradii: List[float] = []
-            ranges_from_position: List[float] = []
-            for agent in self.agents.values():
-                agent.step(round_index)
-                if not agent.alive or agent.last_region is None:
-                    continue
-                displacements.append(agent.displacement)
-                _, radius = agent.last_region.chebyshev_center()
-                circumradii.append(radius)
-                ranges_from_position.append(
-                    agent.last_region.circumradius(agent.node.position)
-                )
-
-            stats = DistributedRoundStats(
-                round_index=round_index,
-                max_circumradius=max(circumradii) if circumradii else 0.0,
-                min_circumradius=min(circumradii) if circumradii else 0.0,
-                max_range_from_position=max(ranges_from_position) if ranges_from_position else 0.0,
-                min_range_from_position=min(ranges_from_position) if ranges_from_position else 0.0,
-                max_displacement=max(displacements) if displacements else 0.0,
-                mean_displacement=(sum(displacements) / len(displacements)) if displacements else 0.0,
-                messages=self.scheduler.stats.messages - messages_before,
-                transmissions=self.scheduler.stats.transmissions - transmissions_before,
-                bytes_sent=self.scheduler.stats.bytes_sent - bytes_before,
-            )
-            history.append(stats)
-            self.scheduler.end_round()
-
-            if tracker.observe(displacements):
-                converged = True
-                break
-
-            # Apply the proposed moves simultaneously.
-            for agent in self.agents.values():
-                if not agent.alive or agent.proposed_target is None:
-                    continue
-                constrained = self.mobility.constrain(
-                    network.region, agent.node.position, agent.proposed_target
-                )
-                network.move_node(agent.node_id, constrained, clamp_to_region=True)
-
-        if not converged:
-            # The round cap was hit after a move: refresh every agent's
-            # region once so the final sensing ranges refer to the final
-            # positions (the centralized driver does the same).
-            self.scheduler.begin_round()
-            for agent in self.agents.values():
-                agent.step(rounds)
-            self.scheduler.end_round()
-
-        # Final sensing ranges from the last computed regions.
-        sensing_ranges: List[float] = []
-        for node in network.nodes:
-            agent = self.agents[node.node_id]
-            if not node.alive or agent.last_region is None:
-                sensing_ranges.append(0.0)
-                continue
-            r = agent.last_region.circumradius(node.position)
-            network.set_sensing_range(node.node_id, r)
-            sensing_ranges.append(r)
-
-        result = LaacadResult(
-            config=config,
-            initial_positions=initial_positions,
-            final_positions=list(network.positions()),
-            sensing_ranges=sensing_ranges,
-            converged=converged,
-            rounds_executed=rounds,
-            history=history,
-        )
-        return result, self.scheduler.stats
+        result = self._deployer.run()
+        return result, self._deployer.scheduler.stats

@@ -16,7 +16,6 @@ from repro.scenarios.pipelines import (
     available_pipelines,
     execute_pipeline,
     register_pipeline,
-    serialize_laacad_result,
 )
 from repro.scenarios.registry import (
     ScenarioFamily,
@@ -45,5 +44,4 @@ __all__ = [
     "register_family",
     "register_pipeline",
     "run_scenarios",
-    "serialize_laacad_result",
 ]

@@ -31,7 +31,6 @@ Built-in pipelines:
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Callable, Dict, List
 
 import numpy as np
@@ -66,76 +65,55 @@ def execute_pipeline(spec: ScenarioSpec) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
-# Shared serialization
+# Deployment pipelines (centralized / static / distributed)
 # ----------------------------------------------------------------------
-def serialize_laacad_result(result) -> Dict[str, Any]:
-    """Flatten a :class:`LaacadResult` into a JSON-friendly dict."""
-    return {
-        "node_count": len(result.final_positions),
-        "converged": bool(result.converged),
-        "rounds_executed": int(result.rounds_executed),
-        "initial_positions": [[float(x), float(y)] for x, y in result.initial_positions],
-        "final_positions": [[float(x), float(y)] for x, y in result.final_positions],
-        "sensing_ranges": [float(r) for r in result.sensing_ranges],
-        "max_sensing_range": float(result.max_sensing_range),
-        "min_sensing_range": float(result.min_sensing_range),
-        "total_movement": float(result.total_distance_traveled()),
-        "history": [dataclasses.asdict(stats) for stats in result.history],
-    }
+def _run_deployment(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Execute a deployment scenario through the ``repro.api`` session.
+
+    All three deployment pipelines share one code path and one
+    serializer (``SimulationResult.to_dict``), so their payloads can
+    never drift apart again.  When the checkpoint environment is
+    configured (the CLI's ``--checkpoint-every``/``--checkpoint-dir``,
+    or a :class:`~repro.scenarios.sweep.SweepRunner` checkpoint
+    directory), the run writes a full checkpoint every N rounds and
+    resumes from a matching one — resumption is bitwise-identical, so
+    the determinism contract behind the result cache is preserved.
+    """
+    from repro.api.checkpoint import (
+        checkpoint_path_for,
+        resolve_checkpoint_dir,
+        resolve_checkpoint_every,
+    )
+    from repro.api.session import Simulation
+
+    every = resolve_checkpoint_every()
+    checkpoint_dir = resolve_checkpoint_dir()
+    if every and checkpoint_dir is not None:
+        path = checkpoint_path_for(checkpoint_dir, spec.digest())
+        session = Simulation.resume_or_start(spec, path)
+        result = session.run(checkpoint_every=every, checkpoint_path=path)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    else:
+        result = Simulation.from_spec(spec).run()
+    return result.to_dict()
 
 
-# ----------------------------------------------------------------------
-# Built-in pipelines
-# ----------------------------------------------------------------------
 def run_laacad_pipeline(spec: ScenarioSpec) -> Dict[str, Any]:
     """Centralized Algorithm 1 run."""
-    result = spec.build_runner().run()
-    return serialize_laacad_result(result)
+    return _run_deployment(spec)
 
 
 def run_static_pipeline(spec: ScenarioSpec) -> Dict[str, Any]:
     """No-movement deployment: ranges sized to the dominating regions."""
-    from repro.voronoi.dominating import compute_dominating_region
-
-    region = spec.build_region()
-    network = spec.build_network(region)
-    positions = network.positions()
-    ranges: List[float] = []
-    for i, pos in enumerate(positions):
-        others = [p for j, p in enumerate(positions) if j != i]
-        dom = compute_dominating_region(pos, others, region, spec.k)
-        ranges.append(float(dom.circumradius(pos)))
-    return {
-        "node_count": len(positions),
-        "converged": True,
-        "rounds_executed": 0,
-        "initial_positions": [[float(x), float(y)] for x, y in positions],
-        "final_positions": [[float(x), float(y)] for x, y in positions],
-        "sensing_ranges": ranges,
-        "max_sensing_range": max(ranges) if ranges else 0.0,
-        "min_sensing_range": min(ranges) if ranges else 0.0,
-        "total_movement": 0.0,
-        "history": [],
-    }
+    return _run_deployment(spec)
 
 
 def run_distributed_pipeline(spec: ScenarioSpec) -> Dict[str, Any]:
     """Message-passing protocol run with failures and message loss."""
-    runner = spec.build_distributed_runner()
-    result, comm = runner.run()
-    payload = serialize_laacad_result(result)
-    payload["communication"] = {
-        "messages": int(comm.messages),
-        "transmissions": int(comm.transmissions),
-        "bytes_sent": int(comm.bytes_sent),
-        "dropped": int(comm.dropped),
-    }
-    payload["killed_nodes"] = (
-        [int(i) for i in runner.failure_injector.killed]
-        if runner.failure_injector is not None
-        else []
-    )
-    return payload
+    return _run_deployment(spec)
 
 
 def run_voronoi_pipeline(spec: ScenarioSpec) -> Dict[str, Any]:

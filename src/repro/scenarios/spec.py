@@ -37,8 +37,10 @@ from repro.regions.shapes import (
 )
 
 #: Bump when the result payload layout changes; stale cache entries are
-#: recomputed instead of being misread.
-RESULT_SCHEMA_VERSION = 1
+#: recomputed instead of being misread.  Version 2: deployment pipelines
+#: serialize through ``SimulationResult.to_dict`` (payloads gained the
+#: lossless ``schema_version``/``kind``/``config`` fields).
+RESULT_SCHEMA_VERSION = 2
 
 
 def _region_from_dict(spec: Mapping[str, Any]) -> Region:
@@ -258,8 +260,28 @@ class ScenarioSpec:
         """The mobility model (default: unconstrained, kept in region)."""
         return MobilityModel.from_dict(self.mobility)
 
+    def build_failure_injector(self):
+        """The failure injector described by the spec (``None`` if none)."""
+        from repro.runtime.failures import FailureInjector
+
+        return FailureInjector.from_dict(self.failures) if self.failures else None
+
+    def simulation(self):
+        """A :class:`repro.api.Simulation` session for this scenario.
+
+        The session is steppable, observable and checkpointable; the
+        spec's ``pipeline`` selects the deployer kind.
+        """
+        from repro.api.session import Simulation
+
+        return Simulation.from_spec(self)
+
     def build_runner(self):
-        """A centralized :class:`LaacadRunner` over a fresh network."""
+        """Deprecated: a centralized ``LaacadRunner`` over a fresh network.
+
+        Constructing the runner emits a :class:`DeprecationWarning`; use
+        :meth:`simulation` instead.
+        """
         from repro.core.laacad import LaacadRunner
 
         return LaacadRunner(
@@ -267,19 +289,19 @@ class ScenarioSpec:
         )
 
     def build_distributed_runner(self):
-        """A :class:`DistributedLaacadRunner` with this spec's failures/losses."""
-        from repro.runtime.failures import FailureInjector
+        """Deprecated: a ``DistributedLaacadRunner`` with this spec's failures.
+
+        Constructing the runner emits a :class:`DeprecationWarning`; use
+        :meth:`simulation` (with ``pipeline="distributed"``) instead.
+        """
         from repro.runtime.protocol import DistributedLaacadRunner
 
-        injector = (
-            FailureInjector.from_dict(self.failures) if self.failures else None
-        )
         return DistributedLaacadRunner(
             self.build_network(),
             self.build_config(),
             mobility=self.build_mobility(),
             drop_probability=self.drop_probability,
-            failure_injector=injector,
+            failure_injector=self.build_failure_injector(),
         )
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ out to every position they occupy.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 import multiprocessing
@@ -82,13 +83,32 @@ class SweepRunner:
         cache_dir: directory of the content-addressed result cache;
             ``None`` disables caching.
         jobs: worker processes; 1 (the default) runs serially in-process.
+        checkpoint_dir: directory for per-cell mid-run checkpoints; with
+            ``checkpoint_every`` set, every deployment cell periodically
+            writes a full checkpoint named by its scenario digest, and a
+            re-run after preemption resumes each interrupted cell
+            bitwise-identically instead of starting over.
+        checkpoint_every: checkpoint frequency in rounds (``None``/0
+            disables mid-run checkpointing).
     """
 
-    def __init__(self, cache_dir: Optional[Path] = None, jobs: int = 1) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[Path] = None,
+        jobs: int = 1,
+        checkpoint_dir: Optional[Path] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if checkpoint_every is not None and checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.jobs = int(jobs)
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = int(checkpoint_every) if checkpoint_every else 0
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -136,6 +156,35 @@ class SweepRunner:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _checkpoint_env(self):
+        """Expose the checkpoint settings to pipelines (and pool workers).
+
+        Pipelines read the checkpoint knobs from the environment (the
+        same channel the CLI uses), which also crosses the
+        ``multiprocessing`` fork boundary for free; the previous values
+        are restored afterwards.
+        """
+        if not (self.checkpoint_every and self.checkpoint_dir is not None):
+            yield
+            return
+        from repro.api.checkpoint import CHECKPOINT_DIR_ENV, CHECKPOINT_EVERY_ENV
+
+        saved = {
+            key: os.environ.get(key)
+            for key in (CHECKPOINT_DIR_ENV, CHECKPOINT_EVERY_ENV)
+        }
+        os.environ[CHECKPOINT_DIR_ENV] = str(self.checkpoint_dir)
+        os.environ[CHECKPOINT_EVERY_ENV] = str(self.checkpoint_every)
+        try:
+            yield
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+
     def run(self, specs: Sequence[ScenarioSpec]) -> SweepReport:
         """Execute the sweep; results come back in input order."""
         start = time.perf_counter()
@@ -160,11 +209,12 @@ class SweepRunner:
         misses = len(missing)
         if missing:
             work = [(digest, spec.to_dict()) for digest, spec in missing.items()]
-            if self.jobs > 1 and len(work) > 1:
-                with multiprocessing.Pool(min(self.jobs, len(work))) as pool:
-                    computed = pool.map(_execute_spec_dict, work)
-            else:
-                computed = [_execute_spec_dict(item) for item in work]
+            with self._checkpoint_env():
+                if self.jobs > 1 and len(work) > 1:
+                    with multiprocessing.Pool(min(self.jobs, len(work))) as pool:
+                        computed = pool.map(_execute_spec_dict, work)
+                else:
+                    computed = [_execute_spec_dict(item) for item in work]
             for digest, result in computed:
                 results[digest] = result
                 self.store(missing[digest], result)

@@ -159,12 +159,12 @@ class TestMinimaxMover:
         # nearby — not bitwise-identical — local minima.  The comparison
         # therefore checks that the achieved objective values are close.
         from repro.core.config import LaacadConfig
-        from repro.core.laacad import run_laacad
+        from repro.api import deploy
 
         rng = np.random.default_rng(3)
         positions = square.random_points(10, rng=rng)
         minimax = MinimaxVoronoiMover(square, alpha=1.0, epsilon=2e-3, max_rounds=60).run(positions)
-        laacad = run_laacad(square, positions, LaacadConfig(k=1, epsilon=2e-3, max_rounds=60))
+        laacad = deploy(square, positions, LaacadConfig(k=1, epsilon=2e-3, max_rounds=60))
         assert minimax.max_sensing_range == pytest.approx(laacad.max_sensing_range, rel=0.05)
 
     def test_max_range_trace_monotone(self, square):

@@ -1,12 +1,12 @@
-"""Unit tests for Algorithm 1 (the LAACAD runner) and the min-node sizer."""
+"""Unit tests for Algorithm 1 (driven through repro.api) and the min-node sizer."""
 
 import numpy as np
 import pytest
 
 from repro.analysis.coverage import evaluate_coverage, is_k_covered
 from repro.analysis.traces import is_monotone_nonincreasing
+from repro.api import Simulation, deploy
 from repro.core.config import LaacadConfig
-from repro.core.laacad import LaacadRunner, run_laacad
 from repro.core.minnode import MinNodeSizer
 from repro.geometry.primitives import distance
 from repro.network.mobility import MobilityModel
@@ -18,10 +18,10 @@ class TestRunnerBasics:
     def test_requires_enough_nodes(self, square):
         net = SensorNetwork(square, [(0.5, 0.5)], comm_range=0.3)
         with pytest.raises(ValueError):
-            LaacadRunner(net, LaacadConfig(k=2))
+            Simulation(network=net, config=LaacadConfig(k=2))
 
     def test_result_fields(self, corner_network, fast_config):
-        result = LaacadRunner(corner_network, fast_config).run()
+        result = Simulation(network=corner_network, config=fast_config).run()
         assert result.rounds_executed == len(result.history)
         assert len(result.final_positions) == corner_network.size
         assert len(result.sensing_ranges) == corner_network.size
@@ -30,7 +30,7 @@ class TestRunnerBasics:
 
     def test_network_mutated_in_place(self, corner_network, fast_config):
         initial = list(corner_network.positions())
-        result = LaacadRunner(corner_network, fast_config).run()
+        result = Simulation(network=corner_network, config=fast_config).run()
         assert corner_network.positions() == result.final_positions
         assert corner_network.positions() != initial
         assert corner_network.sensing_ranges() == result.sensing_ranges
@@ -38,18 +38,18 @@ class TestRunnerBasics:
     def test_record_positions(self, square):
         net = SensorNetwork.from_random(square, 8, comm_range=0.4, rng=np.random.default_rng(0))
         config = LaacadConfig(k=1, max_rounds=10, record_positions=True)
-        result = LaacadRunner(net, config).run()
+        result = Simulation(network=net, config=config).run()
         assert result.position_history is not None
         assert len(result.position_history) >= 1
         assert len(result.position_history[0]) == 8
 
-    def test_run_laacad_convenience(self, square):
+    def test_deploy_convenience(self, square):
         positions = square.random_points(8, rng=np.random.default_rng(1))
-        result = run_laacad(square, positions, LaacadConfig(k=1, max_rounds=20))
+        result = deploy(square, positions, LaacadConfig(k=1, max_rounds=20))
         assert result.initial_positions == positions
 
     def test_single_node_k1(self, square):
-        result = run_laacad(square, [(0.1, 0.1)], LaacadConfig(k=1, max_rounds=30))
+        result = deploy(square, [(0.1, 0.1)], LaacadConfig(k=1, max_rounds=30))
         # The node moves to the Chebyshev center of the square and covers it.
         assert result.final_positions[0] == pytest.approx((0.5, 0.5), abs=1e-2)
         assert result.max_sensing_range == pytest.approx(np.sqrt(0.5), rel=1e-2)
@@ -58,7 +58,7 @@ class TestRunnerBasics:
         net = SensorNetwork.from_corner_cluster(
             square, 15, comm_range=0.3, rng=np.random.default_rng(2)
         )
-        result = LaacadRunner(net, LaacadConfig(k=2, max_rounds=3)).run()
+        result = Simulation(network=net, config=LaacadConfig(k=2, max_rounds=3)).run()
         assert result.rounds_executed == 3
         assert not result.converged
 
@@ -70,7 +70,7 @@ class TestCoverageGuarantee:
             square, 16, comm_range=0.35, rng=np.random.default_rng(10 + k)
         )
         config = LaacadConfig(k=k, alpha=1.0, epsilon=2e-3, max_rounds=80)
-        result = LaacadRunner(net, config).run()
+        result = Simulation(network=net, config=config).run()
         assert is_k_covered(
             result.final_positions, result.sensing_ranges, square, k, resolution=45
         )
@@ -80,7 +80,7 @@ class TestCoverageGuarantee:
             square, 15, comm_range=0.3, rng=np.random.default_rng(5)
         )
         config = LaacadConfig(k=2, alpha=1.0, epsilon=1e-4, max_rounds=5)
-        result = LaacadRunner(net, config).run()
+        result = Simulation(network=net, config=config).run()
         report = evaluate_coverage(
             result.final_positions, result.sensing_ranges, square, 2, resolution=45
         )
@@ -91,14 +91,14 @@ class TestCoverageGuarantee:
             complex_region, 20, comm_range=0.3, rng=np.random.default_rng(6)
         )
         config = LaacadConfig(k=2, alpha=1.0, epsilon=2e-3, max_rounds=50)
-        result = LaacadRunner(net, config).run()
+        result = Simulation(network=net, config=config).run()
         assert all(complex_region.contains(p) for p in result.final_positions)
 
 
 class TestConvergenceBehaviour:
     def test_max_range_trace_monotone_for_alpha_one(self, corner_network):
         config = LaacadConfig(k=2, alpha=1.0, epsilon=1e-3, max_rounds=80)
-        result = LaacadRunner(corner_network, config).run()
+        result = Simulation(network=corner_network, config=config).run()
         trace = [s.max_range_from_position for s in result.history]
         assert is_monotone_nonincreasing(trace, tolerance=1e-6)
 
@@ -107,7 +107,7 @@ class TestConvergenceBehaviour:
             square, 20, comm_range=0.3, rng=np.random.default_rng(7)
         )
         config = LaacadConfig(k=3, alpha=1.0, epsilon=1e-3, max_rounds=100)
-        result = LaacadRunner(net, config).run()
+        result = Simulation(network=net, config=config).run()
         assert result.converged
         # Load balancing: max and min sensing ranges are close (Sec. V-A).
         assert result.min_sensing_range / result.max_sensing_range > 0.6
@@ -118,7 +118,7 @@ class TestConvergenceBehaviour:
                 square, 12, comm_range=0.3, rng=np.random.default_rng(8)
             )
             config = LaacadConfig(k=1, alpha=alpha, epsilon=2e-3, max_rounds=200)
-            return LaacadRunner(net, config).run().rounds_executed
+            return Simulation(network=net, config=config).run().rounds_executed
 
         assert rounds_for(0.3) > rounds_for(1.0)
 
@@ -127,7 +127,7 @@ class TestConvergenceBehaviour:
             square, 12, comm_range=0.35, rng=np.random.default_rng(9)
         )
         config = LaacadConfig(k=2, alpha=1.0, epsilon=2e-3, max_rounds=80)
-        result = LaacadRunner(net, config).run()
+        result = Simulation(network=net, config=config).run()
         assert result.converged
         assert result.history[-1].max_displacement <= config.epsilon
 
@@ -137,8 +137,8 @@ class TestConvergenceBehaviour:
         cfg_local = LaacadConfig(
             k=2, alpha=1.0, epsilon=2e-3, max_rounds=25, use_localized=True
         )
-        res_global = run_laacad(square, positions, cfg_global, comm_range=0.3)
-        res_local = run_laacad(square, positions, cfg_local, comm_range=0.3)
+        res_global = deploy(square, positions, cfg_global, comm_range=0.3)
+        res_local = deploy(square, positions, cfg_local, comm_range=0.3)
         assert res_local.max_sensing_range == pytest.approx(
             res_global.max_sensing_range, rel=1e-6
         )
@@ -152,17 +152,17 @@ class TestMobilityIntegration:
             square, 10, comm_range=0.3, rng=np.random.default_rng(11)
         )
         config = LaacadConfig(k=1, alpha=1.0, epsilon=2e-3, max_rounds=4)
-        result_limited = LaacadRunner(net, config, mobility=MobilityModel(max_step=0.02)).run()
+        result_limited = Simulation(network=net, config=config, mobility=MobilityModel(max_step=0.02)).run()
         net2 = SensorNetwork.from_corner_cluster(
             square, 10, comm_range=0.3, rng=np.random.default_rng(11)
         )
-        result_free = LaacadRunner(net2, config).run()
+        result_free = Simulation(network=net2, config=config).run()
         assert result_limited.total_distance_traveled() < result_free.total_distance_traveled()
 
 
 class TestResultHelpers:
     def test_traces_and_spread(self, corner_network, fast_config):
-        result = LaacadRunner(corner_network, fast_config).run()
+        result = Simulation(network=corner_network, config=fast_config).run()
         assert len(result.max_circumradius_trace()) == result.rounds_executed
         assert len(result.min_circumradius_trace()) == result.rounds_executed
         assert result.range_spread == pytest.approx(

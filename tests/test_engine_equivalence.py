@@ -14,8 +14,8 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.api import Simulation
 from repro.core.config import LaacadConfig
-from repro.core.laacad import LaacadRunner
 from repro.engine import (
     BatchedRoundEngine,
     LegacyRoundEngine,
@@ -43,7 +43,7 @@ def _build_network(region, count, seed, corner=False, comm_range=0.3):
 def _run(engine, region, count, seed, corner=False, **config_kwargs):
     network = _build_network(region, count, seed, corner=corner)
     config = LaacadConfig(engine=engine, **config_kwargs)
-    return LaacadRunner(network, config).run()
+    return Simulation(network=network, config=config).run()
 
 
 def _assert_identical(result_a, result_b):
@@ -146,12 +146,13 @@ class TestRoundLevelEquivalence:
 
     def test_single_node_network(self, square):
         config = LaacadConfig(k=1, max_rounds=5)
-        result_legacy = LaacadRunner(
-            SensorNetwork(square, [(0.2, 0.3)], comm_range=0.3), config.with_engine("legacy")
+        result_legacy = Simulation(
+            network=SensorNetwork(square, [(0.2, 0.3)], comm_range=0.3),
+            config=config.with_engine("legacy"),
         ).run()
-        result_batched = LaacadRunner(
-            SensorNetwork(square, [(0.2, 0.3)], comm_range=0.3),
-            config.with_engine("batched"),
+        result_batched = Simulation(
+            network=SensorNetwork(square, [(0.2, 0.3)], comm_range=0.3),
+            config=config.with_engine("batched"),
         ).run()
         _assert_identical(result_legacy, result_batched)
 
@@ -171,10 +172,10 @@ class TestEngineSelection:
         assert LaacadConfig().engine == "batched"
         assert LaacadConfig().with_engine("legacy").engine == "legacy"
 
-    def test_runner_uses_configured_engine(self, square):
+    def test_session_uses_configured_engine(self, square):
         network = SensorNetwork(square, [(0.5, 0.5), (0.2, 0.8)], comm_range=0.3)
-        runner = LaacadRunner(network, LaacadConfig(k=1, engine="legacy"))
-        assert isinstance(runner.engine, LegacyRoundEngine)
+        sim = Simulation(network=network, config=LaacadConfig(k=1, engine="legacy"))
+        assert isinstance(sim.deployer.engine, LegacyRoundEngine)
         network2 = SensorNetwork(square, [(0.5, 0.5), (0.2, 0.8)], comm_range=0.3)
-        runner2 = LaacadRunner(network2, LaacadConfig(k=1))
-        assert isinstance(runner2.engine, BatchedRoundEngine)
+        sim2 = Simulation(network=network2, config=LaacadConfig(k=1))
+        assert isinstance(sim2.deployer.engine, BatchedRoundEngine)

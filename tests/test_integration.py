@@ -10,13 +10,12 @@ from repro.analysis.coverage import evaluate_coverage, is_k_covered
 from repro.analysis.energy import energy_report
 from repro.analysis.fairness import min_max_ratio
 from repro.analysis.traces import is_monotone_nonincreasing
+from repro.api import Simulation, deploy
 from repro.core.config import LaacadConfig
-from repro.core.laacad import LaacadRunner, run_laacad
 from repro.geometry.primitives import distance
 from repro.network.network import SensorNetwork
 from repro.regions.shapes import figure8_region_two, unit_square
 from repro.runtime.failures import FailureInjector
-from repro.runtime.protocol import DistributedLaacadRunner
 
 
 class TestPaperClaimKCoverage:
@@ -29,7 +28,7 @@ class TestPaperClaimKCoverage:
             region, 25, cluster_fraction=0.2, comm_range=0.3, rng=np.random.default_rng(k)
         )
         config = LaacadConfig(k=k, alpha=1.0, epsilon=2e-3, max_rounds=100)
-        result = LaacadRunner(network, config).run()
+        result = Simulation(network=network, config=config).run()
         report = evaluate_coverage(
             result.final_positions, result.sensing_ranges, region, k, resolution=50
         )
@@ -42,7 +41,7 @@ class TestPaperClaimKCoverage:
             region, 30, comm_range=0.3, rng=np.random.default_rng(1)
         )
         config = LaacadConfig(k=2, alpha=1.0, epsilon=2e-3, max_rounds=80)
-        result = LaacadRunner(network, config).run()
+        result = Simulation(network=network, config=config).run()
         assert is_k_covered(
             result.final_positions, result.sensing_ranges, region, 2, resolution=60
         )
@@ -59,7 +58,7 @@ class TestPaperClaimConvergence:
             region, 15, comm_range=0.3, rng=np.random.default_rng(2)
         )
         config = LaacadConfig(k=2, alpha=alpha, epsilon=3e-3, max_rounds=200)
-        result = LaacadRunner(network, config).run()
+        result = Simulation(network=network, config=config).run()
         assert result.converged
 
     def test_max_range_monotone_alpha_one(self):
@@ -68,7 +67,7 @@ class TestPaperClaimConvergence:
             region, 20, comm_range=0.3, rng=np.random.default_rng(3)
         )
         config = LaacadConfig(k=3, alpha=1.0, epsilon=2e-3, max_rounds=100)
-        result = LaacadRunner(network, config).run()
+        result = Simulation(network=network, config=config).run()
         trace = [s.max_range_from_position for s in result.history]
         assert is_monotone_nonincreasing(trace, tolerance=1e-6)
 
@@ -82,7 +81,7 @@ class TestPaperClaimLoadBalance:
             region, 24, comm_range=0.3, rng=np.random.default_rng(4)
         )
         config = LaacadConfig(k=3, alpha=1.0, epsilon=1e-3, max_rounds=120)
-        result = LaacadRunner(network, config).run()
+        result = Simulation(network=network, config=config).run()
         assert min_max_ratio(result.sensing_ranges) > 0.7
 
     def test_max_load_ratio_tracks_k_ratio(self):
@@ -93,7 +92,7 @@ class TestPaperClaimLoadBalance:
                 region, 25, comm_range=0.3, rng=np.random.default_rng(5)
             )
             config = LaacadConfig(k=k, alpha=1.0, epsilon=2e-3, max_rounds=80)
-            result = LaacadRunner(network, config).run()
+            result = Simulation(network=network, config=config).run()
             loads[k] = energy_report(result.sensing_ranges).max_load
         ratio = loads[2] / loads[1]
         # The paper observes the ratio of max loads ≈ k1/k2 = 2; allow slack.
@@ -107,7 +106,7 @@ class TestPaperClaimLoadBalance:
                 region, n, comm_range=0.3, rng=np.random.default_rng(6)
             )
             config = LaacadConfig(k=2, alpha=1.0, epsilon=2e-3, max_rounds=80)
-            result = LaacadRunner(network, config).run()
+            result = Simulation(network=network, config=config).run()
             loads[n] = energy_report(result.sensing_ranges).max_load
         assert loads[30] < loads[12]
 
@@ -122,7 +121,7 @@ class TestPaperClaimConnectivity:
         )
         k = 2
         config = LaacadConfig(k=k, alpha=1.0, epsilon=2e-3, max_rounds=80)
-        result = LaacadRunner(network, config).run()
+        result = Simulation(network=network, config=config).run()
         r_star = max(result.sensing_ranges)
 
         # With gamma = R*: every node's own position is k-covered, and the
@@ -146,12 +145,14 @@ class TestDistributedEquivalence:
         positions = region.random_points(14, rng=np.random.default_rng(8))
         config = LaacadConfig(k=2, alpha=1.0, epsilon=2e-3, max_rounds=30)
 
-        central = run_laacad(region, positions, config, comm_range=0.35)
+        central = deploy(region, positions, config, comm_range=0.35)
 
         network = SensorNetwork(region, positions, comm_range=0.35)
-        distributed, stats = DistributedLaacadRunner(network, config).run()
+        distributed = Simulation(
+            network=network, config=config, kind="distributed"
+        ).run()
 
-        assert stats.messages > 0
+        assert distributed.communication.messages > 0
         assert distributed.rounds_executed == central.rounds_executed
         assert distributed.max_sensing_range == pytest.approx(
             central.max_sensing_range, rel=1e-6
@@ -169,7 +170,7 @@ class TestFaultTolerance:
             region, 22, comm_range=0.3, rng=np.random.default_rng(9)
         )
         config = LaacadConfig(k=3, alpha=1.0, epsilon=2e-3, max_rounds=80)
-        result = LaacadRunner(network, config).run()
+        result = Simulation(network=network, config=config).run()
         # Remove the node with the largest dominating region (worst case).
         victim = int(np.argmax(result.sensing_ranges))
         positions = [p for i, p in enumerate(result.final_positions) if i != victim]
@@ -183,8 +184,12 @@ class TestFaultTolerance:
         )
         config = LaacadConfig(k=2, alpha=1.0, epsilon=2e-3, max_rounds=60)
         injector = FailureInjector(scheduled={5: [0, 1, 2]})
-        runner = DistributedLaacadRunner(network, config, failure_injector=injector)
-        result, _ = runner.run()
+        result = Simulation(
+            network=network,
+            config=config,
+            kind="distributed",
+            failure_injector=injector,
+        ).run()
         alive_positions = [n.position for n in network.alive_nodes()]
         alive_ranges = [n.sensing_range for n in network.alive_nodes()]
         assert is_k_covered(alive_positions, alive_ranges, region, 2, resolution=45)
@@ -206,7 +211,7 @@ class TestEvenClustering:
 
         def mean_nearest(k):
             config = LaacadConfig(k=k, alpha=1.0, epsilon=1e-3, max_rounds=120)
-            result = run_laacad(region, positions, config, comm_range=0.3)
+            result = deploy(region, positions, config, comm_range=0.3)
             values = []
             for i, p in enumerate(result.final_positions):
                 values.append(
@@ -225,7 +230,7 @@ class TestEvenClustering:
         region = unit_square()
         positions = [(0.2, 0.2), (0.8, 0.3), (0.5, 0.8)]
         config = LaacadConfig(k=3, alpha=1.0, epsilon=1e-4, max_rounds=120)
-        result = run_laacad(region, positions, config, comm_range=0.5)
+        result = deploy(region, positions, config, comm_range=0.5)
         spread = max(
             distance(a, b) for a in result.final_positions for b in result.final_positions
         )

@@ -135,6 +135,18 @@ class TestDominatingRegionProperties:
     def test_tiling_identity(self, sites, k):
         """Sum of dominating-region areas equals k * |A| (each point has exactly k dominators)."""
         assume(len(sites) >= k + 1)
+        # The identity assumes sites in general position: for (nearly)
+        # coincident sites the shared cell is claimed by both on ties and
+        # the areas double-count, which is a degeneracy of the statement,
+        # not of the construction.
+        assume(
+            min(
+                distance(p, q)
+                for i, p in enumerate(sites)
+                for q in sites[i + 1 :]
+            )
+            > 1e-6
+        )
         region = unit_square()
         total = 0.0
         for i, site in enumerate(sites):

@@ -15,7 +15,8 @@ from repro.runtime.messages import (
     position_report,
     ring_query,
 )
-from repro.runtime.protocol import DistributedLaacadRunner, LaacadAgent
+from repro.api import Simulation
+from repro.runtime.protocol import LaacadAgent
 from repro.runtime.scheduler import SynchronousScheduler
 
 
@@ -181,7 +182,9 @@ class TestDistributedRunner:
     def test_requires_enough_nodes(self, square):
         net = SensorNetwork(square, [(0.5, 0.5)], comm_range=0.3)
         with pytest.raises(ValueError):
-            DistributedLaacadRunner(net, LaacadConfig(k=2, max_rounds=5))
+            Simulation(
+                network=net, config=LaacadConfig(k=2, max_rounds=5), kind="distributed"
+            )
 
     def test_run_produces_coverage(self, square):
         from repro.analysis.coverage import is_k_covered
@@ -190,8 +193,8 @@ class TestDistributedRunner:
             square, 14, comm_range=0.35, rng=np.random.default_rng(2)
         )
         config = LaacadConfig(k=2, alpha=1.0, epsilon=2e-3, max_rounds=40)
-        result, stats = DistributedLaacadRunner(net, config).run()
-        assert stats.messages > 0
+        result = Simulation(network=net, config=config, kind="distributed").run()
+        assert result.communication.messages > 0
         assert is_k_covered(
             result.final_positions, result.sensing_ranges, square, 2, resolution=40
         )
@@ -202,8 +205,9 @@ class TestDistributedRunner:
         )
         injector = FailureInjector(scheduled={3: [0, 1]})
         config = LaacadConfig(k=1, alpha=1.0, epsilon=2e-3, max_rounds=20)
-        runner = DistributedLaacadRunner(net, config, failure_injector=injector)
-        result, _ = runner.run()
+        result = Simulation(
+            network=net, config=config, kind="distributed", failure_injector=injector
+        ).run()
         assert len(net.alive_nodes()) == 10
         # Dead nodes report zero sensing range.
         assert result.sensing_ranges[0] == 0.0
@@ -214,7 +218,8 @@ class TestDistributedRunner:
             square, 10, comm_range=0.4, rng=np.random.default_rng(4)
         )
         config = LaacadConfig(k=1, alpha=1.0, epsilon=5e-3, max_rounds=40)
-        runner = DistributedLaacadRunner(net, config, drop_probability=0.05)
-        result, stats = runner.run()
-        assert stats.dropped > 0
+        result = Simulation(
+            network=net, config=config, kind="distributed", drop_probability=0.05
+        ).run()
+        assert result.communication.dropped > 0
         assert result.max_sensing_range > 0

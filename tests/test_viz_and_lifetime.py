@@ -124,10 +124,10 @@ class TestLifetime:
 
     def test_laacad_deployment_nearly_balanced(self, square):
         from repro.core.config import LaacadConfig
-        from repro.core.laacad import run_laacad
+        from repro.api import deploy
 
         positions = square.random_points(14, rng=np.random.default_rng(3))
-        result = run_laacad(square, positions, LaacadConfig(k=2, epsilon=2e-3, max_rounds=60))
+        result = deploy(square, positions, LaacadConfig(k=2, epsilon=2e-3, max_rounds=60))
         report = lifetime_report(result.sensing_ranges)
         assert report.lifetime_ratio_to_balanced > 0.6
 
