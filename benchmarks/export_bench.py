@@ -1,0 +1,300 @@
+"""Perf-trajectory exporter: measure the hot paths, write ``BENCH_PR4.json``.
+
+The repo's performance work (PR 1: centralized round engine, PR 4:
+distributed round engine) needs a *recorded* trajectory to be measured
+against, so this runner times the canonical workloads and writes them
+to a committed JSON baseline:
+
+* centralized round time (batched engine), N in {50, 200, 500};
+* distributed round time (legacy and batched backends), N in
+  {50, 200, 500}, uniform random deployment;
+* the N=200 k=2 corner-cluster *distributed deployment transient*
+  (6 rounds) under both backends, plus the batched-over-legacy speedup
+  — the acceptance workload of the round-level backend;
+* wall-clock of a small serial scenario sweep (cold cache).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/export_bench.py                # write benchmarks/BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/export_bench.py --out NEW.json
+    PYTHONPATH=src python benchmarks/export_bench.py --check benchmarks/BENCH_PR4.json
+
+``--check`` re-measures the regression-relevant subset (round times and
+the deployment transient; the sweep is skipped — its wall-clock is
+dominated by process/cache housekeeping) and exits non-zero when any
+measurement exceeds ``baseline * machine_scale * factor`` (factor
+defaults to 2.0) or the deployment-transient speedup fell below half
+its recorded value.  ``machine_scale`` is the ratio of a fixed
+scalar-geometry calibration workload on the checking machine vs the
+baseline machine, so a uniformly slower CI runner does not trip the
+gate while a genuine round-engine regression — which leaves the
+calibration workload untouched — still does.  The speedup floor is
+machine-independent outright.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+import numpy as np
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_PR4.json"
+
+ROUND_SIZES = (50, 200, 500)
+ENGINES = ("legacy", "batched")
+
+#: The canonical N=200 k=2 corner-cluster distributed transient — the
+#: round-level backend's acceptance workload.  Single source of truth,
+#: shared with ``test_bench_microbenchmarks.test_distributed_deployment
+#: _n200_k2`` so the committed baseline and the tracked pytest
+#: benchmark can never drift onto different workloads.
+TRANSIENT_WORKLOAD = dict(
+    node_count=200,
+    comm_range=0.25,
+    placement_seed=11,
+    k=2,
+    alpha=1.0,
+    epsilon=1e-3,
+    max_rounds=6,
+    seed=11,
+)
+
+
+def build_transient_deployment(engine_name: str) -> Callable[[], object]:
+    """Zero-arg callable running the canonical distributed transient."""
+    from repro.api import Simulation
+    from repro.core.config import LaacadConfig
+    from repro.network.network import SensorNetwork
+    from repro.regions.shapes import unit_square
+
+    region = unit_square()
+    params = TRANSIENT_WORKLOAD
+
+    def deploy():
+        network = SensorNetwork.from_corner_cluster(
+            region,
+            params["node_count"],
+            comm_range=params["comm_range"],
+            rng=np.random.default_rng(params["placement_seed"]),
+        )
+        config = LaacadConfig(
+            k=params["k"],
+            alpha=params["alpha"],
+            epsilon=params["epsilon"],
+            max_rounds=params["max_rounds"],
+            seed=params["seed"],
+            engine=engine_name,
+        )
+        return Simulation(network=network, config=config, kind="distributed").run()
+
+    return deploy
+
+
+def _best_of(fn: Callable[[], None], repeats: int = 3) -> float:
+    """Minimum wall-clock of ``repeats`` runs (noise-robust point estimate)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _uniform_network(n: int, seed: int = 7):
+    from repro.network.network import SensorNetwork
+    from repro.regions.shapes import unit_square
+
+    region = unit_square()
+    return SensorNetwork(
+        region, region.random_points(n, rng=np.random.default_rng(seed)), comm_range=0.25
+    )
+
+
+def measure_centralized_rounds() -> Dict[str, float]:
+    """One batched-engine round of region computation per network size."""
+    from repro.core.config import LaacadConfig
+    from repro.engine import make_engine
+
+    results: Dict[str, float] = {}
+    for n in ROUND_SIZES:
+        network = _uniform_network(n)
+        engine = make_engine("batched", network, LaacadConfig(k=2, engine="batched"))
+        results[str(n)] = _best_of(engine.compute_round)
+    return results
+
+
+def measure_distributed_rounds() -> Dict[str, Dict[str, float]]:
+    """One protocol round (gather + regions) per backend per size."""
+    from repro.core.config import LaacadConfig
+    from repro.runtime.engines import make_distributed_engine
+    from repro.runtime.scheduler import SynchronousScheduler
+
+    results: Dict[str, Dict[str, float]] = {engine: {} for engine in ENGINES}
+    for engine_name in ENGINES:
+        for n in ROUND_SIZES:
+            network = _uniform_network(n)
+            config = LaacadConfig(k=2, engine=engine_name)
+            scheduler = SynchronousScheduler()
+            engine = make_distributed_engine(engine_name, network, config, scheduler)
+            scheduler.begin_round()
+            results[engine_name][str(n)] = _best_of(lambda: engine.run_round(0))
+    return results
+
+
+def measure_distributed_deployment() -> Dict[str, float]:
+    """The N=200 k=2 corner-cluster distributed transient (6 rounds)."""
+    return {
+        engine_name: _best_of(build_transient_deployment(engine_name), repeats=2)
+        for engine_name in ENGINES
+    }
+
+
+def measure_calibration() -> float:
+    """Machine-speed yardstick: a fixed scalar-geometry workload.
+
+    The regression check normalises the absolute baseline times by the
+    ratio of this measurement (check machine vs baseline machine), so a
+    uniformly slower runner does not trip the gate while a genuine
+    round-engine regression — which leaves this scalar workload
+    untouched — still does.
+    """
+    from repro.regions.shapes import unit_square
+    from repro.voronoi.dominating import compute_dominating_region
+
+    region = unit_square()
+    sites = region.random_points(200, rng=np.random.default_rng(2))
+
+    def workload():
+        for site in sites[:60]:
+            others = [p for p in sites if p is not site]
+            compute_dominating_region(site, others, region, 2)
+
+    return _best_of(workload, repeats=5)
+
+
+def measure_sweep() -> float:
+    """Serial 2x2 scenario sweep, cold content-addressed cache."""
+    from repro.scenarios import SweepRunner, expand_grid, make_scenario
+
+    base = make_scenario("open_field", node_count=20, max_rounds=10)
+    specs = expand_grid(base, {"k": [1, 2], "node_count": [15, 25]})
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runner = SweepRunner(cache_dir=Path(cache_dir), jobs=1)
+        start = time.perf_counter()
+        runner.run(specs)
+        return time.perf_counter() - start
+
+
+def collect(include_sweep: bool = True) -> Dict[str, object]:
+    distributed_rounds = measure_distributed_rounds()
+    deployment = measure_distributed_deployment()
+    payload: Dict[str, object] = {
+        "bench_format_version": 1,
+        "label": "PR4",
+        "calibration_seconds": measure_calibration(),
+        "workloads": {
+            "centralized_round_seconds": measure_centralized_rounds(),
+            "distributed_round_seconds": distributed_rounds,
+            "distributed_deployment_n200_seconds": deployment,
+            "distributed_speedup_n200": deployment["legacy"] / deployment["batched"],
+        },
+    }
+    if include_sweep:
+        payload["workloads"]["sweep_2x2_seconds"] = measure_sweep()
+    return payload
+
+
+def check(baseline_path: Path, factor: float) -> int:
+    """Re-measure and compare; returns a process exit code."""
+    baseline_payload = json.loads(baseline_path.read_text())
+    baseline = baseline_payload["workloads"]
+    current_payload = collect(include_sweep=False)
+    current = current_payload["workloads"]
+    failures = []
+
+    # Normalise for machine speed: the allowed budget scales with how
+    # this machine performs on the calibration workload relative to the
+    # machine that recorded the baseline.
+    scale = current_payload["calibration_seconds"] / baseline_payload[
+        "calibration_seconds"
+    ]
+    print(f"machine-speed scale vs baseline: {scale:.2f}x "
+          f"(calibration {current_payload['calibration_seconds']:.3f}s "
+          f"vs {baseline_payload['calibration_seconds']:.3f}s)\n")
+
+    def compare(label: str, base_value: float, new_value: float) -> None:
+        status = "ok"
+        if new_value > base_value * scale * factor:
+            status = f"REGRESSION (> {factor:.1f}x speed-scaled baseline)"
+            failures.append(label)
+        print(f"{label:55s} baseline {base_value:8.3f}s now {new_value:8.3f}s  {status}")
+
+    for n, base_value in baseline["centralized_round_seconds"].items():
+        compare(
+            f"centralized round n={n}",
+            base_value,
+            current["centralized_round_seconds"][n],
+        )
+    for engine_name, per_size in baseline["distributed_round_seconds"].items():
+        for n, base_value in per_size.items():
+            compare(
+                f"distributed round [{engine_name}] n={n}",
+                base_value,
+                current["distributed_round_seconds"][engine_name][n],
+            )
+    for engine_name, base_value in baseline[
+        "distributed_deployment_n200_seconds"
+    ].items():
+        compare(
+            f"distributed deployment n=200 [{engine_name}]",
+            base_value,
+            current["distributed_deployment_n200_seconds"][engine_name],
+        )
+
+    base_speedup = baseline["distributed_speedup_n200"]
+    new_speedup = current["distributed_speedup_n200"]
+    print(f"{'distributed n=200 speedup (batched over legacy)':55s} "
+          f"baseline {base_speedup:7.2f}x now {new_speedup:7.2f}x")
+    if new_speedup < base_speedup / 2.0:
+        failures.append("distributed_speedup_n200")
+        print("REGRESSION: the deployment-transient speedup halved")
+
+    if failures:
+        print(f"\nFAILED: {len(failures)} regression(s): {', '.join(failures)}")
+        return 1
+    print("\nOK: no measurement regressed beyond the allowed factor")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the baseline JSON")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="compare fresh measurements against a committed baseline")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="allowed slowdown factor in --check mode (default 2.0)")
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        return check(args.check, args.factor)
+
+    payload = collect()
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    workloads = payload["workloads"]
+    print(f"wrote {args.out}")
+    print(f"distributed n=200 transient: "
+          f"legacy {workloads['distributed_deployment_n200_seconds']['legacy']:.2f}s, "
+          f"batched {workloads['distributed_deployment_n200_seconds']['batched']:.2f}s "
+          f"({workloads['distributed_speedup_n200']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,59 @@ def test_engine_round_time(benchmark, engine_name, n):
     benchmark.extra_info["n"] = n
 
 
+# ----------------------------------------------------------------------
+# Distributed-engine comparisons (batched vs. legacy protocol backends)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="distributed-round")
+@pytest.mark.parametrize("engine_name", ["legacy", "batched"])
+@pytest.mark.parametrize("n", [50, 200, 500])
+def test_distributed_round_time(benchmark, engine_name, n):
+    """One full protocol round (gather + regions) on a random deployment.
+
+    The ``distributed-round`` group tracks the round-level backend's
+    speedup over the message-level agent path as the network grows.
+    """
+    from repro.runtime.engines import make_distributed_engine
+    from repro.runtime.scheduler import SynchronousScheduler
+
+    region = unit_square()
+    network = SensorNetwork(
+        region, region.random_points(n, rng=np.random.default_rng(7)), comm_range=0.25
+    )
+    config = LaacadConfig(k=2, engine=engine_name)
+    scheduler = SynchronousScheduler()
+    engine = make_distributed_engine(engine_name, network, config, scheduler)
+    scheduler.begin_round()
+    result = benchmark.pedantic(lambda: engine.run_round(0), rounds=1, iterations=1)
+    assert len(result.regions) == n
+    benchmark.extra_info["engine"] = engine_name
+    benchmark.extra_info["n"] = n
+
+
+@pytest.mark.benchmark(group="distributed-deployment")
+@pytest.mark.parametrize("engine_name", ["legacy", "batched"])
+def test_distributed_deployment_n200_k2(benchmark, engine_name):
+    """The N=200, k=2 corner-cluster *distributed* deployment transient.
+
+    The acceptance workload of the round-level backend: clustered nodes
+    mean enormous expanding rings (nearly every node is a ring-1 member
+    of every other), which is exactly where per-message simulation
+    drowns in Python overhead.  The batched engine is expected to be
+    >= 3x faster here; both engines produce bitwise-identical results
+    (enforced by tests/test_distributed_engine_equivalence.py).  The
+    workload definition is shared with ``export_bench.py`` so the
+    committed BENCH_PR4.json baseline tracks exactly this benchmark.
+    """
+    from export_bench import TRANSIENT_WORKLOAD, build_transient_deployment
+
+    deploy = build_transient_deployment(engine_name)
+    result = benchmark.pedantic(deploy, rounds=1, iterations=1)
+    assert result.rounds_executed == TRANSIENT_WORKLOAD["max_rounds"]
+    assert result.communication.messages > 0
+    benchmark.extra_info["engine"] = engine_name
+    benchmark.extra_info["max_sensing_range"] = result.max_sensing_range
+
+
 @pytest.mark.benchmark(group="engine-deployment")
 @pytest.mark.parametrize("engine_name", ["legacy", "batched"])
 def test_engine_full_deployment_n200_k2(benchmark, engine_name):

@@ -298,7 +298,10 @@ class CentralizedDeployer(Deployer):
             self._converged = True
         else:
             # Synchronous move: every node steps alpha of the way to its
-            # Chebyshev center, constrained by the mobility model.
+            # Chebyshev center, constrained by the mobility model.  The
+            # targets are collected first and applied as one batch so
+            # the spatial caches are invalidated once, not per node.
+            moves: Dict[int, Point] = {}
             for node_id, center in centers.items():
                 node = network.node(node_id)
                 if distance(node.position, center) <= config.epsilon:
@@ -307,8 +310,10 @@ class CentralizedDeployer(Deployer):
                     node.position[0] + config.alpha * (center[0] - node.position[0]),
                     node.position[1] + config.alpha * (center[1] - node.position[1]),
                 )
-                constrained = self.mobility.constrain(network.region, node.position, target)
-                network.move_node(node_id, constrained, clamp_to_region=True)
+                moves[node_id] = self.mobility.constrain(
+                    network.region, node.position, target
+                )
+            network.apply_moves(moves, clamp_to_region=True)
             moved = True
             if config.record_positions and self._position_history is not None:
                 self._position_history.append(list(network.positions()))
@@ -390,9 +395,19 @@ class DistributedDeployer(Deployer):
     """The message-passing protocol, driven round by round.
 
     The per-round order of operations is exactly the old
-    ``DistributedLaacadRunner.run`` loop: failure injection, agent
-    steps (ring queries + position replies through the scheduler),
-    statistics, convergence check, simultaneous move application.
+    ``DistributedLaacadRunner.run`` loop: failure injection, the
+    expanding-ring gather + region computation for every node (ring
+    queries and position replies accounted — and loss-sampled —
+    through the scheduler), statistics, convergence check, simultaneous
+    move application.
+
+    The gather/compute phase is delegated to a pluggable
+    :class:`~repro.runtime.engines.DistributedRoundEngine` selected by
+    ``config.engine`` — ``"batched"`` simulates the protocol at the
+    round level over shared distance arrays, ``"legacy"`` executes one
+    scalar agent per node.  Both backends are bitwise identical,
+    including the scheduler RNG draw order on lossy channels (see
+    ``repro.runtime.engines``).
     """
 
     kind = "distributed"
@@ -406,7 +421,7 @@ class DistributedDeployer(Deployer):
         failure_injector: Optional[Any] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        from repro.runtime.protocol import LaacadAgent
+        from repro.runtime.engines import make_distributed_engine
         from repro.runtime.scheduler import SynchronousScheduler
 
         if len(network.alive_nodes()) < config.k:
@@ -417,13 +432,47 @@ class DistributedDeployer(Deployer):
             rng=rng if rng is not None else np.random.default_rng(config.seed),
         )
         self.failure_injector = failure_injector
-        self.agents: Dict[int, LaacadAgent] = {
-            node.node_id: LaacadAgent(node.node_id, network, self.scheduler, config)
-            for node in network.nodes
-        }
-        #: False right after a restore: the agents' last regions are gone
+        self.protocol = make_distributed_engine(
+            config.engine, network, config, self.scheduler
+        )
+        self._compat_agents: Optional[Dict[int, Any]] = None
+        #: False right after a restore: the engine's last regions are gone
         #: and must be refreshed before sensing ranges can be finalized.
         self._have_regions = True
+
+    @property
+    def agents(self) -> Dict[int, Any]:
+        """Per-node protocol agents (legacy introspection surface).
+
+        The ``legacy`` engine genuinely executes through these; the
+        ``batched`` engine simulates at the round level, so for it the
+        dict is materialised lazily — same keys, same construction —
+        and *hydrated* from the engine's last round on every access:
+        each agent's ``last_region``, ``displacement`` and
+        ``proposed_target`` reflect the run exactly as the executed
+        agents would (the deprecated ``DistributedLaacadRunner.agents``
+        accessor keeps reading real state).
+        """
+        agents = getattr(self.protocol, "agents", None)
+        if agents is not None:
+            return agents
+        if self._compat_agents is None:
+            from repro.runtime.protocol import LaacadAgent
+
+            self._compat_agents = {
+                node.node_id: LaacadAgent(
+                    node.node_id, self.network, self.scheduler, self.config
+                )
+                for node in self.network.nodes
+            }
+        engine_round = self.protocol.last_round
+        if engine_round is not None:
+            displacements = dict(zip(engine_round.regions, engine_round.displacements))
+            for node_id, agent in self._compat_agents.items():
+                agent.last_region = engine_round.regions.get(node_id)
+                agent.displacement = displacements.get(node_id, 0.0)
+                agent.proposed_target = engine_round.proposed_targets.get(node_id)
+        return self._compat_agents
 
     def step(self) -> RoundEvent:
         round_index = self._require_active()
@@ -436,23 +485,11 @@ class DistributedDeployer(Deployer):
         transmissions_before = self.scheduler.stats.transmissions
         bytes_before = self.scheduler.stats.bytes_sent
 
-        displacements: List[float] = []
-        circumradii: List[float] = []
-        ranges_from_position: List[float] = []
-        centers: Dict[int, Point] = {}
-        regions: Dict[int, Any] = {}
-        for agent in self.agents.values():
-            agent.step(round_index)
-            if not agent.alive or agent.last_region is None:
-                continue
-            displacements.append(agent.displacement)
-            center, radius = agent.last_region.chebyshev_center()
-            centers[agent.node_id] = center
-            regions[agent.node_id] = agent.last_region
-            circumradii.append(radius)
-            ranges_from_position.append(
-                agent.last_region.circumradius(agent.node.position)
-            )
+        engine_round = self.protocol.run_round(round_index)
+        displacements = engine_round.displacements
+        circumradii = engine_round.circumradii
+        ranges_from_position = engine_round.ranges_from_position
+        centers = engine_round.centers
 
         stats = DistributedRoundStats(
             round_index=round_index,
@@ -474,14 +511,14 @@ class DistributedDeployer(Deployer):
         if self._tracker.observe(displacements):
             self._converged = True
         else:
-            # Apply the proposed moves simultaneously.
-            for agent in self.agents.values():
-                if not agent.alive or agent.proposed_target is None:
-                    continue
-                constrained = self.mobility.constrain(
-                    network.region, agent.node.position, agent.proposed_target
+            # Apply the proposed moves simultaneously (one batch, one
+            # spatial-cache invalidation).
+            moves: Dict[int, Point] = {}
+            for node_id, target in engine_round.proposed_targets.items():
+                moves[node_id] = self.mobility.constrain(
+                    network.region, network.node(node_id).position, target
                 )
-                network.move_node(agent.node_id, constrained, clamp_to_region=True)
+            network.apply_moves(moves, clamp_to_region=True)
             moved = True
 
         return RoundEvent(
@@ -518,22 +555,22 @@ class DistributedDeployer(Deployer):
             snapshot = self._scheduler_snapshot()
         if needs_refresh:
             # The round cap was hit after a move (or the session was just
-            # restored): refresh every agent's region once so the final
+            # restored): refresh every node's region once so the final
             # sensing ranges refer to the current positions — exactly
             # what the old monolithic driver did at the cap.
             self.scheduler.begin_round()
-            for agent in self.agents.values():
-                agent.step(self._rounds)
+            self.protocol.run_round(self._rounds)
             self.scheduler.end_round()
             self._have_regions = True
 
         sensing_ranges: List[float] = []
+        last_regions = self.protocol.last_regions
         for node in network.nodes:
-            agent = self.agents[node.node_id]
-            if not node.alive or agent.last_region is None:
+            region = last_regions.get(node.node_id)
+            if not node.alive or region is None:
                 sensing_ranges.append(0.0)
                 continue
-            r = agent.last_region.circumradius(node.position)
+            r = region.circumradius(node.position)
             network.set_sensing_range(node.node_id, r)
             sensing_ranges.append(r)
 

@@ -38,13 +38,14 @@ class LaacadConfig:
         convergence_patience: number of consecutive rounds with all
             displacements below ``epsilon`` required before declaring
             convergence; 1 reproduces the paper's stopping rule.
-        engine: which round-execution backend drives Algorithm 1:
-            ``"batched"`` (the array-native engine that computes all
-            dominating regions per round through vectorized kernels) or
-            ``"legacy"`` (the original per-node scalar path).  Both
-            produce identical results; see ``repro.engine`` and
-            DESIGN.md.  Orthogonal to ``use_localized``, which selects
-            how each individual region is computed.
+        engine: which round-execution backend drives the deployment:
+            ``"batched"`` (array-native — the vectorized centralized
+            engine in ``repro.engine`` and, for distributed runs, the
+            round-level protocol engine in ``repro.runtime.engines``)
+            or ``"legacy"`` (the original per-node scalar paths).  All
+            backends produce bitwise-identical results; see DESIGN.md.
+            Orthogonal to ``use_localized``, which selects how each
+            individual region is computed.
     """
 
     k: int = 1

@@ -110,6 +110,46 @@ def pairwise_distance_matrix(
     return out
 
 
+def pairwise_distance_and_sq(
+    points: np.ndarray, chunk_size: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dense ``(N, N)`` hypot *and* squared distance matrices in one pass.
+
+    The distributed round engine needs both forms of the same pairwise
+    geometry with two different numerical contracts:
+
+    * the squared matrix (``dx*dx + dy*dy``) drives ring *membership*,
+      which must reproduce ``SpatialGrid.query_radius``'s
+      ``dx*dx + dy*dy <= r2 + 1e-15`` test bitwise (the ``1e-15`` slack
+      deliberately admits boundary-exact points, e.g. lattice spacings
+      that tie a ring radius, so the squared form cannot be derived from
+      the rounded hypot distance);
+    * the hypot matrix feeds hop counting
+      (``ceil(distance / gamma - 1e-9)``), a threshold decision where
+      ``np.hypot``'s potential 1-ulp difference from ``math.hypot`` is
+      covered by rule 2 of the numerical contract above.
+
+    Sharing one ``dx``/``dy`` evaluation keeps the two matrices
+    consistent and halves the broadcast work; ``chunk_size`` bounds the
+    intermediate memory exactly like :func:`pairwise_distance_matrix`.
+    """
+    pts = np.asarray(points, dtype=float).reshape(-1, 2)
+    n = pts.shape[0]
+    if chunk_size is None or n <= chunk_size:
+        dx = pts[:, 0][:, None] - pts[:, 0][None, :]
+        dy = pts[:, 1][:, None] - pts[:, 1][None, :]
+        return np.hypot(dx, dy), dx * dx + dy * dy
+    dist = np.empty((n, n), dtype=float)
+    dist_sq = np.empty((n, n), dtype=float)
+    for start in range(0, n, chunk_size):
+        block = pts[start : start + chunk_size]
+        dx = block[:, 0][:, None] - pts[:, 0][None, :]
+        dy = block[:, 1][:, None] - pts[:, 1][None, :]
+        dist[start : start + block.shape[0]] = np.hypot(dx, dy)
+        dist_sq[start : start + block.shape[0]] = dx * dx + dy * dy
+    return dist, dist_sq
+
+
 def disk_cover_counts(
     positions: Sequence[Point],
     ranges: Sequence[float],
@@ -140,6 +180,103 @@ def disk_cover_counts(
         dist = np.sqrt(np.sum(diff * diff, axis=2))
         counts[start : start + block.shape[0]] = (dist <= threshold).sum(axis=1)
     return counts
+
+
+# ----------------------------------------------------------------------
+# Containment kernels
+# ----------------------------------------------------------------------
+class _PolygonArrays:
+    """Edge arrays of one polygon, precomputed for batched queries."""
+
+    def __init__(self, polygon: Sequence[Point]) -> None:
+        verts = np.asarray(polygon, dtype=float).reshape(-1, 2)
+        # Closed edge list a -> b with a = vertex i, b = vertex i+1
+        # (cyclic); the scalar ray cast pairs vertex i with the
+        # *previous* vertex j, which is the same edge set.
+        ax = verts[:, 0]
+        ay = verts[:, 1]
+        bx = np.roll(ax, -1)
+        by = np.roll(ay, -1)
+        self.ax, self.ay, self.bx, self.by = ax, ay, bx, by
+        self.dx = bx - ax
+        self.dy = by - ay
+        seg_len_sq = self.dx * self.dx + self.dy * self.dy
+        self.degenerate = seg_len_sq <= EPS * EPS
+        # Avoid 0/0 in the vectorized projection; degenerate edges take
+        # the point-to-endpoint branch instead.
+        self.seg_len_sq = np.where(self.degenerate, 1.0, seg_len_sq)
+
+    def on_boundary(self, xs: np.ndarray, ys: np.ndarray, eps: float) -> np.ndarray:
+        """Per-sample "within eps of any edge", matching the scalar test.
+
+        Elementwise the arithmetic is ``point_segment_distance``'s —
+        projection parameter, clamp, foot point, hypot — so the decision
+        agrees with the scalar boundary test (``np.hypot`` 1-ulp
+        latitude aside, which only matters for points exactly ``eps``
+        from an edge).
+        """
+        px = xs[:, None]
+        py = ys[:, None]
+        t = ((px - self.ax) * self.dx + (py - self.ay) * self.dy) / self.seg_len_sq
+        t = np.clip(t, 0.0, 1.0)
+        cx = self.ax + t * self.dx
+        cy = self.ay + t * self.dy
+        dist = np.hypot(px - cx, py - cy)
+        if self.degenerate.any():
+            endpoint = np.hypot(px - self.ax, py - self.ay)
+            dist = np.where(self.degenerate[None, :], endpoint, dist)
+        return (dist <= eps).any(axis=1)
+
+    def ray_cast(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Per-sample ray-cast parity, matching ``point_in_polygon``.
+
+        The scalar loop visits vertex ``i`` paired with its *previous*
+        vertex ``j`` and computes the crossing abscissa as
+        ``(xj - xi) * (y - yi) / (yj - yi) + xi``; on the edge
+        ``a -> b`` that makes ``i`` the edge end ``b`` and ``j`` the
+        edge start ``a``, and the formula below keeps that exact
+        operand grouping.  Edges that do not straddle the scan line are
+        masked out before the division's result is consumed, exactly
+        like the scalar short-circuit.
+        """
+        px = xs[:, None]
+        py = ys[:, None]
+        straddles = (self.by[None, :] > py) != (self.ay[None, :] > py)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_cross = (self.ax - self.bx) * (py - self.by) / (self.ay - self.by) + self.bx
+        crossings = (straddles & (px < x_cross)).sum(axis=1)
+        return (crossings % 2).astype(bool)
+
+
+class BatchedRegionContainment:
+    """Vectorised, decision-exact ``Region.contains`` over sample arrays.
+
+    Precomputes the edge arrays of the outer boundary and every hole
+    once; :meth:`contains` then answers an entire batch of points with
+    a handful of broadcast operations while reproducing the scalar
+    decision structure bit for bit: a point is contained when it is on
+    (or ray-cast inside) the outer polygon and neither strictly inside
+    nor... precisely, ``point_in_polygon(p, outer,
+    include_boundary=True) and not any(point_in_polygon(p, hole,
+    include_boundary=False))`` — boundary points of the outer polygon
+    count as inside, boundary points of a hole count as *outside* the
+    hole (hence still free).
+    """
+
+    def __init__(self, region, eps: float = 1e-9) -> None:
+        self.eps = eps
+        self._outer = _PolygonArrays(region.outer)
+        self._holes = [_PolygonArrays(hole) for hole in region.holes]
+
+    def contains(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Boolean free-area mask for the sample points ``(xs, ys)``."""
+        inside = self._outer.on_boundary(xs, ys, self.eps) | self._outer.ray_cast(
+            xs, ys
+        )
+        for hole in self._holes:
+            in_hole = ~hole.on_boundary(xs, ys, self.eps) & hole.ray_cast(xs, ys)
+            inside &= ~in_hole
+        return inside
 
 
 # ----------------------------------------------------------------------

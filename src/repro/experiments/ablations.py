@@ -14,7 +14,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import ExperimentResult, execute_scenarios, resolve_engine
 from repro.scenarios import ScenarioSpec, expand_grid, make_scenario
@@ -205,8 +205,16 @@ def run_protocol_overhead(
     epsilon: float = 1e-3,
     seed: int = 59,
     drop_probability: float = 0.0,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
-    """Communication cost of the distributed protocol per round."""
+    """Communication cost of the distributed protocol per round.
+
+    ``engine`` selects the distributed round backend (default:
+    REPRO_ENGINE / batched); both backends produce identical counters,
+    so this only affects wall-clock time.
+    """
+    if engine is None:
+        engine = resolve_engine()
     spec = ScenarioSpec(
         name="ablation_protocol_overhead",
         pipeline="distributed",
@@ -217,6 +225,7 @@ def run_protocol_overhead(
         max_rounds=max_rounds,
         seed=seed,
         drop_probability=drop_probability,
+        engine=engine,
     )
     result = execute_scenarios([spec])[0]
     rows: List[Dict] = []

@@ -115,6 +115,34 @@ class SensorNetwork:
         self._invalidate()
         return moved
 
+    def apply_moves(
+        self, targets: Mapping[int, Point], clamp_to_region: bool = True
+    ) -> Dict[int, float]:
+        """Move many nodes at once, invalidating the spatial caches once.
+
+        Equivalent to calling :meth:`move_node` for every entry — each
+        target is clamped into the free area independently and applied
+        through ``Node.move_to`` (so movement energy keeps accruing) —
+        except that the cached spatial grid and connectivity graph are
+        invalidated a single time at the end instead of once per node.
+        The deployers' synchronous end-of-round move is the intended
+        caller: no neighbourhood query happens mid-batch, so the
+        observable state after the batch is identical while the next
+        round rebuilds the grid once instead of N times.
+
+        Returns the distance actually moved, keyed by node id.
+        """
+        moved: Dict[int, float] = {}
+        for node_id, new_position in targets.items():
+            node = self.node(node_id)
+            target = (float(new_position[0]), float(new_position[1]))
+            if clamp_to_region and not self.region.contains(target):
+                target = self.region.nearest_free_point(target)
+            moved[node_id] = node.move_to(target)
+        if moved:
+            self._invalidate()
+        return moved
+
     def set_sensing_range(self, node_id: int, sensing_range: float) -> None:
         """Tune one node's sensing range."""
         if sensing_range < 0:

@@ -17,6 +17,15 @@ the paper gives for k > 1 in the first place.
 from repro.runtime.messages import Message, MessageKind
 from repro.runtime.scheduler import SynchronousScheduler, CommunicationStats
 from repro.runtime.agent import NodeAgent
+from repro.runtime.engines import (
+    BatchedDistributedEngine,
+    DistributedEngineRound,
+    DistributedRoundEngine,
+    LegacyDistributedEngine,
+    available_distributed_engines,
+    make_distributed_engine,
+    register_distributed_engine,
+)
 from repro.runtime.protocol import DistributedLaacadRunner, DistributedRoundStats
 from repro.runtime.failures import FailureInjector
 
@@ -26,6 +35,13 @@ __all__ = [
     "SynchronousScheduler",
     "CommunicationStats",
     "NodeAgent",
+    "BatchedDistributedEngine",
+    "DistributedEngineRound",
+    "DistributedRoundEngine",
+    "LegacyDistributedEngine",
+    "available_distributed_engines",
+    "make_distributed_engine",
+    "register_distributed_engine",
     "DistributedLaacadRunner",
     "DistributedRoundStats",
     "FailureInjector",

@@ -16,6 +16,12 @@ from typing import Any, Dict, Optional
 HEADER_BYTES = 16
 #: Bytes used to encode a single coordinate pair.
 POSITION_BYTES = 8
+#: Serialised size of a ring query (header + the 4-byte query radius).
+#: Shared with the scheduler's counting fast path so the accounted
+#: bytes stay in lockstep with :func:`ring_query`.
+RING_QUERY_BYTES = HEADER_BYTES + 4
+#: Serialised size of a position report (header + one coordinate pair).
+POSITION_REPORT_BYTES = HEADER_BYTES + POSITION_BYTES
 
 
 class MessageKind(enum.Enum):
@@ -67,7 +73,7 @@ def ring_query(sender: int, receiver: int, radius: float, hops: int) -> Message:
         receiver=receiver,
         payload={"radius": float(radius)},
         hops=hops,
-        size_bytes=HEADER_BYTES + 4,
+        size_bytes=RING_QUERY_BYTES,
     )
 
 
@@ -81,7 +87,7 @@ def position_report(
         receiver=receiver,
         payload={"position": (float(position[0]), float(position[1]))},
         hops=hops,
-        size_bytes=HEADER_BYTES + POSITION_BYTES,
+        size_bytes=POSITION_REPORT_BYTES,
     )
 
 

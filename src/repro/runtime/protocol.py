@@ -3,8 +3,10 @@
 Every round (one period ``tau``) each alive node:
 
 1. runs the Algorithm 2 expanding-ring search; the query flood and the
-   position replies are materialised as messages through the scheduler
-   (one query transmission per ring member, one multi-hop reply each),
+   position replies are accounted through the scheduler, one query
+   transmission per ring member and one multi-hop reply each (via the
+   counting fast path — the loss model and every counter behave exactly
+   as if the messages were materialised),
 2. computes its dominating region *only* from the replies it actually
    received (a dropped reply means the corresponding neighbour is simply
    unknown this round),
@@ -30,7 +32,7 @@ from repro.network.mobility import MobilityModel
 from repro.network.network import SensorNetwork
 from repro.runtime.agent import NodeAgent
 from repro.runtime.failures import FailureInjector
-from repro.runtime.messages import position_report, ring_query
+from repro.runtime.messages import POSITION_REPORT_BYTES, RING_QUERY_BYTES
 from repro.runtime.scheduler import CommunicationStats, SynchronousScheduler
 from repro.voronoi.dominating import DominatingRegion, dominating_pieces
 
@@ -59,7 +61,15 @@ class LaacadAgent(NodeAgent):
 
     # ------------------------------------------------------------------
     def _expanding_ring_positions(self) -> Tuple[List[Point], float, int]:
-        """Algorithm 2's information gathering, materialised as messages.
+        """Algorithm 2's information gathering, accounted per message.
+
+        Every query/reply exchange goes through the scheduler's
+        counting fast path (:meth:`SynchronousScheduler.record`): the
+        accounting and the loss draws are exactly those of sending one
+        ``ring_query`` and one ``position_report``, but no ``Message``
+        is allocated — nothing ever inspects these payloads (the reply's
+        information content is consumed right here, at the delivery
+        decision), so a loss-free broadcast round is pure counting.
 
         Returns the neighbour positions learned this round, the final
         ring radius and the hop depth used.
@@ -85,10 +95,8 @@ class LaacadAgent(NodeAgent):
                     1, int(math.ceil(distance(own, member_node.position) / gamma - 1e-9))
                 )
                 # Query reaches the member (flooded), reply comes back.
-                self.send(ring_query(self.node_id, member, rho, member_hops))
-                delivered = self.send(
-                    position_report(member, self.node_id, member_node.position, member_hops)
-                )
+                self.scheduler.record(member_hops, RING_QUERY_BYTES)
+                delivered = self.scheduler.record(member_hops, POSITION_REPORT_BYTES)
                 if delivered:
                     known_positions[member] = member_node.position
             if self._circle_dominated(rho / 2.0, list(known_positions.values())):
@@ -127,11 +135,6 @@ class LaacadAgent(NodeAgent):
             self.proposed_target = None
             self.displacement = 0.0
             return
-        # Drain the inbox: the information content was already consumed
-        # while gathering (the scheduler models delivery in-round), so
-        # this only keeps mailbox sizes bounded.
-        self.receive()
-
         positions, rho, _ = self._expanding_ring_positions()
         pieces = dominating_pieces(
             self.node.position, positions, self.network.region.convex_pieces(), self.config.k

@@ -72,6 +72,58 @@ class SynchronousScheduler:
         self._inboxes[message.receiver].append(message)
         return True
 
+    def record(self, hops: int, size_bytes: int) -> bool:
+        """Counting fast path: account one transmission without a ``Message``.
+
+        Performs exactly the accounting and loss sampling of
+        :meth:`send` — same counters, same single RNG draw in the same
+        stream position — but allocates no message object and delivers
+        nothing to an inbox.  Agents whose receivers never inspect
+        payloads (the LAACAD expanding-ring exchange consumes the
+        position *at the sender side* of the simulated reply) use this
+        so a loss-free broadcast round costs two counter bumps per
+        transmission instead of one frozen dataclass each.
+
+        Returns False when the loss model dropped the transmission.
+        """
+        self.stats.messages += 1
+        self.stats.transmissions += hops
+        self.stats.bytes_sent += size_bytes * hops
+        self._round_messages += 1
+        if self.drop_probability > 0.0 and self._rng.random() < self.drop_probability:
+            self.stats.dropped += 1
+            return False
+        return True
+
+    def record_many(self, hops: np.ndarray, size_bytes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`record` over aligned hop/size arrays.
+
+        Accounts ``len(hops)`` transmissions in one shot and, when the
+        channel is lossy, draws all loss samples with a single
+        ``Generator.random(n)`` call — the resulting stream is
+        *element-for-element identical* to ``n`` scalar ``random()``
+        calls, so batched callers consume the RNG in exactly the order
+        the scalar path would (the distributed engines' draw-order
+        contract; see ``repro.runtime.engines``).
+
+        Returns the boolean delivered mask, aligned with the inputs.
+        """
+        hops = np.asarray(hops)
+        count = int(hops.shape[0])
+        if count == 0:
+            return np.ones(0, dtype=bool)
+        sizes = np.asarray(size_bytes)
+        self.stats.messages += count
+        self.stats.transmissions += int(hops.sum())
+        self.stats.bytes_sent += int((sizes * hops).sum())
+        self._round_messages += count
+        if self.drop_probability > 0.0:
+            dropped = self._rng.random(count) < self.drop_probability
+            if dropped.any():
+                self.stats.dropped += int(dropped.sum())
+                return ~dropped
+        return np.ones(count, dtype=bool)
+
     def collect_inbox(self, node_id: int) -> List[Message]:
         """Drain and return the pending messages of one node."""
         inbox = self._inboxes.get(node_id, [])

@@ -112,7 +112,15 @@ def run_static_pipeline(spec: ScenarioSpec) -> Dict[str, Any]:
 
 
 def run_distributed_pipeline(spec: ScenarioSpec) -> Dict[str, Any]:
-    """Message-passing protocol run with failures and message loss."""
+    """Message-passing protocol run with failures and message loss.
+
+    ``spec.engine`` selects the distributed round backend (``batched``
+    simulates the protocol at the round level over shared distance
+    arrays; ``legacy`` steps one scalar agent per node).  The backends
+    are bitwise identical — including the loss-model RNG draw order —
+    which is what keeps the sweep cache's engine-agnostic digest sound
+    for distributed scenarios too (see ``ScenarioSpec.digest``).
+    """
     return _run_deployment(spec)
 
 

@@ -1,0 +1,222 @@
+"""Equivalence suite: batched distributed engine == legacy agents, bitwise.
+
+The batched round-level backend promises results *identical* to the
+message-level agent path — final positions, sensing ranges, every
+``DistributedRoundStats`` field (communication counters included) and
+the cumulative ``CommunicationSummary`` — across loss rates, seeds,
+failure schedules and regions (obstacles exercise the batched
+containment kernel).  Lossy runs are the sharp edge: equality requires
+the batched backend to consume the scheduler RNG draw-for-draw in the
+legacy order (see the contract in ``repro/runtime/engines.py``), so
+these tests enforce exact equality (``==``, no tolerances).
+
+Loss-free distributed runs are additionally checked against the
+*centralized* driver's trajectory — the paper's claim that with a
+reliable channel the protocol executes Algorithm 1 exactly.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import Simulation, deploy
+from repro.core.config import LaacadConfig
+from repro.geometry.primitives import distance
+from repro.network.network import SensorNetwork
+from repro.regions.shapes import figure8_region_two, l_shaped_region, unit_square
+from repro.runtime.engines import (
+    BatchedDistributedEngine,
+    LegacyDistributedEngine,
+    available_distributed_engines,
+    make_distributed_engine,
+)
+from repro.runtime.failures import FailureInjector
+from repro.runtime.scheduler import SynchronousScheduler
+
+
+def _run_distributed(
+    engine,
+    seed,
+    drop_probability=0.0,
+    failures=None,
+    region=None,
+    count=14,
+    comm_range=0.3,
+    **config_kwargs,
+):
+    region = region if region is not None else unit_square()
+    network = SensorNetwork.from_random(
+        region, count, comm_range=comm_range, rng=np.random.default_rng(seed)
+    )
+    config_kwargs.setdefault("k", 2)
+    config_kwargs.setdefault("epsilon", 2e-3)
+    config_kwargs.setdefault("max_rounds", 12)
+    config = LaacadConfig(engine=engine, **config_kwargs)
+    injector = (
+        FailureInjector(
+            scheduled=dict(failures.get("scheduled", {})),
+            random_failure_rate=failures.get("random_failure_rate", 0.0),
+            rng=np.random.default_rng(failures.get("seed", 0)),
+        )
+        if failures
+        else None
+    )
+    return Simulation(
+        network=network,
+        config=config,
+        kind="distributed",
+        drop_probability=drop_probability,
+        failure_injector=injector,
+    ).run()
+
+
+def _assert_identical(result_a, result_b):
+    assert result_a.final_positions == result_b.final_positions
+    assert result_a.sensing_ranges == result_b.sensing_ranges
+    assert result_a.converged == result_b.converged
+    assert result_a.rounds_executed == result_b.rounds_executed
+    assert len(result_a.history) == len(result_b.history)
+    for stats_a, stats_b in zip(result_a.history, result_b.history):
+        assert dataclasses.asdict(stats_a) == dataclasses.asdict(stats_b)
+    assert result_a.communication == result_b.communication
+    assert result_a.killed_nodes == result_b.killed_nodes
+
+
+class TestLossyEquivalence:
+    """The tentpole contract: bitwise identity across the loss model."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    @pytest.mark.parametrize("drop_probability", [0.0, 0.02, 0.15])
+    def test_loss_rates_and_seeds(self, seed, drop_probability):
+        result_legacy = _run_distributed(
+            "legacy", seed, drop_probability=drop_probability
+        )
+        result_batched = _run_distributed(
+            "batched", seed, drop_probability=drop_probability
+        )
+        if drop_probability:
+            assert result_batched.communication.dropped > 0
+        _assert_identical(result_legacy, result_batched)
+
+    @pytest.mark.parametrize("drop_probability", [0.0, 0.1])
+    def test_failure_injection(self, drop_probability):
+        failures = {"scheduled": {3: [0, 1], 6: [5]}, "seed": 4}
+        result_legacy = _run_distributed(
+            "legacy", 9, drop_probability=drop_probability, failures=failures
+        )
+        result_batched = _run_distributed(
+            "batched", 9, drop_probability=drop_probability, failures=failures
+        )
+        assert result_batched.killed_nodes == [0, 1, 5]
+        _assert_identical(result_legacy, result_batched)
+
+    def test_random_failures(self):
+        failures = {"random_failure_rate": 0.01, "seed": 2}
+        result_legacy = _run_distributed(
+            "legacy", 13, drop_probability=0.05, failures=failures
+        )
+        result_batched = _run_distributed(
+            "batched", 13, drop_probability=0.05, failures=failures
+        )
+        _assert_identical(result_legacy, result_batched)
+
+    @pytest.mark.parametrize(
+        "region_factory", [l_shaped_region, figure8_region_two]
+    )
+    def test_obstacle_regions(self, region_factory):
+        # Holes exercise the batched containment kernel's hole branch
+        # and the circle check near obstacle boundaries.
+        result_legacy = _run_distributed(
+            "legacy", 3, drop_probability=0.08, region=region_factory(), count=18
+        )
+        result_batched = _run_distributed(
+            "batched", 3, drop_probability=0.08, region=region_factory(), count=18
+        )
+        _assert_identical(result_legacy, result_batched)
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_coverage_orders(self, k):
+        result_legacy = _run_distributed("legacy", 31 + k, drop_probability=0.05, k=k)
+        result_batched = _run_distributed("batched", 31 + k, drop_probability=0.05, k=k)
+        _assert_identical(result_legacy, result_batched)
+
+    def test_fractional_alpha_and_round_cap(self):
+        # A run that hits the round cap exercises the result() refresh
+        # round, which also consumes loss draws — in both backends.
+        result_legacy = _run_distributed(
+            "legacy", 17, drop_probability=0.1, alpha=0.5, max_rounds=4
+        )
+        result_batched = _run_distributed(
+            "batched", 17, drop_probability=0.1, alpha=0.5, max_rounds=4
+        )
+        assert not result_batched.converged
+        _assert_identical(result_legacy, result_batched)
+
+
+class TestCentralizedAgreement:
+    """Loss-free distributed == centralized trajectory (both backends)."""
+
+    @pytest.mark.parametrize("engine", ["legacy", "batched"])
+    def test_matches_centralized_driver(self, engine):
+        region = unit_square()
+        positions = region.random_points(14, rng=np.random.default_rng(8))
+        config = LaacadConfig(k=2, alpha=1.0, epsilon=2e-3, max_rounds=30)
+
+        central = deploy(region, positions, config, comm_range=0.35)
+
+        network = SensorNetwork(region, positions, comm_range=0.35)
+        distributed = Simulation(
+            network=network,
+            config=config.with_engine(engine),
+            kind="distributed",
+        ).run()
+
+        assert distributed.rounds_executed == central.rounds_executed
+        assert distributed.max_sensing_range == pytest.approx(
+            central.max_sensing_range, rel=1e-6
+        )
+        for a, b in zip(central.final_positions, distributed.final_positions):
+            assert distance(a, b) < 1e-6
+
+    def test_loss_free_engines_agree_with_each_other_exactly(self):
+        result_legacy = _run_distributed("legacy", 42)
+        result_batched = _run_distributed("batched", 42)
+        assert result_batched.communication.dropped == 0
+        _assert_identical(result_legacy, result_batched)
+
+
+class TestEngineSelection:
+    def test_registry_lists_builtins(self):
+        assert {"legacy", "batched"} <= set(available_distributed_engines())
+
+    def test_unknown_engine_rejected(self, square):
+        network = SensorNetwork(square, [(0.5, 0.5)], comm_range=0.3)
+        scheduler = SynchronousScheduler()
+        with pytest.raises(ValueError, match="unknown distributed round engine"):
+            make_distributed_engine("warp-drive", network, LaacadConfig(), scheduler)
+
+    def test_deployer_uses_configured_engine(self, square):
+        def _sim(engine):
+            network = SensorNetwork(
+                square, [(0.2, 0.2), (0.8, 0.8)], comm_range=0.4
+            )
+            return Simulation(
+                network=network,
+                config=LaacadConfig(k=1, engine=engine),
+                kind="distributed",
+            )
+
+        assert isinstance(_sim("legacy").deployer.protocol, LegacyDistributedEngine)
+        assert isinstance(_sim("batched").deployer.protocol, BatchedDistributedEngine)
+
+    def test_batched_deployer_still_exposes_agents(self, square):
+        # The deprecated DistributedLaacadRunner surface: same keys,
+        # inert agents, materialised lazily.
+        network = SensorNetwork.from_random(
+            square, 6, comm_range=0.4, rng=np.random.default_rng(0)
+        )
+        sim = Simulation(
+            network=network, config=LaacadConfig(k=1), kind="distributed"
+        )
+        assert set(sim.deployer.agents) == set(range(6))

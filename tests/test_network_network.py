@@ -77,6 +77,31 @@ class TestMutation:
         assert len(small_network.alive_nodes()) == small_network.size - 1
         assert len(small_network.positions(alive_only=True)) == small_network.size - 1
 
+    def test_apply_moves_matches_sequential_move_node(self, square):
+        positions = [(0.1, 0.1), (0.5, 0.5), (0.9, 0.2)]
+        targets = {0: (0.2, 0.3), 2: (1.4, 0.2)}  # node 2 clamps to the region
+        net_batch = SensorNetwork(square, positions, comm_range=0.2)
+        net_seq = SensorNetwork(square, positions, comm_range=0.2)
+        moved_batch = net_batch.apply_moves(targets)
+        moved_seq = {i: net_seq.move_node(i, t) for i, t in targets.items()}
+        assert moved_batch == moved_seq
+        assert net_batch.positions() == net_seq.positions()
+        assert [n.distance_traveled for n in net_batch.nodes] == [
+            n.distance_traveled for n in net_seq.nodes
+        ]
+
+    def test_apply_moves_invalidates_caches_once(self, square):
+        net = SensorNetwork(square, [(0.1, 0.1), (0.8, 0.8)], comm_range=0.3)
+        net.one_hop_neighbors(0)  # populate the grid cache
+        assert net._grid_cache is not None
+        net.apply_moves({0: (0.75, 0.75)})
+        assert net._grid_cache is None  # invalidated by the batch
+        assert net.one_hop_neighbors(0) == [1]
+        # An empty batch leaves the freshly built caches untouched.
+        grid = net._grid_cache
+        net.apply_moves({})
+        assert net._grid_cache is grid
+
 
 class TestNeighbourhoods:
     def test_one_hop_neighbors_within_range(self, square):

@@ -96,6 +96,61 @@ class TestScheduler:
         assert sched.collect_inbox(1) == []
         assert sched.current_round == -1
 
+    def test_record_counts_like_send(self):
+        # The counting fast path must account exactly like send() —
+        # same counters, no Message, nothing delivered.
+        by_send = SynchronousScheduler()
+        by_send.begin_round()
+        by_send.send(ring_query(0, 1, 0.5, 2))
+        by_send.send(position_report(1, 0, (0.3, 0.4), 2))
+        by_record = SynchronousScheduler()
+        by_record.begin_round()
+        for msg in (ring_query(0, 1, 0.5, 2), position_report(1, 0, (0.3, 0.4), 2)):
+            assert by_record.record(msg.hops, msg.size_bytes)
+        assert by_record.stats.messages == by_send.stats.messages
+        assert by_record.stats.transmissions == by_send.stats.transmissions
+        assert by_record.stats.bytes_sent == by_send.stats.bytes_sent
+        assert by_record.collect_inbox(1) == []
+
+    def test_record_draws_the_same_loss_stream_as_send(self):
+        lossy_send = SynchronousScheduler(
+            drop_probability=0.4, rng=np.random.default_rng(3)
+        )
+        lossy_record = SynchronousScheduler(
+            drop_probability=0.4, rng=np.random.default_rng(3)
+        )
+        sent = [lossy_send.send(ring_query(0, 1, 0.5, 1)) for _ in range(100)]
+        recorded = [lossy_record.record(1, 20) for _ in range(100)]
+        assert sent == recorded
+        assert lossy_send.stats.dropped == lossy_record.stats.dropped
+
+    def test_record_many_matches_scalar_records(self):
+        hops = np.asarray([1, 3, 2, 5, 1, 1])
+        sizes = np.asarray([20, 24, 20, 24, 20, 24])
+        scalar = SynchronousScheduler(
+            drop_probability=0.5, rng=np.random.default_rng(9)
+        )
+        batched = SynchronousScheduler(
+            drop_probability=0.5, rng=np.random.default_rng(9)
+        )
+        scalar.begin_round()
+        batched.begin_round()
+        expected = [scalar.record(int(h), int(s)) for h, s in zip(hops, sizes)]
+        delivered = batched.record_many(hops, sizes)
+        assert list(delivered) == expected
+        assert batched.stats == scalar.stats
+        assert batched.record_many(np.asarray([], dtype=int), np.asarray([], dtype=int)).shape == (0,)
+
+    def test_record_many_loss_free_draws_nothing(self):
+        sched = SynchronousScheduler(rng=np.random.default_rng(5))
+        state_before = sched._rng.bit_generator.state
+        delivered = sched.record_many(np.asarray([2, 2]), np.asarray([20, 24]))
+        assert delivered.all()
+        assert sched._rng.bit_generator.state == state_before
+        assert sched.stats.messages == 2
+        assert sched.stats.transmissions == 4
+        assert sched.stats.bytes_sent == 2 * 20 + 2 * 24
+
 
 class TestFailureInjector:
     def test_scheduled_failures(self, square):
