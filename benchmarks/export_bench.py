@@ -1,9 +1,11 @@
-"""Perf-trajectory exporter: measure the hot paths, write ``BENCH_PR4.json``.
+"""Perf-trajectory exporter: measure the hot paths, write a JSON baseline.
 
 The repo's performance work (PR 1: centralized round engine, PR 4:
-distributed round engine) needs a *recorded* trajectory to be measured
-against, so this runner times the canonical workloads and writes them
-to a committed JSON baseline:
+distributed round engine, PR 6: sparse engine tier) needs a *recorded*
+trajectory to be measured against, so this runner times the canonical
+workloads and writes them to a committed JSON baseline.
+
+``--suite pr4`` (default, writes ``BENCH_PR4.json``):
 
 * centralized round time (batched engine), N in {50, 200, 500};
 * distributed round time (legacy and batched backends), N in
@@ -13,23 +15,38 @@ to a committed JSON baseline:
   — the acceptance workload of the round-level backend;
 * wall-clock of a small serial scenario sweep (cold cache).
 
+``--suite sparse`` (writes ``BENCH_PR6.json``):
+
+* sparse centralized and distributed round times at N in
+  {2000, 10000, 50000} with density-scaled transmission range
+  (``sqrt(12 * area / (pi * N))`` — constant expected ring population,
+  the regime where the N x N wall actually bites);
+* the batched backends at N=2000 for the speedup rows (batched cannot
+  reach N=50000: the dense pairwise matrices alone would need tens of
+  gigabytes — which is the point of the tier);
+* the distributed scaling exponent ``log(t_50k / t_10k) / log(5)``,
+  committed as evidence of sub-quadratic scaling.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/export_bench.py                # write benchmarks/BENCH_PR4.json
-    PYTHONPATH=src python benchmarks/export_bench.py --out NEW.json
+    PYTHONPATH=src python benchmarks/export_bench.py --suite sparse # write benchmarks/BENCH_PR6.json
     PYTHONPATH=src python benchmarks/export_bench.py --check benchmarks/BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/export_bench.py --check benchmarks/BENCH_PR6.json
 
 ``--check`` re-measures the regression-relevant subset (round times and
 the deployment transient; the sweep is skipped — its wall-clock is
 dominated by process/cache housekeeping) and exits non-zero when any
 measurement exceeds ``baseline * machine_scale * factor`` (factor
-defaults to 2.0) or the deployment-transient speedup fell below half
-its recorded value.  ``machine_scale`` is the ratio of a fixed
-scalar-geometry calibration workload on the checking machine vs the
-baseline machine, so a uniformly slower CI runner does not trip the
-gate while a genuine round-engine regression — which leaves the
-calibration workload untouched — still does.  The speedup floor is
-machine-independent outright.
+defaults to 2.0), a recorded speedup fell below half its recorded
+value, or (sparse suite) the scaling exponent reaches quadratic.  The
+baseline's ``label`` picks the checker, so one flag serves both
+baselines.  ``machine_scale`` is the ratio of a fixed scalar-geometry
+calibration workload on the checking machine vs the baseline machine,
+so a uniformly slower CI runner does not trip the gate while a genuine
+round-engine regression — which leaves the calibration workload
+untouched — still does.  The speedup floors and the exponent ceiling
+are machine-independent outright.
 """
 
 from __future__ import annotations
@@ -45,9 +62,18 @@ from typing import Callable, Dict
 import numpy as np
 
 DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_PR4.json"
+SPARSE_OUT = Path(__file__).resolve().parent / "BENCH_PR6.json"
 
 ROUND_SIZES = (50, 200, 500)
 ENGINES = ("legacy", "batched")
+
+#: Sparse-tier sizes: density-scaled gamma keeps the expected ring
+#: population constant, so round cost tracks the candidate-pair volume
+#: rather than N².  50k is far beyond the dense engines' memory wall.
+SPARSE_SIZES = (2000, 10000, 50000)
+#: Largest size the batched comparison rows run at (dense N×N beyond
+#: this is pointlessly slow on a CI runner).
+SPARSE_COMPARE_SIZE = 2000
 
 #: The canonical N=200 k=2 corner-cluster distributed transient — the
 #: round-level backend's acceptance workload.  Single source of truth,
@@ -210,9 +236,172 @@ def collect(include_sweep: bool = True) -> Dict[str, object]:
     return payload
 
 
+def _density_scaled_network(n: int, seed: int = 7):
+    """Uniform deployment whose gamma shrinks with sqrt(1/N).
+
+    ``gamma = sqrt(12 * area / (pi * N))`` keeps ~12 expected nodes per
+    transmission disk at every size, the constant-density regime the
+    sparse tier targets.
+    """
+    import math
+
+    from repro.network.network import SensorNetwork
+    from repro.regions.shapes import unit_square
+
+    region = unit_square()
+    gamma = math.sqrt(12.0 * 1.0 / (math.pi * n))
+    return SensorNetwork(
+        region,
+        region.random_points(n, rng=np.random.default_rng(seed)),
+        comm_range=gamma,
+    )
+
+
+def _sparse_repeats(n: int) -> int:
+    return 1 if n >= 50000 else 2
+
+
+def measure_sparse_centralized_rounds() -> Dict[str, float]:
+    """One sparse-engine centralized round per density-scaled size."""
+    from repro.core.config import LaacadConfig
+    from repro.engine import make_engine
+
+    results: Dict[str, float] = {}
+    for n in SPARSE_SIZES:
+        network = _density_scaled_network(n)
+        engine = make_engine("sparse", network, LaacadConfig(k=2, engine="sparse"))
+        results[str(n)] = _best_of(engine.compute_round, repeats=_sparse_repeats(n))
+    return results
+
+
+def measure_sparse_distributed_rounds() -> Dict[str, float]:
+    """One sparse-backend distributed protocol round per size."""
+    from repro.core.config import LaacadConfig
+    from repro.runtime.engines import make_distributed_engine
+    from repro.runtime.scheduler import SynchronousScheduler
+
+    results: Dict[str, float] = {}
+    for n in SPARSE_SIZES:
+        network = _density_scaled_network(n)
+        config = LaacadConfig(k=2, engine="sparse")
+        scheduler = SynchronousScheduler()
+        engine = make_distributed_engine("sparse", network, config, scheduler)
+        scheduler.begin_round()
+        results[str(n)] = _best_of(
+            lambda: engine.run_round(0), repeats=_sparse_repeats(n)
+        )
+    return results
+
+
+def measure_batched_comparison_rounds() -> Dict[str, float]:
+    """The dense reference points for the speedup rows (N=2000 only)."""
+    from repro.core.config import LaacadConfig
+    from repro.engine import make_engine
+    from repro.runtime.engines import make_distributed_engine
+    from repro.runtime.scheduler import SynchronousScheduler
+
+    network = _density_scaled_network(SPARSE_COMPARE_SIZE)
+    engine = make_engine("batched", network, LaacadConfig(k=2, engine="batched"))
+    centralized = _best_of(engine.compute_round, repeats=2)
+
+    network = _density_scaled_network(SPARSE_COMPARE_SIZE)
+    config = LaacadConfig(k=2, engine="batched")
+    scheduler = SynchronousScheduler()
+    dist_engine = make_distributed_engine("batched", network, config, scheduler)
+    scheduler.begin_round()
+    distributed = _best_of(lambda: dist_engine.run_round(0), repeats=2)
+    return {"centralized": centralized, "distributed": distributed}
+
+
+def collect_sparse() -> Dict[str, object]:
+    import math
+
+    centralized = measure_sparse_centralized_rounds()
+    distributed = measure_sparse_distributed_rounds()
+    batched = measure_batched_comparison_rounds()
+    n_hi, n_lo = str(SPARSE_SIZES[-1]), str(SPARSE_SIZES[-2])
+    exponent = math.log(distributed[n_hi] / distributed[n_lo]) / math.log(
+        SPARSE_SIZES[-1] / SPARSE_SIZES[-2]
+    )
+    compare = str(SPARSE_COMPARE_SIZE)
+    return {
+        "bench_format_version": 1,
+        "label": "PR6",
+        "calibration_seconds": measure_calibration(),
+        "workloads": {
+            "sparse_centralized_round_seconds": centralized,
+            "sparse_distributed_round_seconds": distributed,
+            "batched_round_n2000_seconds": batched,
+            "sparse_speedup_n2000_centralized": batched["centralized"]
+            / centralized[compare],
+            "sparse_speedup_n2000_distributed": batched["distributed"]
+            / distributed[compare],
+            "sparse_distributed_scaling_exponent": exponent,
+        },
+    }
+
+
+def check_sparse(baseline_payload: Dict, factor: float) -> int:
+    """Regression gate for the sparse-tier baseline (data-driven).
+
+    Absolute seconds are compared against ``baseline * machine_scale *
+    factor``; ``*speedup*`` keys fail below half their recorded value;
+    the scaling exponent fails at quadratic (>= 2.0) regardless of the
+    baseline — sub-quadratic scaling is the tier's reason to exist.
+    """
+    baseline = baseline_payload["workloads"]
+    current_payload = collect_sparse()
+    current = current_payload["workloads"]
+    failures = []
+
+    scale = current_payload["calibration_seconds"] / baseline_payload[
+        "calibration_seconds"
+    ]
+    print(f"machine-speed scale vs baseline: {scale:.2f}x "
+          f"(calibration {current_payload['calibration_seconds']:.3f}s "
+          f"vs {baseline_payload['calibration_seconds']:.3f}s)\n")
+
+    for key, base_value in baseline.items():
+        new_value = current[key]
+        if "speedup" in key:
+            status = "ok"
+            if new_value < base_value / 2.0:
+                status = "REGRESSION (speedup halved)"
+                failures.append(key)
+            print(f"{key:55s} baseline {base_value:8.2f}x now {new_value:8.2f}x  {status}")
+        elif "scaling_exponent" in key:
+            status = "ok" if new_value < 2.0 else "REGRESSION (quadratic scaling)"
+            if new_value >= 2.0:
+                failures.append(key)
+            print(f"{key:55s} baseline {base_value:8.2f}  now {new_value:8.2f}   {status}")
+        elif isinstance(base_value, dict):
+            for sub, base_seconds in base_value.items():
+                new_seconds = current[key][sub]
+                status = "ok"
+                if new_seconds > base_seconds * scale * factor:
+                    status = f"REGRESSION (> {factor:.1f}x speed-scaled baseline)"
+                    failures.append(f"{key}[{sub}]")
+                print(f"{key + '[' + sub + ']':55s} baseline {base_seconds:8.3f}s "
+                      f"now {new_seconds:8.3f}s  {status}")
+        else:
+            status = "ok"
+            if new_value > base_value * scale * factor:
+                status = f"REGRESSION (> {factor:.1f}x speed-scaled baseline)"
+                failures.append(key)
+            print(f"{key:55s} baseline {base_value:8.3f}s now {new_value:8.3f}s  {status}")
+
+    if failures:
+        print(f"\nFAILED: {len(failures)} regression(s): {', '.join(failures)}")
+        return 1
+    print("\nOK: no measurement regressed beyond the allowed factor")
+    return 0
+
+
 def check(baseline_path: Path, factor: float) -> int:
     """Re-measure and compare; returns a process exit code."""
     baseline_payload = json.loads(baseline_path.read_text())
+    if baseline_payload.get("label") == "PR6":
+        return check_sparse(baseline_payload, factor)
     baseline = baseline_payload["workloads"]
     current_payload = collect(include_sweep=False)
     current = current_payload["workloads"]
@@ -274,10 +463,13 @@ def check(baseline_path: Path, factor: float) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+    parser.add_argument("--out", type=Path, default=None,
                         help="where to write the baseline JSON")
+    parser.add_argument("--suite", choices=("pr4", "sparse"), default="pr4",
+                        help="which workload suite to record (default pr4)")
     parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
-                        help="compare fresh measurements against a committed baseline")
+                        help="compare fresh measurements against a committed "
+                             "baseline (the suite is picked from its label)")
     parser.add_argument("--factor", type=float, default=2.0,
                         help="allowed slowdown factor in --check mode (default 2.0)")
     args = parser.parse_args(argv)
@@ -285,10 +477,27 @@ def main(argv=None) -> int:
     if args.check is not None:
         return check(args.check, args.factor)
 
+    if args.suite == "sparse":
+        payload = collect_sparse()
+        out = args.out if args.out is not None else SPARSE_OUT
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        workloads = payload["workloads"]
+        print(f"wrote {out}")
+        dist = workloads["sparse_distributed_round_seconds"]
+        print("sparse distributed round: "
+              + ", ".join(f"n={n} {t:.2f}s" for n, t in dist.items()))
+        print(f"n=2000 speedup over batched: centralized "
+              f"{workloads['sparse_speedup_n2000_centralized']:.2f}x, distributed "
+              f"{workloads['sparse_speedup_n2000_distributed']:.2f}x")
+        print(f"distributed scaling exponent (10k -> 50k): "
+              f"{workloads['sparse_distributed_scaling_exponent']:.2f}")
+        return 0
+
     payload = collect()
-    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    out = args.out if args.out is not None else DEFAULT_OUT
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     workloads = payload["workloads"]
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     print(f"distributed n=200 transient: "
           f"legacy {workloads['distributed_deployment_n200_seconds']['legacy']:.2f}s, "
           f"batched {workloads['distributed_deployment_n200_seconds']['batched']:.2f}s "

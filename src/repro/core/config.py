@@ -41,11 +41,16 @@ class LaacadConfig:
         engine: which round-execution backend drives the deployment:
             ``"batched"`` (array-native — the vectorized centralized
             engine in ``repro.engine`` and, for distributed runs, the
-            round-level protocol engine in ``repro.runtime.engines``)
-            or ``"legacy"`` (the original per-node scalar paths).  All
-            backends produce bitwise-identical results; see DESIGN.md.
-            Orthogonal to ``use_localized``, which selects how each
-            individual region is computed.
+            round-level protocol engine in ``repro.runtime.engines``),
+            ``"legacy"`` (the original per-node scalar paths), or
+            ``"sparse"`` (grid-bucketed candidate pairs and chunked
+            kernels, never materialising an N×N matrix — the tier for
+            N in the tens of thousands).  ``legacy`` and ``batched``
+            are bitwise identical; ``sparse`` is held to a 1e-9
+            tolerance contract with identical round counts and exact
+            communication counters (see DESIGN.md, "The sparse engine
+            tier").  Orthogonal to ``use_localized``, which selects
+            how each individual region is computed.
     """
 
     k: int = 1

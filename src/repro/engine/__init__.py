@@ -9,12 +9,15 @@ layers (see DESIGN.md for the full diagram):
   clipping kernels shared with the analysis layer;
 * :mod:`repro.engine.base` — the :class:`RoundEngine` protocol, the
   backend registry and the shared per-round summarisation;
-* :mod:`repro.engine.batch` / :mod:`repro.engine.legacy` — the two
-  built-in backends, selected by ``LaacadConfig.engine``.
+* :mod:`repro.engine.batch` / :mod:`repro.engine.legacy` /
+  :mod:`repro.engine.sparse` — the built-in backends, selected by
+  ``LaacadConfig.engine``.
 
-Both backends produce bitwise-identical results; ``"batched"`` is the
-default and is the foundation future sharded/async backends plug into
-via :func:`register_engine`.
+``"legacy"`` and ``"batched"`` produce bitwise-identical results;
+``"sparse"`` (grid-bucketed candidate pairs, no dense N×N matrix)
+matches them under the 1e-9 tolerance contract documented in DESIGN.md.
+``"batched"`` is the default; new backends plug in via
+:func:`register_engine`.
 """
 
 from repro.engine.arrays import NodeArrayState
@@ -28,11 +31,13 @@ from repro.engine.base import (
 )
 from repro.engine.batch import BatchedRoundEngine
 from repro.engine.legacy import LegacyRoundEngine
+from repro.engine.sparse import SparseRoundEngine
 
 __all__ = [
     "BatchedRoundEngine",
     "EngineRound",
     "LegacyRoundEngine",
+    "SparseRoundEngine",
     "NodeArrayState",
     "RoundEngine",
     "available_engines",

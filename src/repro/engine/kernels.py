@@ -40,7 +40,8 @@ scalar per-node path.  Two rules keep that true:
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+import os
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,6 +60,129 @@ _SMALL_BATCH = 24
 #: Remaining-competitor tails at most this long are finished in scalar
 #: mode: packing the vertex arrays costs more than a few scalar passes.
 _MIN_VECTOR_TAIL = 8
+
+
+# ----------------------------------------------------------------------
+# Memory budgets
+# ----------------------------------------------------------------------
+#: Environment knob capping any single dense pairwise matrix allocation.
+DENSE_MATRIX_BYTES_ENV = "REPRO_DENSE_MATRIX_BYTES"
+_DEFAULT_DENSE_MATRIX_BYTES = 1 << 30  # 1 GiB
+
+#: Environment knob bounding the transient working set of chunked kernels.
+#: The default is sized to keep a chunk's transient panels resident in a
+#: typical last-level cache: panel kernels are memory-bandwidth bound, and
+#: streaming much larger chunks through DRAM measures ~3x slower than
+#: cache-resident ones for identical results.
+CHUNK_BYTES_ENV = "REPRO_CHUNK_BYTES"
+_DEFAULT_CHUNK_BYTES = 16 << 20  # 16 MiB
+
+
+def _env_bytes(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer byte count, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def dense_matrix_byte_cap() -> int:
+    """Byte cap for one dense pairwise matrix (``REPRO_DENSE_MATRIX_BYTES``)."""
+    return _env_bytes(DENSE_MATRIX_BYTES_ENV, _DEFAULT_DENSE_MATRIX_BYTES)
+
+
+def chunk_budget_bytes() -> int:
+    """Transient working-set budget of chunked kernels (``REPRO_CHUNK_BYTES``)."""
+    return _env_bytes(CHUNK_BYTES_ENV, _DEFAULT_CHUNK_BYTES)
+
+
+def _check_dense_budget(n: int, matrices: int) -> None:
+    """Refuse a dense ``(N, N)`` allocation that would blow the byte cap.
+
+    Raises a *clear* ``MemoryError`` before NumPy attempts the
+    allocation: the chunked evaluation paths bound the intermediate
+    broadcast tensors but still materialise the full output matrices,
+    so the guard is on the output size, chunked or not.
+    """
+    cap = dense_matrix_byte_cap()
+    needed = n * n * 8 * matrices
+    if needed > cap:
+        raise MemoryError(
+            f"dense pairwise distance matrix for {n} points needs "
+            f"{needed / 1e9:.1f} GB ({matrices} float64 matrix(es) of "
+            f"{n}x{n}), exceeding the {cap / 1e9:.1f} GB cap; use the "
+            f'sparse engine tier (LaacadConfig(engine="sparse") or '
+            f"REPRO_ENGINE=sparse), which never builds an N x N matrix, "
+            f"or raise {DENSE_MATRIX_BYTES_ENV}."
+        )
+
+
+def plan_chunks(
+    total_items: int, bytes_per_item: int, budget: Optional[int] = None
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` slices bounding transient memory.
+
+    The shape-first idiom of the chunked kernel drivers: callers size
+    their *output* up front (``total_items`` and the per-item transient
+    footprint are known before any work happens), then stream fixed-size
+    chunks through the kernel so the working set never exceeds the
+    budget (``REPRO_CHUNK_BYTES`` by default).  Always yields at least
+    one item per chunk, so pathologically large rows degrade to
+    item-at-a-time evaluation instead of failing.
+    """
+    if total_items < 0:
+        raise ValueError("total_items must be non-negative")
+    if bytes_per_item <= 0:
+        raise ValueError("bytes_per_item must be positive")
+    if budget is None:
+        budget = chunk_budget_bytes()
+    chunk = max(1, budget // bytes_per_item)
+    for start in range(0, total_items, chunk):
+        yield start, min(start + chunk, total_items)
+
+
+def csr_pair_distances(
+    centers: np.ndarray,
+    point_x: np.ndarray,
+    point_y: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    budget: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Hypot and squared distances for CSR candidate-pair lists, chunked.
+
+    The sparse tier's replacement for the dense
+    :func:`pairwise_distance_and_sq`: ``indices[indptr[i]:indptr[i+1]]``
+    are the candidate partners of center ``i`` (as produced by
+    ``SpatialGrid.query_radius_many``), and the returned arrays are
+    aligned with ``indices``.  Per element the arithmetic is exactly the
+    dense kernel's (``np.hypot(dx, dy)`` and ``dx*dx + dy*dy`` on the
+    same operands), so thresholds and hop counts derived from either
+    form agree bitwise; the output is sized first and the pair list is
+    streamed through in budget-bounded chunks.
+    """
+    centers = np.asarray(centers, dtype=float).reshape(-1, 2)
+    total = int(indices.shape[0])
+    owners = np.repeat(
+        np.arange(centers.shape[0], dtype=np.int64), np.diff(indptr)
+    )
+    dist = np.empty(total, dtype=float)
+    dist_sq = np.empty(total, dtype=float)
+    # Transient footprint per pair: owner row, gathered coordinates and
+    # the dx/dy temporaries (~6 float64 lanes).
+    for start, stop in plan_chunks(total, 48, budget):
+        idx = indices[start:stop]
+        own = owners[start:stop]
+        dx = point_x[idx] - centers[own, 0]
+        dy = point_y[idx] - centers[own, 1]
+        dist[start:stop] = np.hypot(dx, dy)
+        dist_sq[start:stop] = dx * dx + dy * dy
+    return dist, dist_sq
 
 
 # ----------------------------------------------------------------------
@@ -93,10 +217,13 @@ def pairwise_distance_matrix(
     """Dense ``(N, N)`` pairwise distance matrix via ``np.hypot``.
 
     Used for threshold decisions (competitor selection) only — see the
-    module docstring's numerical contract.
+    module docstring's numerical contract.  Raises a descriptive
+    ``MemoryError`` (suggesting ``engine="sparse"``) when the output
+    matrix would exceed :func:`dense_matrix_byte_cap`.
     """
     pts = np.asarray(points, dtype=float).reshape(-1, 2)
     n = pts.shape[0]
+    _check_dense_budget(n, 1)
     if chunk_size is None or n <= chunk_size:
         dx = pts[:, 0][:, None] - pts[:, 0][None, :]
         dy = pts[:, 1][:, None] - pts[:, 1][None, :]
@@ -132,9 +259,13 @@ def pairwise_distance_and_sq(
     Sharing one ``dx``/``dy`` evaluation keeps the two matrices
     consistent and halves the broadcast work; ``chunk_size`` bounds the
     intermediate memory exactly like :func:`pairwise_distance_matrix`.
+    Raises a descriptive ``MemoryError`` (suggesting ``engine="sparse"``)
+    when the *two* output matrices would exceed
+    :func:`dense_matrix_byte_cap`.
     """
     pts = np.asarray(points, dtype=float).reshape(-1, 2)
     n = pts.shape[0]
+    _check_dense_budget(n, 2)
     if chunk_size is None or n <= chunk_size:
         dx = pts[:, 0][:, None] - pts[:, 0][None, :]
         dy = pts[:, 1][:, None] - pts[:, 1][None, :]

@@ -16,9 +16,12 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 FULL_SCALE_ENV = "REPRO_FULL_SCALE"
 
 #: Environment variable selecting the round-engine backend every
-#: experiment runner uses ("batched" or "legacy"); the CLI's ``--engine``
-#: flag sets it.  Both backends produce identical results (see
-#: DESIGN.md), so this only affects wall-clock time.
+#: experiment runner uses ("batched", "legacy" or "sparse"); the CLI's
+#: ``--engine`` flag sets it.  "batched" and "legacy" produce bitwise
+#: identical results; "sparse" trades that for a 1e-9 tolerance
+#: contract and sub-quadratic memory/time, unlocking node counts the
+#: dense tiers cannot allocate (see DESIGN.md, "The sparse engine
+#: tier").
 ENGINE_ENV = "REPRO_ENGINE"
 
 #: Worker processes every runner's scenario sweep uses; the CLI's

@@ -26,6 +26,7 @@ from repro.runtime.engines import (
     make_distributed_engine,
     register_distributed_engine,
 )
+from repro.runtime.sparse import SparseDistributedEngine
 from repro.runtime.protocol import DistributedLaacadRunner, DistributedRoundStats
 from repro.runtime.failures import FailureInjector
 
@@ -39,6 +40,7 @@ __all__ = [
     "DistributedEngineRound",
     "DistributedRoundEngine",
     "LegacyDistributedEngine",
+    "SparseDistributedEngine",
     "available_distributed_engines",
     "make_distributed_engine",
     "register_distributed_engine",

@@ -370,6 +370,7 @@ class BatchedDistributedEngine(DistributedRoundEngine):
         cand_hops: np.ndarray,
         step: float,
         max_radius: float,
+        extend=None,
     ) -> Tuple[List[int], float]:
         """Algorithm 2's information gathering over precomputed arrays.
 
@@ -377,6 +378,15 @@ class BatchedDistributedEngine(DistributedRoundEngine):
         delivery order (ring by ring, scan order within a ring — the
         legacy ``known_positions`` dict insertion order), and the final
         ring radius.
+
+        ``extend``, when given, lets a caller grow the candidate arrays
+        lazily as the ring expands (the sparse backend fetches them from
+        the spatial grid instead of a dense matrix).  It is called with
+        the new ring radius and returns either ``None`` (current arrays
+        still cover the ring) or ``(positions, dist_sq, hops, remap)``
+        where ``remap`` maps old candidate rows to rows of the new
+        arrays — the new arrays must contain the old candidates in scan
+        order so the RNG draw-order contract is preserved.
         """
         scheduler = self.scheduler
         sizes = self._exchange_sizes
@@ -387,6 +397,15 @@ class BatchedDistributedEngine(DistributedRoundEngine):
         rho = 0.0
         while True:
             rho += step
+            if extend is not None:
+                grown = extend(rho)
+                if grown is not None:
+                    cand_positions, cand_dist_sq, cand_hops, remap = grown
+                    new_mask = np.zeros(cand_dist_sq.shape[0], dtype=bool)
+                    new_mask[remap[known_mask]] = True
+                    known_mask = new_mask
+                    known_order = [int(remap[i]) for i in known_order]
+                    known_dirty = True
             # The grid's inclusion test: dist_sq <= radius^2 + 1e-15.
             attempts = np.nonzero(
                 (cand_dist_sq <= rho * rho + 1e-15) & ~known_mask

@@ -1,0 +1,653 @@
+"""Sparse distributed backend: grid-fed rings, cross-node clipping.
+
+:class:`~repro.runtime.engines.BatchedDistributedEngine` removed the
+per-message Python of the legacy agents but kept two scalability walls:
+the dense N×N distance matrices and a Python loop that walks every
+node's expanding-ring schedule (and budgeted clipping sweep) one node
+at a time.  This backend removes both:
+
+* candidates come from :class:`~repro.network.neighbors.SpatialGrid`
+  batch queries — the grid is built with the same cell size the scan
+  order contract uses, so a bucket walk enumerates ring members in
+  exactly the legacy scan order;
+* with a **loss-free channel** the gather runs *level-synchronously*:
+  all still-searching nodes share the same ring radius schedule, so one
+  array pass per ring level accounts every node's new exchanges (bulk
+  :meth:`~repro.runtime.scheduler.SynchronousScheduler.record_many` —
+  loss-free accounting is a sum, so bulk order cannot change it) and
+  one vectorised Algorithm-2 circle check retires all dominated nodes
+  at once.  No RNG is consumed on a loss-free channel, so draw order
+  is trivially preserved;
+* with a **lossy channel** the engine falls back to the per-node,
+  draw-exact ring walk of the batched backend (via the shared
+  ``_expanding_rings``), feeding it candidates lazily from the grid
+  instead of a dense matrix row — the RNG draw-order contract of
+  ``repro.runtime.engines`` holds bit for bit;
+* the per-node budgeted clipping sweeps are replaced by one
+  :func:`~repro.engine.sparse_kernels.clip_cells_batch` call over all
+  nodes, and the per-round summary (Chebyshev centers, displacements,
+  move proposals) by :func:`~repro.engine.sparse_kernels.mec_batch`.
+
+Numerical contract: **tolerance, not bitwise** (DESIGN.md "Sparse
+engine tier") — positions/ranges/areas within 1e-9 of the batched
+backend, identical convergence behaviour on the reference scenarios.
+The gather decisions themselves (ring membership, hop counts, circle
+checks, loss draws) reuse the exact arithmetic of the batched backend,
+so the tolerance enters only through the fused clipping and the MEC.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.engine.kernels import chunk_budget_bytes
+from repro.engine.sparse_kernels import _ragged_indices, clip_cells_batch, mec_batch
+from repro.network.neighbors import SpatialGrid
+from repro.runtime.engines import (
+    BatchedDistributedEngine,
+    DistributedEngineRound,
+    register_distributed_engine,
+    summarize_protocol_round,
+)
+from repro.voronoi.dominating import DominatingRegion
+
+__all__ = ["SparseDistributedEngine"]
+
+
+def _extend_schedule(rhos: List[float], thresholds: List[float], upto: int, step: float) -> None:
+    """Grow the shared ring-radius schedule to ``upto`` levels.
+
+    Radii are accumulated by repeated addition (``rho += step``) so the
+    floats match the legacy per-node loop bit for bit; the thresholds
+    are the grid inclusion test ``rho^2 + 1e-15``.
+    """
+    while len(rhos) < upto:
+        rho = (rhos[-1] if rhos else 0.0) + step
+        rhos.append(rho)
+        thresholds.append(rho * rho + 1e-15)
+
+
+class _LazyRegions(dict):
+    """A regions dict materialised on first read access.
+
+    The per-round protocol path only consumes the vectorised summary
+    (centers, displacements, proposed targets); the region *polygons*
+    are read by ``result()`` at the very end and by the compat agent
+    surface.  Deferring the flat-array → Python-piece conversion to the
+    first read keeps it off the per-round critical path.
+    """
+
+    def __init__(self, builder) -> None:
+        super().__init__()
+        self._builder = builder
+
+    def _ensure(self) -> None:
+        builder = self._builder
+        if builder is not None:
+            self._builder = None
+            super().update(builder())
+
+    def __getitem__(self, key):
+        self._ensure()
+        return super().__getitem__(key)
+
+    def __iter__(self):
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self):
+        self._ensure()
+        return super().__len__()
+
+    def __contains__(self, key):
+        self._ensure()
+        return super().__contains__(key)
+
+    def __eq__(self, other):
+        self._ensure()
+        return super().__eq__(other)
+
+    __hash__ = None
+
+    def __repr__(self):
+        self._ensure()
+        return super().__repr__()
+
+    def get(self, key, default=None):
+        self._ensure()
+        return super().get(key, default)
+
+    def keys(self):
+        self._ensure()
+        return super().keys()
+
+    def values(self):
+        self._ensure()
+        return super().values()
+
+    def items(self):
+        self._ensure()
+        return super().items()
+
+    def __reduce__(self):
+        self._ensure()
+        return (dict, (dict(self),))
+
+
+@register_distributed_engine
+class SparseDistributedEngine(BatchedDistributedEngine):
+    """Grid-bucketed, level-synchronous protocol rounds."""
+
+    name = "sparse"
+
+    # ------------------------------------------------------------------
+    def run_round(self, round_index: int) -> DistributedEngineRound:
+        network = self.network
+        config = self.config
+        area = network.region
+        area_pieces = area.convex_pieces()
+        gamma = network.comm_range
+        step = gamma * config.ring_granularity
+        max_radius = 2.0 * area.diameter + step
+
+        positions = np.asarray(network.positions(), dtype=float)
+        alive = network.alive_mask()
+        alive_rows = np.nonzero(alive)[0].astype(np.int64)
+        if alive_rows.size == 0:
+            self.last_regions = {}
+            self.last_round = summarize_protocol_round(network, config, {})
+            return self.last_round
+
+        # Same cell size as the scan-order contract: bucket-walk order
+        # IS the legacy ring-member visiting order.
+        grid = SpatialGrid(positions, cell_size=max(gamma, 1e-6))
+        if self.scheduler.drop_probability > 0.0:
+            gathered = self._gather_lossy(
+                grid, positions, alive, step, max_radius, gamma
+            )
+        else:
+            gathered = self._gather_lossfree(
+                grid, positions, alive, step, max_radius, gamma
+            )
+        known_ids, known_indptr, rho_final = gathered
+        round_summary = self._clip_and_summarize(
+            positions, alive_rows, known_ids, known_indptr, rho_final, area_pieces
+        )
+        self.last_regions = round_summary.regions
+        self.last_round = round_summary
+        return round_summary
+
+    # ------------------------------------------------------------------
+    # Loss-free gather: level-synchronous over all nodes
+    # ------------------------------------------------------------------
+    def _gather_lossfree(
+        self,
+        grid: SpatialGrid,
+        positions: np.ndarray,
+        alive: np.ndarray,
+        step: float,
+        max_radius: float,
+        gamma: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All nodes' expanding rings, one ring level at a time.
+
+        Loss-free delivery means every ring member is attempted exactly
+        once — at the first level whose radius reaches it — and always
+        answers, so per level the new exchanges of *all* still-active
+        nodes can be accounted with one bulk ``record_many`` (the
+        counters are order-independent sums) and the known sets grow by
+        exactly the level's ring members.  No loss draws exist, so no
+        RNG ordering constraint applies.
+        """
+        scheduler = self.scheduler
+        sizes = self._exchange_sizes
+        count = positions.shape[0]
+        px = np.ascontiguousarray(positions[:, 0])
+        py = np.ascontiguousarray(positions[:, 1])
+        alive_rows = np.nonzero(alive)[0].astype(np.int64)
+        n_alive = alive_rows.shape[0]
+        active = np.ones(n_alive, dtype=bool)
+        rho_final = np.zeros(n_alive)
+        rhos: List[float] = []
+        thresholds: List[float] = []
+
+        # Delivered pairs, appended level by level (owner-grouped, scan
+        # order within a level — the legacy delivery order).
+        acc_owner: List[np.ndarray] = []
+        acc_cand: List[np.ndarray] = []
+        # Flat known positions for the vectorised circle checks.
+        known_owner = np.zeros(0, dtype=np.int64)
+        known_x = np.zeros(0)
+        known_y = np.zeros(0)
+        # Candidate pairs of the current fetch horizon.
+        pair_owner = np.zeros(0, dtype=np.int64)
+        pair_cand = np.zeros(0, dtype=np.int64)
+        pair_ring = np.zeros(0, dtype=np.int64)
+        pair_hops = np.zeros(0, dtype=np.int64)
+
+        fetched_levels = 0
+        level = 0
+        while active.any():
+            level += 1
+            _extend_schedule(rhos, thresholds, level, step)
+            rho = rhos[level - 1]
+            if level > fetched_levels:
+                # Fetch the next horizon block (doubling span) for the
+                # still-active owners.  All pairs of earlier rings have
+                # been processed, so the old pair state is obsolete.
+                span = max(2, fetched_levels)
+                new_fetched = level + span - 1
+                _extend_schedule(rhos, thresholds, new_fetched, step)
+                radius = rhos[new_fetched - 1]
+                rows_active = np.nonzero(active)[0]
+                owners_nodes = alive_rows[rows_active]
+                cand, indptr = grid.query_radius_many(
+                    positions[owners_nodes], radius
+                )
+                ow_row = np.repeat(rows_active, np.diff(indptr))
+                ow_node = alive_rows[ow_row]
+                keep = alive[cand] & (cand != ow_node)
+                cand = cand[keep]
+                ow_row = ow_row[keep]
+                ow_node = ow_node[keep]
+                dx = px[cand] - px[ow_node]
+                dy = py[cand] - py[ow_node]
+                dist_sq = dx * dx + dy * dy
+                hops = np.maximum(
+                    1, np.ceil(np.hypot(dx, dy) / gamma - 1e-9)
+                ).astype(np.int64)
+                # Ring index: first level whose inclusion threshold
+                # admits the pair (identical float schedule as the
+                # scalar rho accumulation).
+                ring = (
+                    np.searchsorted(
+                        np.asarray(thresholds[:new_fetched]), dist_sq, side="left"
+                    )
+                    + 1
+                )
+                fresh = ring >= level
+                order = np.lexsort((ring[fresh], ow_row[fresh]))
+                pair_owner = ow_row[fresh][order]
+                pair_cand = cand[fresh][order]
+                pair_ring = ring[fresh][order]
+                pair_hops = hops[fresh][order]
+                fetched_levels = new_fetched
+
+            mask = (pair_ring == level) & active[pair_owner]
+            if mask.any():
+                level_hops = pair_hops[mask]
+                scheduler.record_many(
+                    np.repeat(level_hops, 2), np.tile(sizes, level_hops.shape[0])
+                )
+                lvl_owner = pair_owner[mask]
+                lvl_cand = pair_cand[mask]
+                acc_owner.append(lvl_owner)
+                acc_cand.append(lvl_cand)
+                known_owner = np.concatenate((known_owner, lvl_owner))
+                known_x = np.concatenate((known_x, px[lvl_cand]))
+                known_y = np.concatenate((known_y, py[lvl_cand]))
+
+            # Algorithm-2 stop checks for every active node at once.
+            rows_active = np.nonzero(active)[0]
+            sel = active[known_owner]
+            ko = known_owner[sel]
+            by_owner = np.argsort(ko, kind="stable")
+            ko = ko[by_owner]
+            row_local = np.full(n_alive, -1, dtype=np.int64)
+            row_local[rows_active] = np.arange(rows_active.shape[0])
+            local = row_local[ko]
+            counts_local = np.bincount(local, minlength=rows_active.shape[0])
+            kptr = np.concatenate(([0], np.cumsum(counts_local))).astype(np.int64)
+            dominated = self._circle_dominated_many(
+                px[alive_rows[rows_active]],
+                py[alive_rows[rows_active]],
+                rho / 2.0,
+                known_x[sel][by_owner],
+                known_y[sel][by_owner],
+                kptr,
+            )
+            stopping = dominated | (rho >= max_radius)
+            stop_rows = rows_active[stopping]
+            rho_final[stop_rows] = rho
+            active[stop_rows] = False
+
+        # Assemble per-node known lists in delivery order.
+        if acc_owner:
+            all_owner = np.concatenate(acc_owner)
+            all_cand = np.concatenate(acc_cand)
+            seq = np.concatenate(
+                [
+                    np.full(chunk.shape[0], i, dtype=np.int64)
+                    for i, chunk in enumerate(acc_owner)
+                ]
+            )
+            order = np.lexsort((seq, all_owner))
+            known_counts = np.bincount(all_owner, minlength=n_alive)
+            known_ids = all_cand[order]
+        else:
+            known_counts = np.zeros(n_alive, dtype=np.int64)
+            known_ids = np.zeros(0, dtype=np.int64)
+        known_indptr = np.concatenate(([0], np.cumsum(known_counts))).astype(np.int64)
+        return known_ids, known_indptr, rho_final
+
+    def _circle_dominated_many(
+        self,
+        sx: np.ndarray,
+        sy: np.ndarray,
+        radius: float,
+        kx: np.ndarray,
+        ky: np.ndarray,
+        kptr: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised half-radius domination check for many nodes.
+
+        Per node: every free-area sample point on the half-radius circle
+        must see at least ``k`` known neighbours strictly closer than
+        the node itself.  Decisions mirror the scalar
+        ``_circle_dominated`` with one tolerance-contract deviation:
+        "closer" is decided on squared distances (``d² < t²`` instead
+        of ``hypot(d) < t``), which can differ only when a neighbour
+        sits within an ulp of the 1e-12 comparison margin.
+
+        The decision per node is ``all over samples of (count >= k or
+        sample outside the free area)`` — a node with *no* inside
+        sample is vacuously dominated, so the formula subsumes the
+        scalar early-out.  Containment is therefore only evaluated at
+        the samples whose closer-count falls short of ``k`` (the only
+        places it can influence the verdict), which is typically a tiny
+        fraction of the sample set.  Known-position panels are
+        processed in owner chunks bounded by the kernel chunk budget,
+        and counting runs in two stages: a cheap pass over each node's
+        first ``max(8, 4k)`` knowns (delivery order is ring-ascending,
+        so these are the nearest-ish) settles most samples — a subset
+        count already >= k can only grow — and only rows with a
+        still-short sample pay for the remaining knowns.  Totals for
+        those rows are exact subset + remainder sums, so decisions are
+        identical to the one-shot panel.
+        """
+        a = sx.shape[0]
+        n_samples = self._circle_cos.shape[0]
+        sample_x = sx[:, None] + radius * self._circle_cos[None, :]
+        sample_y = sy[:, None] + radius * self._circle_sin[None, :]
+        counts = np.diff(kptr)
+        rows = np.nonzero(counts > 0)[0]
+        k = self.config.k
+        closer_counts = np.zeros((a, n_samples), dtype=np.int64)
+        if rows.size:
+            threshold = np.hypot(sx[:, None] - sample_x, sy[:, None] - sample_y)
+            threshold -= 1e-12
+            np.maximum(threshold, 0.0, out=threshold)
+            threshold_sq = threshold * threshold
+            cap = max(8, 4 * k)
+            use = np.minimum(counts[rows], cap)
+            closer_counts[rows] = self._closer_counts(
+                rows, kptr[rows], use, kx, ky, sample_x, sample_y, threshold_sq
+            )
+            need = rows[
+                (counts[rows] > cap) & np.any(closer_counts[rows] < k, axis=1)
+            ]
+            if need.size:
+                closer_counts[need] += self._closer_counts(
+                    need,
+                    kptr[need] + cap,
+                    counts[need] - cap,
+                    kx,
+                    ky,
+                    sample_x,
+                    sample_y,
+                    threshold_sq,
+                )
+        short = closer_counts < k
+        undecided = np.nonzero(short.ravel())[0]
+        inside_short = np.zeros(short.size, dtype=bool)
+        if undecided.size:
+            inside_short[undecided] = self._containment.contains(
+                sample_x.ravel()[undecided], sample_y.ravel()[undecided]
+            )
+        blocking = short & inside_short.reshape(a, n_samples)
+        return ~blocking.any(axis=1)
+
+    def _closer_counts(
+        self,
+        row_ids: np.ndarray,
+        offsets: np.ndarray,
+        ncand: np.ndarray,
+        kx: np.ndarray,
+        ky: np.ndarray,
+        sample_x: np.ndarray,
+        sample_y: np.ndarray,
+        threshold_sq: np.ndarray,
+    ) -> np.ndarray:
+        """Per-(row, sample) counts of knowns strictly closer than the node.
+
+        ``row_ids[i]`` owns the ``ncand[i]`` knowns starting at flat
+        offset ``offsets[i]``; the panel is materialised in owner chunks
+        sized by the kernel chunk budget.
+        """
+        n_samples = sample_x.shape[1]
+        out = np.zeros((row_ids.shape[0], n_samples), dtype=np.int64)
+        budget = max(chunk_budget_bytes(), 1)
+        per_pair_bytes = n_samples * 8 * 3
+        start = 0
+        while start < row_ids.shape[0]:
+            stop = start
+            pair_total = 0
+            while (
+                stop < row_ids.shape[0]
+                and (pair_total + ncand[stop]) * per_pair_bytes <= budget
+            ):
+                pair_total += ncand[stop]
+                stop += 1
+            stop = max(stop, start + 1)
+            sub_counts = ncand[start:stop]
+            gidx = _ragged_indices(offsets[start:stop], sub_counts)
+            pair_global_row = row_ids[start:stop][
+                np.repeat(np.arange(stop - start), sub_counts)
+            ]
+            pdx = kx[gidx][:, None] - sample_x[pair_global_row]
+            pdy = ky[gidx][:, None] - sample_y[pair_global_row]
+            np.multiply(pdx, pdx, out=pdx)
+            np.multiply(pdy, pdy, out=pdy)
+            pdx += pdy
+            closer = pdx < threshold_sq[pair_global_row]
+            group_starts = np.cumsum(sub_counts) - sub_counts
+            out[start:stop] = np.add.reduceat(closer, group_starts, axis=0)
+            start = stop
+        return out
+
+    # ------------------------------------------------------------------
+    # Lossy gather: per-node, RNG draw-exact
+    # ------------------------------------------------------------------
+    def _gather_lossy(
+        self,
+        grid: SpatialGrid,
+        positions: np.ndarray,
+        alive: np.ndarray,
+        step: float,
+        max_radius: float,
+        gamma: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-node expanding rings with lazily fetched candidates.
+
+        Dropped replies are retried ring after ring, so the RNG must be
+        consumed node by node in the legacy order — the shared
+        ``_expanding_rings`` walk does exactly that; this wrapper only
+        replaces its candidate source (a dense matrix row in the
+        batched backend) with expanding spatial-grid fetches, whose
+        scan order is the contract order by construction.
+        """
+        count = positions.shape[0]
+        px = positions[:, 0]
+        py = positions[:, 1]
+        network = self.network
+        alive_rows = np.nonzero(alive)[0].astype(np.int64)
+        known_parts: List[np.ndarray] = []
+        known_counts = np.zeros(alive_rows.shape[0], dtype=np.int64)
+        rho_final = np.zeros(alive_rows.shape[0])
+        for row, node_index in enumerate(alive_rows.tolist()):
+            site = network.nodes[node_index].position
+
+            def fetch(horizon):
+                cand = np.asarray(
+                    grid.query_radius(site, horizon), dtype=np.int64
+                )
+                keep = alive[cand] & (cand != node_index)
+                ids = cand[keep]
+                dx = px[ids] - site[0]
+                dy = py[ids] - site[1]
+                dist_sq = dx * dx + dy * dy
+                hops = np.maximum(
+                    1, np.ceil(np.hypot(dx, dy) / gamma - 1e-9)
+                ).astype(np.int64)
+                return ids, positions[ids], dist_sq, hops
+
+            state = {"horizon": step * 4.0}
+            ids, cand_positions, cand_dist_sq, cand_hops = fetch(state["horizon"])
+            state["ids"] = ids
+
+            def extend(rho, _state=state):
+                if rho <= _state["horizon"]:
+                    return None
+                _state["horizon"] = max(_state["horizon"] * 2.0, rho)
+                new_ids, new_pos, new_dist_sq, new_hops = fetch(_state["horizon"])
+                position_of = np.full(count, -1, dtype=np.int64)
+                position_of[new_ids] = np.arange(new_ids.shape[0])
+                remap = position_of[_state["ids"]]
+                _state["ids"] = new_ids
+                return new_pos, new_dist_sq, new_hops, remap
+
+            known_order, rho = self._expanding_rings(
+                site,
+                cand_positions,
+                cand_dist_sq,
+                cand_hops,
+                step,
+                max_radius,
+                extend=extend,
+            )
+            delivered = state["ids"][known_order] if known_order else np.zeros(
+                0, dtype=np.int64
+            )
+            known_parts.append(delivered)
+            known_counts[row] = delivered.shape[0]
+            rho_final[row] = rho
+        known_ids = (
+            np.concatenate(known_parts) if known_parts else np.zeros(0, dtype=np.int64)
+        )
+        known_indptr = np.concatenate(([0], np.cumsum(known_counts))).astype(np.int64)
+        return known_ids, known_indptr, rho_final
+
+    # ------------------------------------------------------------------
+    # Shared compute phase: cross-node clip + vectorised summary
+    # ------------------------------------------------------------------
+    def _clip_and_summarize(
+        self,
+        positions: np.ndarray,
+        alive_rows: np.ndarray,
+        known_ids: np.ndarray,
+        known_indptr: np.ndarray,
+        rho_final: np.ndarray,
+        area_pieces,
+    ) -> DistributedEngineRound:
+        network = self.network
+        config = self.config
+        k = config.k
+        n_alive = alive_rows.shape[0]
+        px = positions[:, 0]
+        py = positions[:, 1]
+        sx = px[alive_rows]
+        sy = py[alive_rows]
+        owner = np.repeat(
+            np.arange(n_alive, dtype=np.int64), np.diff(known_indptr)
+        )
+        dx = px[known_ids] - sx[owner]
+        dy = py[known_ids] - sy[owner]
+        dist_sq = dx * dx + dy * dy
+        # The sweep's competitor order: nearest first, stable on ties
+        # (base order = delivery order, as in the scalar sweep).
+        order = np.lexsort((dist_sq, owner))
+        comp_ids = known_ids[order]
+        vx, vy, piece_indptr, piece_owner = clip_cells_batch(
+            np.column_stack((sx, sy)),
+            px[comp_ids],
+            py[comp_ids],
+            known_indptr,
+            area_pieces,
+            k,
+        )
+
+        # Region polygons (read by the deployer's result() and the
+        # compat agent surface) are materialised lazily on first access.
+        known_count = np.diff(known_indptr)
+
+        def build_regions() -> Dict[int, DominatingRegion]:
+            vx_list = vx.tolist()
+            vy_list = vy.tolist()
+            pieces_per_row: List[List] = [[] for _ in range(n_alive)]
+            for p in range(piece_owner.shape[0]):
+                s = int(piece_indptr[p])
+                e = int(piece_indptr[p + 1])
+                pieces_per_row[int(piece_owner[p])].append(
+                    list(zip(vx_list[s:e], vy_list[s:e]))
+                )
+            built: Dict[int, DominatingRegion] = {}
+            for row in range(n_alive):
+                node_id = int(alive_rows[row])
+                built[node_id] = DominatingRegion(
+                    site=network.nodes[node_id].position,
+                    k=k,
+                    pieces=pieces_per_row[row],
+                    competitors_used=int(known_count[row]),
+                    search_radius=float(rho_final[row]),
+                )
+            return built
+
+        regions: Dict[int, DominatingRegion] = _LazyRegions(build_regions)
+
+        # Vectorised summary: Chebyshev centers via mec_batch, ranges
+        # and displacements via ragged reductions, move proposals with
+        # the agent's exact update grouping.
+        vert_owner = np.repeat(piece_owner, np.diff(piece_indptr))
+        owner_vert_counts = np.bincount(vert_owner, minlength=n_alive)
+        vert_indptr = np.concatenate(
+            ([0], np.cumsum(owner_vert_counts))
+        ).astype(np.int64)
+        cx, cy, radius = mec_batch(vx, vy, vert_indptr)
+        empty = owner_vert_counts == 0
+        cx = np.where(empty, sx, cx)
+        cy = np.where(empty, sy, cy)
+        radius = np.where(empty, 0.0, radius)
+        ranges = np.zeros(n_alive)
+        if vx.size:
+            vert_dist = np.hypot(vx - sx[vert_owner], vy - sy[vert_owner])
+            group_starts = np.nonzero(
+                np.concatenate(([True], vert_owner[1:] != vert_owner[:-1]))
+            )[0]
+            ranges[vert_owner[group_starts]] = np.maximum.reduceat(
+                vert_dist, group_starts
+            )
+        displacements = np.hypot(sx - cx, sy - cy)
+        centers: Dict[int, Tuple[float, float]] = {}
+        for row in range(n_alive):
+            centers[int(alive_rows[row])] = (float(cx[row]), float(cy[row]))
+        proposed: Dict[int, Tuple[float, float]] = {}
+        alpha = config.alpha
+        for row in np.nonzero(displacements > config.epsilon)[0].tolist():
+            node_id = int(alive_rows[row])
+            pos_x = sx[row]
+            pos_y = sy[row]
+            proposed[node_id] = (
+                float(pos_x + alpha * (cx[row] - pos_x)),
+                float(pos_y + alpha * (cy[row] - pos_y)),
+            )
+        return DistributedEngineRound(
+            regions=regions,
+            centers=centers,
+            circumradii=radius.tolist(),
+            ranges_from_position=ranges.tolist(),
+            displacements=displacements.tolist(),
+            proposed_targets=proposed,
+        )

@@ -1,0 +1,377 @@
+"""Equivalence suite for the sparse engine tier.
+
+The sparse backends (``repro.engine.sparse.SparseRoundEngine`` and
+``repro.runtime.sparse.SparseDistributedEngine``) promise a *tolerance*
+contract against the batched backends — positions, ranges and areas
+within 1e-9, identical convergence round counts and killed-node lists —
+rather than the bitwise contract that ties ``batched`` to ``legacy``
+(see DESIGN.md "Sparse engine tier").  Lossy distributed runs are the
+sharp edge: the sparse gather must consume the scheduler RNG
+draw-for-draw in the legacy order, so communication counters are
+compared *exactly* there.
+
+The suite also pins the foundation the tier is built on:
+``SpatialGrid.query_radius_many`` must agree with per-call
+``query_radius`` exactly — same indices, same order — because the
+distributed RNG draw-order contract rides on that ordering.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import Simulation
+from repro.core.config import LaacadConfig
+from repro.engine import available_engines, make_engine
+from repro.engine.kernels import (
+    DENSE_MATRIX_BYTES_ENV,
+    pairwise_distance_and_sq,
+    pairwise_distance_matrix,
+    plan_chunks,
+)
+from repro.engine.sparse import SparseRoundEngine
+from repro.network.neighbors import SpatialGrid
+from repro.network.network import SensorNetwork
+from repro.regions.shapes import figure8_region_two, l_shaped_region, unit_square
+from repro.runtime.engines import (
+    available_distributed_engines,
+    make_distributed_engine,
+)
+from repro.runtime.failures import FailureInjector
+from repro.runtime.scheduler import SynchronousScheduler
+from repro.runtime.sparse import SparseDistributedEngine
+
+TOL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# SpatialGrid batched queries: the candidate-pair foundation
+# ----------------------------------------------------------------------
+class TestQueryRadiusMany:
+    def _random_grid(self, seed, count, cell_size):
+        rng = np.random.default_rng(seed)
+        points = rng.random((count, 2)) * [2.0, 1.3] - [0.4, 0.1]
+        return SpatialGrid(points, cell_size=cell_size), points
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    @pytest.mark.parametrize("cell_size", [0.05, 0.21, 0.9])
+    def test_matches_per_call_query_exactly(self, seed, cell_size):
+        # Indices AND order: the distributed RNG draw-order contract
+        # consumes ring members in query_radius's scan order.
+        grid, points = self._random_grid(seed, 160, cell_size)
+        rng = np.random.default_rng(seed + 1)
+        centers = rng.random((40, 2)) * [2.4, 1.6] - [0.6, 0.3]
+        radius = 0.27
+        indices, indptr = grid.query_radius_many(centers, radius)
+        assert indptr.shape == (centers.shape[0] + 1,)
+        assert indptr[0] == 0 and indptr[-1] == indices.shape[0]
+        for i, center in enumerate(centers):
+            expected = grid.query_radius((center[0], center[1]), radius)
+            got = indices[indptr[i] : indptr[i + 1]].tolist()
+            assert got == expected
+
+    def test_per_center_radii(self):
+        grid, points = self._random_grid(7, 120, 0.1)
+        rng = np.random.default_rng(8)
+        centers = rng.random((30, 2))
+        radii = rng.random(30) * 0.5
+        indices, indptr = grid.query_radius_many(centers, radii)
+        for i, (center, radius) in enumerate(zip(centers, radii)):
+            expected = grid.query_radius((center[0], center[1]), float(radius))
+            assert indices[indptr[i] : indptr[i + 1]].tolist() == expected
+
+    def test_matches_brute_force_membership(self):
+        grid, points = self._random_grid(5, 200, 0.13)
+        rng = np.random.default_rng(6)
+        centers = rng.random((25, 2))
+        radius = 0.19
+        indices, indptr = grid.query_radius_many(centers, radius)
+        for i, center in enumerate(centers):
+            dx = points[:, 0] - center[0]
+            dy = points[:, 1] - center[1]
+            inside = np.nonzero(dx * dx + dy * dy <= radius**2 + 1e-15)[0]
+            got = indices[indptr[i] : indptr[i + 1]]
+            assert set(got.tolist()) == set(inside.tolist())
+
+    def test_contract_order_is_cell_major(self):
+        # Ascending (cell_x, cell_y, index) with cell = floor(p / cell_size).
+        grid, points = self._random_grid(9, 150, 0.22)
+        indices, indptr = grid.query_radius_many(np.array([[0.5, 0.5]]), 0.45)
+        got = indices[indptr[0] : indptr[1]]
+        keys = [
+            (math.floor(points[i, 0] / 0.22), math.floor(points[i, 1] / 0.22), i)
+            for i in got.tolist()
+        ]
+        assert keys == sorted(keys)
+
+    def test_degenerate_inputs(self):
+        grid = SpatialGrid([], cell_size=0.1)
+        indices, indptr = grid.query_radius_many(np.array([[0.0, 0.0]]), 1.0)
+        assert indices.size == 0 and indptr.tolist() == [0, 0]
+
+        grid, _ = self._random_grid(2, 50, 0.1)
+        indices, indptr = grid.query_radius_many(np.zeros((0, 2)), 1.0)
+        assert indices.size == 0 and indptr.tolist() == [0]
+
+        # Zero radius only picks up exactly co-located points.
+        pts = [(0.25, 0.25), (0.75, 0.75)]
+        grid = SpatialGrid(pts, cell_size=0.5)
+        indices, indptr = grid.query_radius_many(np.asarray(pts), 0.0)
+        assert indices.tolist() == [0, 1]
+        assert indptr.tolist() == [0, 1, 2]
+
+        with pytest.raises(ValueError, match="radius"):
+            grid.query_radius_many(np.asarray(pts), -0.5)
+
+    def test_radius_far_beyond_extent(self):
+        grid, points = self._random_grid(4, 80, 0.07)
+        indices, indptr = grid.query_radius_many(np.array([[0.5, 0.5]]), 50.0)
+        assert indptr[1] == points.shape[0]
+
+
+# ----------------------------------------------------------------------
+# Chunk planning and the dense-matrix memory guard
+# ----------------------------------------------------------------------
+class TestChunkedKernelPlumbing:
+    def test_plan_chunks_covers_everything_within_budget(self):
+        slices = list(plan_chunks(1000, bytes_per_item=64, budget=6400))
+        assert slices[0][0] == 0 and slices[-1][1] == 1000
+        for (start, stop), (next_start, _) in zip(slices, slices[1:]):
+            assert stop == next_start
+        assert all(stop - start <= 100 for start, stop in slices)
+
+    def test_plan_chunks_degrades_to_single_items(self):
+        # A per-item footprint above the budget must not fail.
+        assert list(plan_chunks(3, bytes_per_item=100, budget=10)) == [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+        ]
+        assert list(plan_chunks(0, bytes_per_item=8)) == []
+        with pytest.raises(ValueError):
+            list(plan_chunks(5, bytes_per_item=0))
+
+    def test_memory_guard_suggests_sparse_engine(self, monkeypatch):
+        monkeypatch.setenv(DENSE_MATRIX_BYTES_ENV, str(1 << 10))
+        points = np.random.default_rng(0).random((64, 2))
+        with pytest.raises(MemoryError, match='engine="sparse"'):
+            pairwise_distance_matrix(points)
+        with pytest.raises(MemoryError, match="REPRO_DENSE_MATRIX_BYTES"):
+            pairwise_distance_and_sq(points)
+
+    def test_guard_leaves_small_inputs_alone(self, monkeypatch):
+        monkeypatch.setenv(DENSE_MATRIX_BYTES_ENV, str(1 << 20))
+        points = np.random.default_rng(0).random((40, 2))
+        dist = pairwise_distance_matrix(points)
+        assert dist.shape == (40, 40)
+
+
+# ----------------------------------------------------------------------
+# Centralized: sparse vs batched within tolerance
+# ----------------------------------------------------------------------
+def _centralized_round(engine_name, seed, count=60, k=2, region=None):
+    region = region if region is not None else unit_square()
+    network = SensorNetwork(
+        region,
+        region.random_points(count, rng=np.random.default_rng(seed)),
+        comm_range=0.3,
+    )
+    engine = make_engine(
+        engine_name, network, LaacadConfig(k=k, engine=engine_name)
+    )
+    return engine.compute_round()
+
+
+class TestCentralizedSparseEquivalence:
+    @pytest.mark.parametrize("seed", [1, 12])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_round_summary_matches_batched(self, seed, k):
+        batched = _centralized_round("batched", seed, k=k)
+        sparse = _centralized_round("sparse", seed, k=k)
+        assert set(sparse.centers) == set(batched.centers)
+        for node_id, center in batched.centers.items():
+            other = sparse.centers[node_id]
+            assert math.dist(center, other) <= TOL
+        for a, b in zip(batched.circumradii, sparse.circumradii):
+            assert abs(a - b) <= TOL
+        for a, b in zip(batched.ranges_from_position, sparse.ranges_from_position):
+            assert abs(a - b) <= TOL
+        for a, b in zip(batched.displacements, sparse.displacements):
+            assert abs(a - b) <= TOL
+
+    @pytest.mark.parametrize(
+        "region_factory", [l_shaped_region, figure8_region_two]
+    )
+    def test_obstacle_regions(self, region_factory):
+        batched = _centralized_round("batched", 5, count=40, region=region_factory())
+        sparse = _centralized_round("sparse", 5, count=40, region=region_factory())
+        for node_id, center in batched.centers.items():
+            assert math.dist(center, sparse.centers[node_id]) <= TOL
+        areas_b = {nid: r.area for nid, r in batched.regions.items()}
+        areas_s = {nid: r.area for nid, r in sparse.regions.items()}
+        assert areas_b.keys() == areas_s.keys()
+        for node_id, area in areas_b.items():
+            assert abs(area - areas_s[node_id]) <= TOL
+
+    def test_full_deployment_same_convergence(self):
+        region = unit_square()
+        positions = region.random_points(30, rng=np.random.default_rng(21))
+
+        def run(engine_name):
+            network = SensorNetwork(region, positions, comm_range=0.3)
+            config = LaacadConfig(
+                k=2, epsilon=2e-3, max_rounds=15, engine=engine_name
+            )
+            return Simulation(network=network, config=config).run()
+
+        batched = run("batched")
+        sparse = run("sparse")
+        assert sparse.rounds_executed == batched.rounds_executed
+        assert sparse.converged == batched.converged
+        for a, b in zip(batched.final_positions, sparse.final_positions):
+            assert math.dist(a, b) <= TOL
+        for a, b in zip(batched.sensing_ranges, sparse.sensing_ranges):
+            assert abs(a - b) <= TOL
+
+
+# ----------------------------------------------------------------------
+# Distributed: sparse vs batched across the loss model
+# ----------------------------------------------------------------------
+def _run_distributed(
+    engine,
+    seed,
+    drop_probability=0.0,
+    failures=None,
+    region=None,
+    count=14,
+    comm_range=0.3,
+    **config_kwargs,
+):
+    region = region if region is not None else unit_square()
+    network = SensorNetwork.from_random(
+        region, count, comm_range=comm_range, rng=np.random.default_rng(seed)
+    )
+    config_kwargs.setdefault("k", 2)
+    config_kwargs.setdefault("epsilon", 2e-3)
+    config_kwargs.setdefault("max_rounds", 12)
+    config = LaacadConfig(engine=engine, **config_kwargs)
+    injector = (
+        FailureInjector(
+            scheduled=dict(failures.get("scheduled", {})),
+            random_failure_rate=failures.get("random_failure_rate", 0.0),
+            rng=np.random.default_rng(failures.get("seed", 0)),
+        )
+        if failures
+        else None
+    )
+    return Simulation(
+        network=network,
+        config=config,
+        kind="distributed",
+        drop_probability=drop_probability,
+        failure_injector=injector,
+    ).run()
+
+
+def _assert_equivalent(batched, sparse):
+    """The sparse tolerance contract against a batched reference run."""
+    assert sparse.rounds_executed == batched.rounds_executed
+    assert sparse.converged == batched.converged
+    assert sparse.killed_nodes == batched.killed_nodes
+    for a, b in zip(batched.final_positions, sparse.final_positions):
+        assert math.dist(a, b) <= TOL
+    for a, b in zip(batched.sensing_ranges, sparse.sensing_ranges):
+        assert abs(a - b) <= TOL
+    # The RNG draw-order contract makes message accounting exact, both
+    # loss-free (no draws at all) and lossy (draw-for-draw identical).
+    assert sparse.communication == batched.communication
+    for stats_a, stats_b in zip(batched.history, sparse.history):
+        a = dataclasses.asdict(stats_a)
+        b = dataclasses.asdict(stats_b)
+        assert a["messages"] == b["messages"]
+        assert a["transmissions"] == b["transmissions"]
+        assert a["bytes_sent"] == b["bytes_sent"]
+
+
+class TestDistributedSparseEquivalence:
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    @pytest.mark.parametrize("drop_probability", [0.0, 0.02, 0.15])
+    def test_loss_rates_and_seeds(self, seed, drop_probability):
+        batched = _run_distributed(
+            "batched", seed, drop_probability=drop_probability
+        )
+        sparse = _run_distributed(
+            "sparse", seed, drop_probability=drop_probability
+        )
+        if drop_probability:
+            assert sparse.communication.dropped > 0
+        _assert_equivalent(batched, sparse)
+
+    @pytest.mark.parametrize("drop_probability", [0.0, 0.1])
+    def test_failure_injection(self, drop_probability):
+        failures = {"scheduled": {3: [0, 1], 6: [5]}, "seed": 4}
+        batched = _run_distributed(
+            "batched", 9, drop_probability=drop_probability, failures=failures
+        )
+        sparse = _run_distributed(
+            "sparse", 9, drop_probability=drop_probability, failures=failures
+        )
+        assert sparse.killed_nodes == [0, 1, 5]
+        _assert_equivalent(batched, sparse)
+
+    @pytest.mark.parametrize(
+        "region_factory", [l_shaped_region, figure8_region_two]
+    )
+    def test_obstacle_regions(self, region_factory):
+        batched = _run_distributed(
+            "batched", 3, drop_probability=0.08, region=region_factory(), count=18
+        )
+        sparse = _run_distributed(
+            "sparse", 3, drop_probability=0.08, region=region_factory(), count=18
+        )
+        _assert_equivalent(batched, sparse)
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_coverage_orders(self, k):
+        batched = _run_distributed("batched", 31 + k, drop_probability=0.05, k=k)
+        sparse = _run_distributed("sparse", 31 + k, drop_probability=0.05, k=k)
+        _assert_equivalent(batched, sparse)
+
+
+# ----------------------------------------------------------------------
+# Registry and selection plumbing
+# ----------------------------------------------------------------------
+class TestSparseSelection:
+    def test_both_registries_list_sparse(self):
+        assert "sparse" in available_engines()
+        assert "sparse" in available_distributed_engines()
+
+    def test_factories_build_sparse_backends(self):
+        region = unit_square()
+        network = SensorNetwork(
+            region, [(0.2, 0.2), (0.8, 0.8)], comm_range=0.4
+        )
+        config = LaacadConfig(k=1, engine="sparse")
+        assert isinstance(
+            make_engine("sparse", network, config), SparseRoundEngine
+        )
+        assert isinstance(
+            make_distributed_engine(
+                "sparse", network, config, SynchronousScheduler()
+            ),
+            SparseDistributedEngine,
+        )
+
+    def test_simulation_routes_to_sparse_distributed_engine(self):
+        region = unit_square()
+        network = SensorNetwork(
+            region, [(0.2, 0.2), (0.8, 0.8)], comm_range=0.4
+        )
+        sim = Simulation(
+            network=network,
+            config=LaacadConfig(k=1, engine="sparse"),
+            kind="distributed",
+        )
+        assert isinstance(sim.deployer.protocol, SparseDistributedEngine)
