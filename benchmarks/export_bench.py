@@ -15,7 +15,7 @@ workloads and writes them to a committed JSON baseline.
   — the acceptance workload of the round-level backend;
 * wall-clock of a small serial scenario sweep (cold cache).
 
-``--suite sparse`` (writes ``BENCH_PR6.json``):
+``--suite sparse`` (writes ``BENCH_PR7.json``):
 
 * sparse centralized and distributed round times at N in
   {2000, 10000, 50000} with density-scaled transmission range
@@ -30,9 +30,15 @@ workloads and writes them to a committed JSON baseline.
 Usage::
 
     PYTHONPATH=src python benchmarks/export_bench.py                # write benchmarks/BENCH_PR4.json
-    PYTHONPATH=src python benchmarks/export_bench.py --suite sparse # write benchmarks/BENCH_PR6.json
+    PYTHONPATH=src python benchmarks/export_bench.py --suite sparse # write benchmarks/BENCH_PR7.json
     PYTHONPATH=src python benchmarks/export_bench.py --check benchmarks/BENCH_PR4.json
-    PYTHONPATH=src python benchmarks/export_bench.py --check benchmarks/BENCH_PR6.json
+    PYTHONPATH=src python benchmarks/export_bench.py --check benchmarks/BENCH_PR7.json
+    PYTHONPATH=src python benchmarks/export_bench.py --profile      # sparse per-stage breakdown
+
+``--profile`` runs one sparse round per size with ``REPRO_PROFILE=1``
+and prints the per-stage wall-clock breakdown (gather / circle_check /
+clip / summary) the engines record on their round results — the
+first-stop view for future squeezes, replacing ad-hoc profiling runs.
 
 ``--check`` re-measures the regression-relevant subset (round times and
 the deployment transient; the sweep is skipped — its wall-clock is
@@ -62,7 +68,7 @@ from typing import Callable, Dict
 import numpy as np
 
 DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_PR4.json"
-SPARSE_OUT = Path(__file__).resolve().parent / "BENCH_PR6.json"
+SPARSE_OUT = Path(__file__).resolve().parent / "BENCH_PR7.json"
 
 ROUND_SIZES = (50, 200, 500)
 ENGINES = ("legacy", "batched")
@@ -258,7 +264,10 @@ def _density_scaled_network(n: int, seed: int = 7):
 
 
 def _sparse_repeats(n: int) -> int:
-    return 1 if n >= 50000 else 2
+    # Single-shot readings are noise-prone enough (background load
+    # spikes) to distort the recorded baseline, so every size takes the
+    # best of several runs; small sizes are cheap enough for three.
+    return 2 if n >= 50000 else 3
 
 
 def measure_sparse_centralized_rounds() -> Dict[str, float]:
@@ -323,10 +332,13 @@ def collect_sparse() -> Dict[str, object]:
     exponent = math.log(distributed[n_hi] / distributed[n_lo]) / math.log(
         SPARSE_SIZES[-1] / SPARSE_SIZES[-2]
     )
+    from repro.engine.jit_kernels import kernel_tier
+
     compare = str(SPARSE_COMPARE_SIZE)
     return {
         "bench_format_version": 1,
-        "label": "PR6",
+        "label": "PR7",
+        "kernel_tier": kernel_tier(),
         "calibration_seconds": measure_calibration(),
         "workloads": {
             "sparse_centralized_round_seconds": centralized,
@@ -339,6 +351,50 @@ def collect_sparse() -> Dict[str, object]:
             "sparse_distributed_scaling_exponent": exponent,
         },
     }
+
+
+def profile_sparse(sizes=SPARSE_SIZES) -> int:
+    """Per-stage breakdown of one sparse round per size (``--profile``).
+
+    Forces ``REPRO_PROFILE=1`` for the measured rounds and prints the
+    stage-name → seconds dict each sparse engine records on its round
+    result, for both the centralized and the distributed path.
+    """
+    import os
+
+    from repro.core.config import LaacadConfig
+    from repro.engine import make_engine
+    from repro.engine.jit_kernels import kernel_tier
+    from repro.runtime.engines import make_distributed_engine
+    from repro.runtime.scheduler import SynchronousScheduler
+
+    os.environ["REPRO_PROFILE"] = "1"
+    print(f"kernel tier: {kernel_tier()}")
+    for n in sizes:
+        network = _density_scaled_network(n)
+        engine = make_engine("sparse", network, LaacadConfig(k=2, engine="sparse"))
+        start = time.perf_counter()
+        result = engine.compute_round()
+        total = time.perf_counter() - start
+        stages = result.profile or {}
+        print(f"centralized n={n}: {total:.3f}s  "
+              + "  ".join(f"{name}={secs:.3f}" for name, secs in
+                          sorted(stages.items(), key=lambda kv: -kv[1])))
+
+        network = _density_scaled_network(n)
+        scheduler = SynchronousScheduler()
+        dist = make_distributed_engine(
+            "sparse", network, LaacadConfig(k=2, engine="sparse"), scheduler
+        )
+        scheduler.begin_round()
+        start = time.perf_counter()
+        result = dist.run_round(0)
+        total = time.perf_counter() - start
+        stages = result.profile or {}
+        print(f"distributed n={n}: {total:.3f}s  "
+              + "  ".join(f"{name}={secs:.3f}" for name, secs in
+                          sorted(stages.items(), key=lambda kv: -kv[1])))
+    return 0
 
 
 def check_sparse(baseline_payload: Dict, factor: float) -> int:
@@ -400,7 +456,7 @@ def check_sparse(baseline_payload: Dict, factor: float) -> int:
 def check(baseline_path: Path, factor: float) -> int:
     """Re-measure and compare; returns a process exit code."""
     baseline_payload = json.loads(baseline_path.read_text())
-    if baseline_payload.get("label") == "PR6":
+    if baseline_payload.get("label") in ("PR6", "PR7"):
         return check_sparse(baseline_payload, factor)
     baseline = baseline_payload["workloads"]
     current_payload = collect(include_sweep=False)
@@ -472,7 +528,13 @@ def main(argv=None) -> int:
                              "baseline (the suite is picked from its label)")
     parser.add_argument("--factor", type=float, default=2.0,
                         help="allowed slowdown factor in --check mode (default 2.0)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the per-stage wall-clock breakdown of one "
+                             "sparse round per size (sets REPRO_PROFILE=1)")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        return profile_sparse()
 
     if args.check is not None:
         return check(args.check, args.factor)

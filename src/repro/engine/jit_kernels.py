@@ -1,0 +1,409 @@
+"""Optional JIT kernel tier for the bandwidth-bound sparse kernels.
+
+The sparse tier's two remaining hot loops are memory-bandwidth bound in
+NumPy: the per-piece signed half-plane reduction inside
+:func:`~repro.engine.sparse_kernels.clip_cells_batch` (every live vertex
+is read, multiplied and max/min-reduced once per clipping level) and the
+circle-check closer-counting panels of the distributed gather (every
+``(known, sample)`` pair is expanded into a float64 panel).  This module
+gives each of them a *kernel seam* with two interchangeable
+implementations:
+
+* a **NumPy reference implementation** — always present, always the
+  equivalence oracle.  It reproduces the exact array expressions the
+  kernels used before the seam existed, so introducing the seam changes
+  no floats;
+* an optional **JIT implementation** compiled with ``numba`` on first
+  use.  The loop bodies use the same IEEE-754 operations in the same
+  grouping (no ``fastmath``), so half-plane values are bitwise identical
+  and the closer-count *decisions* (integer counts compared against
+  ``k``) are identical; see DESIGN.md "Kernel tiers" for the contract.
+
+Tier selection is the ``REPRO_KERNELS`` environment knob:
+
+* ``auto`` (default) — JIT when ``numba`` imports, NumPy otherwise;
+* ``numpy`` — force the reference implementation;
+* ``jit`` — require numba; raises with a clear message when missing.
+
+``numba`` is an *optional* dependency: nothing in this module imports it
+at module load, and the loop-form kernel bodies are plain Python
+functions (compiled lazily on first JIT call), so they double as a slow
+but dependency-free oracle for the JIT code path in tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.kernels import chunk_budget_bytes
+
+__all__ = [
+    "KERNELS_ENV",
+    "kernel_tier",
+    "numba_available",
+    "halfplane_minmax",
+    "closer_counts",
+]
+
+#: Environment knob selecting the kernel tier: ``jit`` | ``numpy`` | ``auto``.
+KERNELS_ENV = "REPRO_KERNELS"
+
+_VALID_TIERS = ("auto", "numpy", "jit")
+
+#: Cached numba availability probe (None = not probed yet).
+_NUMBA_OK: Optional[bool] = None
+
+#: Lazily compiled JIT kernels, keyed by seam name.
+_JIT_CACHE: Dict[str, Callable] = {}
+
+
+def numba_available() -> bool:
+    """Whether ``numba`` can be imported (probed once, then cached)."""
+    global _NUMBA_OK
+    if _NUMBA_OK is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_OK = True
+        except ImportError:
+            _NUMBA_OK = False
+    return _NUMBA_OK
+
+
+def kernel_tier() -> str:
+    """Resolve ``REPRO_KERNELS`` to the effective tier: ``jit`` or ``numpy``.
+
+    Read per call (not cached) so tests and benchmarks can flip the knob
+    at runtime; the JIT compilation cache persists across flips.
+    """
+    raw = os.environ.get(KERNELS_ENV, "auto").strip().lower() or "auto"
+    if raw not in _VALID_TIERS:
+        raise ValueError(
+            f"{KERNELS_ENV} must be one of {', '.join(_VALID_TIERS)}, got {raw!r}"
+        )
+    if raw == "numpy":
+        return "numpy"
+    if raw == "jit":
+        if not numba_available():
+            raise RuntimeError(
+                f"{KERNELS_ENV}=jit requires numba, which is not installed; "
+                f"install numba or use {KERNELS_ENV}=auto|numpy"
+            )
+        return "jit"
+    return "jit" if numba_available() else "numpy"
+
+
+# ----------------------------------------------------------------------
+# Loop-form kernel bodies (numba-compilable, plain-Python runnable)
+# ----------------------------------------------------------------------
+def _halfplane_minmax_loops(vx, vy, starts, counts, ca, cb, cc, pmax, pmin):
+    """Per-piece max/min of ``a*x + b*y - c`` over the piece's vertices.
+
+    Written in numba's nopython subset; the arithmetic is the exact
+    IEEE grouping of the NumPy reference (one multiply-add chain per
+    vertex, plain comparisons for the reductions), so JIT results are
+    bitwise identical.
+    """
+    for p in range(starts.shape[0]):
+        s = starts[p]
+        e = s + counts[p]
+        a = ca[p]
+        b = cb[p]
+        c = cc[p]
+        hi = -np.inf
+        lo = np.inf
+        for i in range(s, e):
+            v = a * vx[i] + b * vy[i] - c
+            if v > hi:
+                hi = v
+            if v < lo:
+                lo = v
+        pmax[p] = hi
+        pmin[p] = lo
+
+
+def _closer_counts_loops(
+    kx, ky, offsets, counts, sample_x, sample_y, threshold_sq, cap, k, out
+):
+    """Two-stage closer-than-node counting, fused per row.
+
+    Row ``r`` owns the ``counts[r]`` known positions at
+    ``kx/ky[offsets[r]:offsets[r] + counts[r]]``.  Stage 1 counts the
+    first ``min(counts[r], cap)`` knowns for every sample; only when a
+    sample is still short of ``k`` (and knowns remain) does stage 2 add
+    the remainder.  Comparisons use ``dx*dx + dy*dy < threshold_sq`` on
+    the same operands as the NumPy reference, so the counts compared
+    against ``k`` are identical.
+    """
+    n_rows, n_samples = sample_x.shape
+    for r in range(n_rows):
+        off = offsets[r]
+        n = counts[r]
+        use = n if n < cap else cap
+        short = False
+        for s in range(n_samples):
+            px = sample_x[r, s]
+            py = sample_y[r, s]
+            t = threshold_sq[r, s]
+            cnt = 0
+            for j in range(off, off + use):
+                dx = kx[j] - px
+                dy = ky[j] - py
+                if dx * dx + dy * dy < t:
+                    cnt += 1
+            out[r, s] = cnt
+            if cnt < k:
+                short = True
+        if short and n > cap:
+            for s in range(n_samples):
+                px = sample_x[r, s]
+                py = sample_y[r, s]
+                t = threshold_sq[r, s]
+                cnt = 0
+                for j in range(off + use, off + n):
+                    dx = kx[j] - px
+                    dy = ky[j] - py
+                    if dx * dx + dy * dy < t:
+                        cnt += 1
+                out[r, s] += cnt
+
+
+def _get_jit(name: str) -> Callable:
+    """Compile (once) and return the JIT build of a loop-form body."""
+    fn = _JIT_CACHE.get(name)
+    if fn is None:
+        import numba
+
+        body = {
+            "halfplane_minmax": _halfplane_minmax_loops,
+            "closer_counts": _closer_counts_loops,
+        }[name]
+        # ``parallel=True`` would be tempting, but the outer loops carry
+        # no dependencies *and* no shared writes, so plain ``njit`` with
+        # an explicit prange rewrite is the safe default only for the
+        # row loop; keep it serial-per-call and deterministic — the
+        # panels parallelise across calls at the protocol level.
+        fn = numba.njit(cache=False, fastmath=False)(body)
+        _JIT_CACHE[name] = fn
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Seam entry points
+# ----------------------------------------------------------------------
+def halfplane_minmax(
+    vx: np.ndarray,
+    vy: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    coeff_a: np.ndarray,
+    coeff_b: np.ndarray,
+    coeff_c: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-piece ``(max, min)`` of the signed half-plane value.
+
+    Piece ``p`` spans ``vx/vy[starts[p] : starts[p] + counts[p]]``
+    (``counts[p] >= 1``) and is evaluated against its own bisector
+    ``coeff_a[p]*x + coeff_b[p]*y - coeff_c[p]``.  The NumPy reference
+    is the pre-seam array expression (gather + elementwise + reduceat);
+    the JIT tier computes identical floats without materialising the
+    per-vertex value array.
+    """
+    n_pieces = int(starts.shape[0])
+    if n_pieces == 0:
+        return np.zeros(0), np.zeros(0)
+    if kernel_tier() == "jit":
+        pmax = np.empty(n_pieces)
+        pmin = np.empty(n_pieces)
+        _get_jit("halfplane_minmax")(
+            vx, vy, starts, counts, coeff_a, coeff_b, coeff_c, pmax, pmin
+        )
+        return pmax, pmin
+    total = int(counts.sum())
+    if n_pieces == 1 or np.array_equal(
+        starts[1:], starts[0] + np.cumsum(counts[:-1])
+    ):
+        # Contiguous back-to-back pieces: skip the gather.
+        base = int(starts[0])
+        gvx = vx[base : base + total]
+        gvy = vy[base : base + total]
+    else:
+        gidx = ragged_indices(starts, counts)
+        gvx = vx[gidx]
+        gvy = vy[gidx]
+    vert_piece = segment_ids(counts, total)
+    val = coeff_a[vert_piece] * gvx + coeff_b[vert_piece] * gvy - coeff_c[vert_piece]
+    substarts = np.cumsum(counts) - counts
+    return np.maximum.reduceat(val, substarts), np.minimum.reduceat(val, substarts)
+
+
+def closer_counts(
+    kx: np.ndarray,
+    ky: np.ndarray,
+    offsets: np.ndarray,
+    counts: np.ndarray,
+    sample_x: np.ndarray,
+    sample_y: np.ndarray,
+    threshold_sq: np.ndarray,
+    cap: int,
+    k: int,
+) -> np.ndarray:
+    """Decision-equivalent closer-than-node counts per ``(row, sample)``.
+
+    Row ``i`` owns the ``counts[i]`` known positions starting at flat
+    offset ``offsets[i]`` in ``kx/ky``; ``sample_x/sample_y/
+    threshold_sq`` are ``(rows, samples)`` panels.  Counting is
+    two-staged: a prefix of ``cap`` knowns settles most samples (a
+    subset count already ``>= k`` can only grow), and only rows with a
+    still-short sample pay for the remainder, whose totals are then
+    exact.  Rows settled by stage 1 report the prefix count, so the
+    returned matrix is *decision*-equivalent (``count >= k`` agrees
+    everywhere with the one-shot count), not value-equal.
+    """
+    n_rows = int(offsets.shape[0])
+    n_samples = int(sample_x.shape[1]) if sample_x.ndim == 2 else 0
+    out = np.zeros((n_rows, n_samples), dtype=np.int64)
+    if n_rows == 0 or n_samples == 0:
+        return out
+    if kernel_tier() == "jit":
+        _get_jit("closer_counts")(
+            kx,
+            ky,
+            offsets.astype(np.int64, copy=False),
+            counts.astype(np.int64, copy=False),
+            sample_x,
+            sample_y,
+            threshold_sq,
+            np.int64(cap),
+            np.int64(k),
+            out,
+        )
+        return out
+    _closer_counts_numpy(
+        kx, ky, offsets, counts, sample_x, sample_y, threshold_sq, cap, k, out
+    )
+    return out
+
+
+def _closer_counts_numpy(
+    kx, ky, offsets, counts, sample_x, sample_y, threshold_sq, cap, k, out
+):
+    """NumPy reference: chunked panels, both stages inside one row walk.
+
+    The panel expression is the pre-seam one (``kx[g][:, None] -
+    sample_x`` squared in place, summed, compared to ``threshold_sq``,
+    ``np.add.reduceat`` over owner groups), so counts are bitwise
+    identical to the historic two-pass implementation.
+    """
+    rows = np.arange(offsets.shape[0], dtype=np.int64)
+    use = np.minimum(counts, cap)
+    _panel_counts(
+        kx, ky, offsets, use, rows, sample_x, sample_y, threshold_sq, out, add=False
+    )
+    need = np.nonzero((counts > cap) & np.any(out < k, axis=1))[0]
+    if need.size:
+        _panel_counts(
+            kx,
+            ky,
+            offsets[need] + cap,
+            counts[need] - cap,
+            need,
+            sample_x,
+            sample_y,
+            threshold_sq,
+            out,
+            add=True,
+        )
+
+
+def _panel_counts(
+    kx, ky, offsets, ncand, rows, sample_x, sample_y, threshold_sq, out, add
+):
+    """One chunked counting pass over ``(row, known, sample)`` panels.
+
+    ``rows[i]`` is the global row (into the sample panels and ``out``)
+    owning the ``ncand[i]`` knowns at flat offset ``offsets[i]``.
+    """
+    n_rows = offsets.shape[0]
+    n_samples = sample_x.shape[1]
+    budget = max(chunk_budget_bytes(), 1)
+    per_pair_bytes = n_samples * 8 * 3
+    start = 0
+    while start < n_rows:
+        stop = start
+        pair_total = 0
+        while (
+            stop < n_rows
+            and (pair_total + ncand[stop]) * per_pair_bytes <= budget
+        ):
+            pair_total += ncand[stop]
+            stop += 1
+        stop = max(stop, start + 1)
+        sub_counts = ncand[start:stop]
+        total = int(sub_counts.sum())
+        if total:
+            gidx = ragged_indices(offsets[start:stop], sub_counts)
+            pair_row = rows[start:stop][segment_ids(sub_counts, total)]
+            pdx = kx[gidx][:, None] - sample_x[pair_row]
+            pdy = ky[gidx][:, None] - sample_y[pair_row]
+            np.multiply(pdx, pdx, out=pdx)
+            np.multiply(pdy, pdy, out=pdy)
+            pdx += pdy
+            closer = pdx < threshold_sq[pair_row]
+            group_starts = np.cumsum(sub_counts) - sub_counts
+            nz = sub_counts > 0
+            block = np.zeros((stop - start, n_samples), dtype=np.int64)
+            block[nz] = np.add.reduceat(closer, group_starts[nz], axis=0)
+            if add:
+                out[rows[start:stop]] += block
+            else:
+                out[rows[start:stop]] = block
+        start = stop
+
+
+# ----------------------------------------------------------------------
+# Ragged-index primitives (shared with the sparse kernels)
+# ----------------------------------------------------------------------
+def ragged_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat gather indices for ragged runs ``[starts[i], starts[i]+counts[i])``.
+
+    Single-cumsum construction (no ``np.repeat``): the output is seeded
+    with ones, each segment boundary carries the jump from the previous
+    segment's last index to the next segment's start, and one cumulative
+    sum materialises every run.  Empty runs are skipped up front.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    nz = counts > 0
+    if not nz.all():
+        starts = starts[nz]
+        counts = counts[nz]
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    if starts.shape[0] > 1:
+        ends = np.cumsum(counts[:-1])
+        out[ends] = starts[1:] - starts[:-1] - counts[:-1] + 1
+    return np.cumsum(out)
+
+
+def segment_ids(counts: np.ndarray, total: Optional[int] = None) -> np.ndarray:
+    """Segment id of every element of ragged runs with the given counts.
+
+    The ``np.repeat(np.arange(n), counts)`` replacement: a bincount of
+    the inner run boundaries followed by one cumulative sum.  Empty
+    segments are handled (their ids are simply skipped).
+    """
+    if total is None:
+        total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)[:-1]
+    ends = ends[ends < total]
+    if ends.size == 0:
+        return np.zeros(total, dtype=np.int64)
+    bumps = np.bincount(ends, minlength=total)
+    return np.cumsum(bumps)

@@ -1,0 +1,197 @@
+"""Preallocated piece emission and lazy region materialisation.
+
+The sparse engines produce region geometry as flat CSR-style vertex
+arrays (``clip_cells_batch``'s output format).  Historically the
+centralized engine copied those arrays into per-node Python lists as
+each node finished its expanding-radius search (``_stash_pieces``) — a
+pure-Python loop that cost ~3 s at N=50k.  This module replaces that
+bookkeeping with array-native building blocks shared by both sparse
+backends:
+
+* :class:`PieceAccumulator` — collects the *frozen* pieces of every
+  finishing iteration as flat array chunks and, once at the very end,
+  regroups them by owner into one CSR block (a stable argsort keeps
+  each owner's discovery order, since an owner finishes exactly once);
+* :func:`materialize_pieces` — the single flat-arrays → Python-polygon
+  conversion, run once per round at most;
+* :class:`LazyRegions` — a regions dict whose materialisation is
+  deferred to the first read, keeping the conversion off the per-round
+  critical path entirely (the protocol/deployer hot loops only consume
+  the vectorised summaries; polygons are read by ``result()`` and the
+  compat agent surface).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.jit_kernels import ragged_indices
+from repro.geometry.primitives import Point
+
+__all__ = ["LazyRegions", "PieceAccumulator", "materialize_pieces"]
+
+Polygon = List[Point]
+
+#: Finalised emission block: ``(vert_x, vert_y, piece_indptr,
+#: piece_owner, vert_indptr)`` — pieces grouped by ascending owner row,
+#: plus the per-owner flat-vertex index (``vert_indptr`` of length
+#: ``n_rows + 1``).
+EmittedPieces = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+class PieceAccumulator:
+    """Frozen-piece sink for the expanding-radius loop.
+
+    Each call to :meth:`extend` appends one iteration's finished pieces
+    (already-gathered vertex arrays, per-piece vertex counts, and the
+    owning node row of each piece); :meth:`finalize` concatenates the
+    chunks and regroups by owner.  Because every owner finishes in
+    exactly one iteration and pieces within an iteration arrive in clip
+    output order, the stable owner sort reproduces the historic
+    owner-then-discovery piece order exactly.
+    """
+
+    def __init__(self) -> None:
+        self._vx: List[np.ndarray] = []
+        self._vy: List[np.ndarray] = []
+        self._counts: List[np.ndarray] = []
+        self._owners: List[np.ndarray] = []
+
+    def extend(
+        self,
+        vx: np.ndarray,
+        vy: np.ndarray,
+        counts: np.ndarray,
+        owners: np.ndarray,
+    ) -> None:
+        """Append pieces: flat vertices, per-piece counts, per-piece owner rows."""
+        if counts.size == 0:
+            return
+        self._vx.append(vx)
+        self._vy.append(vy)
+        self._counts.append(np.asarray(counts, dtype=np.int64))
+        self._owners.append(np.asarray(owners, dtype=np.int64))
+
+    def finalize(self, n_rows: int) -> EmittedPieces:
+        """Regroup every emitted piece by ascending owner row."""
+        if not self._counts:
+            return (
+                np.zeros(0),
+                np.zeros(0),
+                np.zeros(1, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(n_rows + 1, dtype=np.int64),
+            )
+        counts = np.concatenate(self._counts)
+        owners = np.concatenate(self._owners)
+        vx = np.concatenate(self._vx)
+        vy = np.concatenate(self._vy)
+        self._vx = []
+        self._vy = []
+        self._counts = []
+        self._owners = []
+        order = np.argsort(owners, kind="stable")
+        starts = np.cumsum(counts) - counts
+        gidx = ragged_indices(starts[order], counts[order])
+        pc = counts[order]
+        piece_owner = owners[order]
+        piece_indptr = np.concatenate(([0], np.cumsum(pc))).astype(np.int64)
+        vert_counts = np.zeros(n_rows, dtype=np.int64)
+        np.add.at(vert_counts, piece_owner, pc)
+        vert_indptr = np.concatenate(([0], np.cumsum(vert_counts))).astype(np.int64)
+        return vx[gidx], vy[gidx], piece_indptr, piece_owner, vert_indptr
+
+
+def materialize_pieces(
+    vx: np.ndarray,
+    vy: np.ndarray,
+    piece_indptr: np.ndarray,
+    piece_owner: np.ndarray,
+    n_rows: int,
+) -> List[List[Polygon]]:
+    """Convert CSR piece arrays into per-row Python polygon lists.
+
+    The one place flat geometry becomes Python objects; every caller
+    reaches it at most once per round (and lazily, via
+    :class:`LazyRegions`, not on the round's critical path).
+    """
+    pieces_per_row: List[List[Polygon]] = [[] for _ in range(n_rows)]
+    if piece_owner.shape[0] == 0:
+        return pieces_per_row
+    vx_list = vx.tolist()
+    vy_list = vy.tolist()
+    indptr = piece_indptr.tolist()
+    for p, owner in enumerate(piece_owner.tolist()):
+        s = indptr[p]
+        e = indptr[p + 1]
+        pieces_per_row[owner].append(list(zip(vx_list[s:e], vy_list[s:e])))
+    return pieces_per_row
+
+
+class LazyRegions(dict):
+    """A regions dict materialised on first read access.
+
+    The per-round hot paths only consume the vectorised summaries
+    (centers, displacements, proposed targets); the region *polygons*
+    are read by ``result()`` at the very end and by the compat agent
+    surface.  Deferring the flat-array → Python-piece conversion to the
+    first read keeps it off the per-round critical path.
+    """
+
+    def __init__(self, builder: Optional[Callable[[], Dict]] = None) -> None:
+        super().__init__()
+        self._builder = builder
+
+    def _ensure(self) -> None:
+        builder = self._builder
+        if builder is not None:
+            self._builder = None
+            super().update(builder())
+
+    def __getitem__(self, key):
+        self._ensure()
+        return super().__getitem__(key)
+
+    def __iter__(self):
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self):
+        self._ensure()
+        return super().__len__()
+
+    def __contains__(self, key):
+        self._ensure()
+        return super().__contains__(key)
+
+    def __eq__(self, other):
+        self._ensure()
+        return super().__eq__(other)
+
+    __hash__ = None
+
+    def __repr__(self):
+        self._ensure()
+        return super().__repr__()
+
+    def get(self, key, default=None):
+        self._ensure()
+        return super().get(key, default)
+
+    def keys(self):
+        self._ensure()
+        return super().keys()
+
+    def values(self):
+        self._ensure()
+        return super().values()
+
+    def items(self):
+        self._ensure()
+        return super().items()
+
+    def __reduce__(self):
+        self._ensure()
+        return (dict, (dict(self),))

@@ -1,0 +1,67 @@
+"""Per-stage timing hooks for the sparse engines (``REPRO_PROFILE``).
+
+Squeezing the sparse tier has so far required ad-hoc cProfile sessions;
+this module makes the stage breakdown a first-class, always-available
+observable.  With ``REPRO_PROFILE=1`` in the environment, the sparse
+engines time their internal stages (query / candidates / clip / emit /
+summary on the centralized path; gather / circle_check / clip / summary
+on the distributed path) and attach a ``{stage: seconds}`` dict to the
+round result's ``profile`` field; ``benchmarks/export_bench.py
+--profile`` prints the breakdown for the acceptance workloads.
+
+When the knob is off (the default) the timer degrades to a no-op whose
+per-stage overhead is one attribute check, so the hooks can stay on the
+hot path permanently.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+__all__ = ["PROFILE_ENV", "StageTimer", "profiling_enabled"]
+
+#: Environment knob: any value but ``""``/``"0"`` enables stage timing.
+PROFILE_ENV = "REPRO_PROFILE"
+
+
+def profiling_enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` asks for per-stage timings."""
+    return os.environ.get(PROFILE_ENV, "0") not in ("", "0")
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per named stage.
+
+    A stage may be entered repeatedly (e.g. once per expanding-radius
+    iteration); its times accumulate.  ``result()`` returns the dict to
+    attach to the round result, or ``None`` when profiling is off — so
+    the round dataclasses carry no profiling payload by default.
+    """
+
+    __slots__ = ("enabled", "_acc")
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        self.enabled = profiling_enabled() if enabled is None else enabled
+        self._acc: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._acc[name] = self._acc.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def result(self) -> Optional[Dict[str, float]]:
+        """The accumulated ``{stage: seconds}`` dict, or ``None`` when off."""
+        if not self.enabled:
+            return None
+        return dict(self._acc)

@@ -8,15 +8,26 @@ engine replaces both:
 
 * candidate competitors come from :class:`~repro.network.neighbors
   .SpatialGrid` bucket queries (:meth:`query_radius_many`, CSR output),
-  never from a dense matrix;
+  never from a dense matrix; the first query doubles as the
+  ``k``-th-nearest pre-pass (the same sorted candidate panel yields
+  both the Lemma-1 start radius and the first competitor sets, so no
+  separate expanding-radius kth sweep runs);
 * the Lemma-1 expanding-radius loop runs *level-synchronously*: all
   nodes still searching at radius ``rho`` are re-clipped together by
   one :func:`~repro.engine.sparse_kernels.clip_cells_batch` call, and
   nodes whose region fits inside the half-radius disk retire from the
   loop;
+* finished pieces are emitted straight into flat CSR arrays
+  (:class:`~repro.engine.pieces.PieceAccumulator`) and the Python
+  polygon lists are materialised **lazily, once** on first region read
+  (:class:`~repro.engine.pieces.LazyRegions`) — there is no per-node
+  Python bookkeeping anywhere in the loop;
 * the per-round summary (Chebyshev centers, circumradii, displacements)
   is computed by :func:`~repro.engine.sparse_kernels.mec_batch` over
   flat vertex arrays instead of one scalar Welzl call per node.
+
+With ``REPRO_PROFILE=1`` the round result carries a per-stage timing
+dict (see :mod:`repro.engine.profiling`).
 
 Numerical contract: **tolerance, not bitwise** (see DESIGN.md "Sparse
 engine tier").  Results agree with the batched engine to well within
@@ -30,21 +41,24 @@ circle search.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.arrays import NodeArrayState
 from repro.engine.base import EngineRound, register_engine, summarize_regions
 from repro.engine.batch import BatchedRoundEngine
+from repro.engine.jit_kernels import ragged_indices, segment_ids
 from repro.engine.kernels import chunk_budget_bytes
+from repro.engine.pieces import LazyRegions, PieceAccumulator, materialize_pieces
+from repro.engine.profiling import StageTimer
 from repro.engine.sparse_kernels import clip_cells_batch, mec_batch
 from repro.geometry.primitives import EPS
 from repro.network.neighbors import SpatialGrid
 from repro.voronoi.dominating import DominatingRegion
 
 #: Flat per-node region geometry stashed between ``compute_regions`` and
-#: ``compute_round``: (vert_x, vert_b, per-node indptr, alive ids).
+#: ``compute_round``: (vert_x, vert_y, per-node indptr, alive ids).
 _FlatRegions = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 
@@ -57,10 +71,12 @@ class SparseRoundEngine(BatchedRoundEngine):
     def __init__(self, network, config) -> None:
         super().__init__(network, config)
         self._flat_regions: Optional[_FlatRegions] = None
+        self._stage_timer: Optional[StageTimer] = None
 
     # ------------------------------------------------------------------
     def compute_regions(self) -> Tuple[Dict[int, DominatingRegion], int]:
         self._flat_regions = None
+        self._stage_timer = StageTimer()
         if self.config.use_localized:
             return self._compute_regions_localized()
         return self._compute_regions_sparse()
@@ -78,6 +94,7 @@ class SparseRoundEngine(BatchedRoundEngine):
         network = self.network
         config = self.config
         k = config.k
+        timer = self._stage_timer
         area = network.region
         area_pieces = area.convex_pieces()
         diameter = area.diameter
@@ -107,7 +124,6 @@ class SparseRoundEngine(BatchedRoundEngine):
         cell = max(diameter / max(math.sqrt(count), 1.0), 1e-9)
         grid = SpatialGrid(positions, cell_size=cell)
         need = min(k, count - 1)
-        kth = _kth_nearest_many(grid, px, py, need)
         # The scalar schedule (initial_prefilter_radius, then doubling)
         # floors the start radius at 5% of the diameter — a constant
         # radius that at high density sweeps in O(N) competitors per
@@ -116,142 +132,179 @@ class SparseRoundEngine(BatchedRoundEngine):
         # O(1) at every N; a start that proves too small only costs
         # doubling iterations, never changes the Lemma-1 fixed point.
         floor = max(min(diameter * 0.05, 4.0 * cell), EPS * 10)
-        rho = np.maximum(2.0 * kth, floor)
         max_needed = diameter * 2.0 + 1.0
 
-        vert_parts: List[Optional[np.ndarray]] = [None] * count
-        vert_parts_y: List[Optional[np.ndarray]] = [None] * count
+        emit = PieceAccumulator()
         used = np.zeros(count, dtype=np.int64)
         search_radius = np.zeros(count)
+        # Per-node search radius: starts at the floor and is raised to
+        # ``max(2 * kth-nearest, floor)`` as soon as a query disk holds
+        # enough candidates to read the kth-nearest distance off the
+        # sorted panel — the first query serves as the kth pre-pass.
+        rho = np.full(count, floor)
+        kth_known = np.zeros(count, dtype=bool)
         pending = np.arange(count, dtype=np.int64)
         while pending.size:
-            sub_px = px[pending]
-            sub_py = py[pending]
-            cand, cand_indptr = grid.query_radius_many(
-                positions[pending], rho[pending]
-            )
-            owners = np.repeat(
-                np.arange(pending.size, dtype=np.int64), np.diff(cand_indptr)
-            )
-            dx = px[cand] - sub_px[owners]
-            dy = py[cand] - sub_py[owners]
-            dist = np.hypot(dx, dy)
-            # The pre-filter is *strict* (`dist < rho`, self excluded) —
-            # the grid's inclusive boundary slack is filtered out here
-            # so the competitor sets match the batched engine's
-            # ``select_competitors`` exactly.
-            keep = (dist < rho[pending][owners]) & (cand != pending[owners])
-            cand = cand[keep]
-            owners = owners[keep]
-            dist_sq = dx[keep] * dx[keep] + dy[keep] * dy[keep]
-            # Nearest-first within each owner, stable on ties (the
-            # sweep's competitor order).
-            order = np.lexsort((dist_sq, owners))
-            cand = cand[order]
-            counts = np.bincount(owners, minlength=pending.size)
-            comp_indptr = np.concatenate(
-                ([0], np.cumsum(counts))
-            ).astype(np.int64)
-            vx, vy, piece_indptr, piece_owner = clip_cells_batch(
-                positions[pending], px[cand], py[cand], comp_indptr, area_pieces, k
-            )
-
-            site_rad = np.zeros(pending.size)
-            vert_counts = np.diff(piece_indptr)
-            vert_owner = np.repeat(piece_owner, vert_counts)
-            if vx.size:
-                dist_v = np.hypot(vx - sub_px[vert_owner], vy - sub_py[vert_owner])
-                group_start = np.nonzero(
-                    np.concatenate(([True], vert_owner[1:] != vert_owner[:-1]))
-                )[0]
-                site_rad[vert_owner[group_start]] = np.maximum.reduceat(
-                    dist_v, group_start
+            qrad = rho[pending].copy()
+            with timer.stage("query"):
+                cand, cand_indptr = grid.query_radius_many(
+                    positions[pending], qrad
                 )
-            # Lemma-1 termination: the region fits in the rho/2 disk, so
-            # no competitor beyond rho can clip it.
-            finished = (site_rad <= rho[pending] / 2.0 + EPS) | (
-                rho[pending] >= max_needed
-            )
-            fin_rows = np.nonzero(finished)[0]
-            if fin_rows.size:
-                in_fin = finished[vert_owner]
-                fin_vert_owner = vert_owner[in_fin]
-                fvx = vx[in_fin]
-                fvy = vy[in_fin]
-                per_fin = np.bincount(fin_vert_owner, minlength=pending.size)
-                starts = np.cumsum(per_fin[fin_rows]) - per_fin[fin_rows]
-                for pos, row in enumerate(fin_rows):
-                    s = int(starts[pos])
-                    e = s + int(per_fin[row])
-                    node_row = int(pending[row])
-                    vert_parts[node_row] = fvx[s:e]
-                    vert_parts_y[node_row] = fvy[s:e]
-                used[pending[fin_rows]] = counts[fin_rows]
-                search_radius[pending[fin_rows]] = rho[pending[fin_rows]]
-                # Also remember per-node piece boundaries for
-                # materialisation: stored as ragged offsets below.
-                self._stash_pieces(
-                    pending, finished, piece_owner, piece_indptr, vx, vy
-                )
-            still = ~finished
-            rho[pending[still]] *= 2.0
-            pending = pending[still]
+            with timer.stage("candidates"):
+                counts_all = np.diff(cand_indptr)
+                total_cand = cand.shape[0]
+                owners = segment_ids(counts_all, total_cand)
+                sub_px = px[pending]
+                sub_py = py[pending]
+                dx = px[cand] - sub_px[owners]
+                dy = py[cand] - sub_py[owners]
+                dist = np.hypot(dx, dy)
+                dist_sq = dx * dx + dy * dy
+                # Nearest-first within each owner, stable on ties (the
+                # sweep's competitor order).  ``owners`` is already
+                # ascending, so it is its own sorted image.
+                order = np.lexsort((dist_sq, owners))
+                cand = cand[order]
+                dist = dist[order]
 
-        return self._finalize_regions(
-            alive_ids, px, py, vert_parts, vert_parts_y, used, search_radius, k
+            unknown = ~kth_known[pending]
+            if unknown.any():
+                with timer.stage("kth"):
+                    rows_u = np.nonzero(unknown)[0]
+                    enough = counts_all[rows_u] >= need + 1
+                    rows_e = rows_u[enough]
+                    if rows_e.size:
+                        # The disk holds >= need+1 points (self incl.),
+                        # so the need+1 globally nearest are all inside
+                        # it and the kth distance reads straight off
+                        # the sorted panel.
+                        kth = dist[cand_indptr[rows_e] + need]
+                        rho[pending[rows_e]] = np.maximum(2.0 * kth, floor)
+                        kth_known[pending[rows_e]] = True
+                    rho[pending[rows_u[~enough]]] *= 2.0
+
+            # A node can clip this iteration iff its kth-derived rho is
+            # known and covered by the radius actually queried; other
+            # nodes requery at their grown rho next iteration.
+            clippable = kth_known[pending] & (rho[pending] <= qrad)
+            act = np.nonzero(clippable)[0]
+            if act.size == 0:
+                continue
+            act_nodes = pending[act]
+            rho_act = rho[act_nodes]
+
+            with timer.stage("candidates"):
+                if act.size == pending.size:
+                    sel_cand = cand
+                    sel_dist = dist
+                    sel_owner = owners
+                else:
+                    gidx = ragged_indices(cand_indptr[act], counts_all[act])
+                    sel_cand = cand[gidx]
+                    sel_dist = dist[gidx]
+                    sel_owner = segment_ids(counts_all[act], gidx.shape[0])
+                # The pre-filter is *strict* (`dist < rho`, self
+                # excluded) — the grid's inclusive boundary slack is
+                # filtered out here so the competitor sets match the
+                # batched engine's ``select_competitors`` exactly.
+                keep = (sel_dist < rho_act[sel_owner]) & (
+                    sel_cand != act_nodes[sel_owner]
+                )
+                comp = sel_cand[keep]
+                comp_counts = np.bincount(sel_owner[keep], minlength=act.size)
+                comp_indptr = np.concatenate(
+                    ([0], np.cumsum(comp_counts))
+                ).astype(np.int64)
+            with timer.stage("clip"):
+                vx, vy, piece_indptr, piece_owner = clip_cells_batch(
+                    positions[act_nodes], px[comp], py[comp], comp_indptr,
+                    area_pieces, k,
+                )
+
+            with timer.stage("finish"):
+                vert_counts = np.diff(piece_indptr)
+                total_verts = vx.shape[0]
+                site_rad = np.zeros(act.size)
+                if total_verts:
+                    vert_owner = piece_owner[
+                        segment_ids(vert_counts, total_verts)
+                    ]
+                    dist_v = np.hypot(
+                        vx - px[act_nodes][vert_owner],
+                        vy - py[act_nodes][vert_owner],
+                    )
+                    group_start = np.nonzero(
+                        np.concatenate(([True], vert_owner[1:] != vert_owner[:-1]))
+                    )[0]
+                    site_rad[vert_owner[group_start]] = np.maximum.reduceat(
+                        dist_v, group_start
+                    )
+                # Lemma-1 termination: the region fits in the rho/2
+                # disk, so no competitor beyond rho can clip it.
+                finished = (site_rad <= rho_act / 2.0 + EPS) | (
+                    rho_act >= max_needed
+                )
+                fin_rows = np.nonzero(finished)[0]
+                if fin_rows.size:
+                    fin_piece = finished[piece_owner]
+                    if fin_piece.all():
+                        emit.extend(
+                            vx, vy, vert_counts, act_nodes[piece_owner]
+                        )
+                    elif fin_piece.any():
+                        sel = np.nonzero(fin_piece)[0]
+                        g = ragged_indices(
+                            piece_indptr[:-1][sel], vert_counts[sel]
+                        )
+                        emit.extend(
+                            vx[g],
+                            vy[g],
+                            vert_counts[sel],
+                            act_nodes[piece_owner[sel]],
+                        )
+                    used[act_nodes[fin_rows]] = comp_counts[fin_rows]
+                    search_radius[act_nodes[fin_rows]] = rho_act[fin_rows]
+                rho[act_nodes[~finished]] *= 2.0
+                drop = np.zeros(pending.size, dtype=bool)
+                drop[act[finished]] = True
+                pending = pending[~drop]
+
+        with timer.stage("emit"):
+            evx, evy, piece_indptr, piece_owner, vert_indptr = emit.finalize(
+                count
+            )
+            self._flat_regions = (evx, evy, vert_indptr, alive_ids)
+        return (
+            self._lazy_regions(
+                evx, evy, piece_indptr, piece_owner, alive_ids, px, py, k,
+                used, search_radius,
+            ),
+            0,
         )
 
-    # Piece-boundary bookkeeping: regions are materialised as Python
-    # polygon lists once at the end, piece by piece.
-    def _stash_pieces(self, pending, finished, piece_owner, piece_indptr, vx, vy):
-        if not hasattr(self, "_piece_rings"):
-            self._piece_rings = {}
-        fin_pieces = np.nonzero(finished[piece_owner])[0]
-        if fin_pieces.size == 0:
-            return
-        vxl = vx.tolist()
-        vyl = vy.tolist()
-        for p in fin_pieces.tolist():
-            s = int(piece_indptr[p])
-            e = int(piece_indptr[p + 1])
-            node_row = int(pending[piece_owner[p]])
-            self._piece_rings.setdefault(node_row, []).append(
-                list(zip(vxl[s:e], vyl[s:e]))
-            )
-
-    def _finalize_regions(
-        self, alive_ids, px, py, vert_parts, vert_parts_y, used, search_radius, k
-    ) -> Tuple[Dict[int, DominatingRegion], int]:
+    def _lazy_regions(
+        self, vx, vy, piece_indptr, piece_owner, alive_ids, px, py, k,
+        used, search_radius,
+    ) -> Dict[int, DominatingRegion]:
+        """Regions dict whose Python polygons build on first read."""
         count = alive_ids.shape[0]
-        piece_rings = getattr(self, "_piece_rings", {})
-        regions: Dict[int, DominatingRegion] = {}
-        flat_x: List[np.ndarray] = []
-        flat_y: List[np.ndarray] = []
-        vert_counts = np.zeros(count, dtype=np.int64)
-        for row in range(count):
-            site = (float(px[row]), float(py[row]))
-            pieces = piece_rings.get(row, [])
-            regions[int(alive_ids[row])] = DominatingRegion(
-                site=site,
-                k=k,
-                pieces=pieces,
-                competitors_used=int(used[row]),
-                search_radius=float(search_radius[row]),
+
+        def build() -> Dict[int, DominatingRegion]:
+            pieces_per_row = materialize_pieces(
+                vx, vy, piece_indptr, piece_owner, count
             )
-            part = vert_parts[row]
-            if part is not None and part.size:
-                flat_x.append(part)
-                flat_y.append(vert_parts_y[row])
-                vert_counts[row] = part.shape[0]
-        self._piece_rings = {}
-        indptr = np.concatenate(([0], np.cumsum(vert_counts))).astype(np.int64)
-        self._flat_regions = (
-            np.concatenate(flat_x) if flat_x else np.zeros(0),
-            np.concatenate(flat_y) if flat_y else np.zeros(0),
-            indptr,
-            alive_ids,
-        )
-        return regions, 0
+            built: Dict[int, DominatingRegion] = {}
+            for row in range(count):
+                built[int(alive_ids[row])] = DominatingRegion(
+                    site=(float(px[row]), float(py[row])),
+                    k=k,
+                    pieces=pieces_per_row[row],
+                    competitors_used=int(used[row]),
+                    search_radius=float(search_radius[row]),
+                )
+            return built
+
+        return LazyRegions(build)
 
     # ------------------------------------------------------------------
     def _compute_regions_exhaustive(
@@ -266,10 +319,7 @@ class SparseRoundEngine(BatchedRoundEngine):
         count = positions.shape[0]
         px = np.ascontiguousarray(positions[:, 0])
         py = np.ascontiguousarray(positions[:, 1])
-        regions: Dict[int, DominatingRegion] = {}
-        flat_x: List[np.ndarray] = []
-        flat_y: List[np.ndarray] = []
-        vert_counts = np.zeros(count, dtype=np.int64)
+        emit = PieceAccumulator()
         # ~6 transient float64 panels of width N per block row.
         block_rows = max(1, int(chunk_budget_bytes() // max(count * 8 * 6, 1)))
         for start in range(0, count, block_rows):
@@ -287,74 +337,58 @@ class SparseRoundEngine(BatchedRoundEngine):
             vx, vy, piece_indptr, piece_owner = clip_cells_batch(
                 positions[rows], px[flat], py[flat], comp_indptr, area_pieces, k
             )
-            vxl = vx.tolist()
-            vyl = vy.tolist()
-            block_pieces: List[List] = [[] for _ in range(rows.size)]
-            for p in range(piece_owner.shape[0]):
-                s = int(piece_indptr[p])
-                e = int(piece_indptr[p + 1])
-                block_pieces[int(piece_owner[p])].append(
-                    list(zip(vxl[s:e], vyl[s:e]))
-                )
-            vert_owner = np.repeat(piece_owner, np.diff(piece_indptr))
-            for local, row in enumerate(rows.tolist()):
-                regions[int(alive_ids[row])] = DominatingRegion(
-                    site=(float(px[row]), float(py[row])),
-                    k=k,
-                    pieces=block_pieces[local],
-                    competitors_used=count - 1,
-                    search_radius=math.inf,
-                )
-                mask = vert_owner == local
-                n_verts = int(mask.sum())
-                if n_verts:
-                    flat_x.append(vx[mask])
-                    flat_y.append(vy[mask])
-                    vert_counts[row] = n_verts
-        indptr = np.concatenate(([0], np.cumsum(vert_counts))).astype(np.int64)
-        self._flat_regions = (
-            np.concatenate(flat_x) if flat_x else np.zeros(0),
-            np.concatenate(flat_y) if flat_y else np.zeros(0),
-            indptr,
-            alive_ids,
+            emit.extend(
+                vx, vy, np.diff(piece_indptr), rows[piece_owner]
+            )
+        evx, evy, piece_indptr, piece_owner, vert_indptr = emit.finalize(count)
+        self._flat_regions = (evx, evy, vert_indptr, alive_ids)
+        used = np.full(count, count - 1, dtype=np.int64)
+        search_radius = np.full(count, math.inf)
+        return (
+            self._lazy_regions(
+                evx, evy, piece_indptr, piece_owner, alive_ids, px, py, k,
+                used, search_radius,
+            ),
+            0,
         )
-        return regions, 0
 
     # ------------------------------------------------------------------
     # Vectorized per-round summary
     # ------------------------------------------------------------------
     def _summarize_vectorized(self, regions, max_hops) -> EngineRound:
-        flat_x, flat_y, indptr, alive_ids = self._flat_regions
-        self._flat_regions = None
-        network = self.network
-        count = alive_ids.shape[0]
-        pos = np.asarray(
-            [network.node(int(i)).position for i in alive_ids], dtype=float
-        ).reshape(count, 2)
-        cx, cy, radius = mec_batch(flat_x, flat_y, indptr)
-        counts = np.diff(indptr)
-        empty = counts == 0
-        # Empty region: the update is a no-op anchored at the site.
-        cx = np.where(empty, pos[:, 0] if count else cx, cx)
-        cy = np.where(empty, pos[:, 1] if count else cy, cy)
-        radius = np.where(empty, 0.0, radius)
-        ranges = np.zeros(count)
-        if flat_x.size:
-            vert_owner = np.repeat(np.arange(count, dtype=np.int64), counts)
-            dist_v = np.hypot(
-                flat_x - pos[vert_owner, 0], flat_y - pos[vert_owner, 1]
-            )
-            group_start = np.nonzero(
-                np.concatenate(([True], vert_owner[1:] != vert_owner[:-1]))
-            )[0]
-            ranges[vert_owner[group_start]] = np.maximum.reduceat(
-                dist_v, group_start
-            )
-        displacements = np.hypot(pos[:, 0] - cx, pos[:, 1] - cy)
-        centers = {
-            int(alive_ids[row]): (float(cx[row]), float(cy[row]))
-            for row in range(count)
-        }
+        timer = self._stage_timer
+        with timer.stage("summary"):
+            flat_x, flat_y, indptr, alive_ids = self._flat_regions
+            self._flat_regions = None
+            network = self.network
+            count = alive_ids.shape[0]
+            pos = np.asarray(
+                [network.node(int(i)).position for i in alive_ids], dtype=float
+            ).reshape(count, 2)
+            cx, cy, radius = mec_batch(flat_x, flat_y, indptr)
+            counts = np.diff(indptr)
+            empty = counts == 0
+            # Empty region: the update is a no-op anchored at the site.
+            cx = np.where(empty, pos[:, 0] if count else cx, cx)
+            cy = np.where(empty, pos[:, 1] if count else cy, cy)
+            radius = np.where(empty, 0.0, radius)
+            ranges = np.zeros(count)
+            if flat_x.size:
+                vert_owner = segment_ids(counts, flat_x.shape[0])
+                dist_v = np.hypot(
+                    flat_x - pos[vert_owner, 0], flat_y - pos[vert_owner, 1]
+                )
+                group_start = np.nonzero(
+                    np.concatenate(([True], vert_owner[1:] != vert_owner[:-1]))
+                )[0]
+                ranges[vert_owner[group_start]] = np.maximum.reduceat(
+                    dist_v, group_start
+                )
+            displacements = np.hypot(pos[:, 0] - cx, pos[:, 1] - cy)
+            centers = {
+                int(alive_ids[row]): (float(cx[row]), float(cy[row]))
+                for row in range(count)
+            }
         return EngineRound(
             regions=regions,
             centers=centers,
@@ -362,36 +396,5 @@ class SparseRoundEngine(BatchedRoundEngine):
             ranges_from_position=ranges.tolist(),
             displacements=displacements.tolist(),
             max_ring_hops=max_hops,
+            profile=timer.result(),
         )
-
-
-def _kth_nearest_many(
-    grid: SpatialGrid, px: np.ndarray, py: np.ndarray, need: int
-) -> np.ndarray:
-    """Distance to the ``need``-th nearest *other* point, per point.
-
-    Expanding-radius batch queries: a point's answer is exact as soon as
-    its query disk holds at least ``need + 1`` points (itself included),
-    because the ``need+1`` nearest are then all inside the disk.
-    """
-    count = px.shape[0]
-    centers = np.column_stack((px, py))
-    kth = np.zeros(count)
-    pending = np.arange(count, dtype=np.int64)
-    radius = grid.cell_size * max(1.0, math.sqrt(need))
-    while pending.size:
-        cand, indptr = grid.query_radius_many(centers[pending], radius)
-        counts = np.diff(indptr)
-        done = counts >= need + 1
-        rows = np.nonzero(done)[0]
-        if rows.size:
-            owners = np.repeat(np.arange(pending.size, dtype=np.int64), counts)
-            dist = np.hypot(
-                px[cand] - px[pending][owners], py[cand] - py[pending][owners]
-            )
-            by_owner_dist = np.lexsort((dist, owners))
-            dist_sorted = dist[by_owner_dist]
-            kth[pending[rows]] = dist_sorted[indptr[rows] + need]
-        pending = pending[~done]
-        radius *= 2.0
-    return kth

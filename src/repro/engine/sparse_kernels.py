@@ -34,6 +34,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.jit_kernels import halfplane_minmax, ragged_indices, segment_ids
 from repro.geometry.primitives import EPS, Point
 from repro.geometry.welzl import welzl_disk
 from repro.voronoi.dominating import _MIN_PIECE_AREA
@@ -44,18 +45,10 @@ Polygon = List[Point]
 #: current site radius before a competitor is declared a provable no-op.
 _CUTOFF_MARGIN = 1e-7
 
-
-# ----------------------------------------------------------------------
-# Ragged-array helpers
-# ----------------------------------------------------------------------
-def _ragged_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Flat gather indices for ragged runs ``[starts[i], starts[i]+counts[i])``."""
-    total = int(counts.sum())
-    if total == 0:
-        return np.zeros(0, dtype=np.int64)
-    cum = np.cumsum(counts) - counts
-    within = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
-    return np.repeat(starts, counts) + within
+#: Ragged gather indices — the single-cumsum construction from the
+#: kernel-tier module (no ``np.repeat``); kept under the historic name
+#: for the existing call sites.
+_ragged_indices = ragged_indices
 
 
 def _compress_rings(
@@ -128,6 +121,26 @@ def _ring_areas(x: np.ndarray, y: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return areas
 
 
+def _ring_radii(
+    x: np.ndarray,
+    y: np.ndarray,
+    counts: np.ndarray,
+    site_x: np.ndarray,
+    site_y: np.ndarray,
+) -> np.ndarray:
+    """Max distance from ``site_*[r]`` to ring ``r``'s vertices (0 when empty)."""
+    nrings = counts.shape[0]
+    radii = np.zeros(nrings)
+    if x.size == 0 or nrings == 0:
+        return radii
+    ring_of_vert = segment_ids(counts, x.shape[0])
+    dist = np.hypot(x - site_x[ring_of_vert], y - site_y[ring_of_vert])
+    starts = np.cumsum(counts) - counts
+    nz = counts > 0
+    radii[np.nonzero(nz)[0]] = np.maximum.reduceat(dist, starts[nz])
+    return radii
+
+
 # ----------------------------------------------------------------------
 # Cross-node budgeted clipping sweep
 # ----------------------------------------------------------------------
@@ -177,18 +190,40 @@ def clip_cells_batch(
     area_counts = np.asarray([len(ring) for ring in rings], dtype=np.int64)
     pieces_per_site = len(rings)
 
-    # Live state: flat vertex arrays, per-piece counts / owner /
-    # violation budget, pieces always grouped by ascending owner.
+    # Live state: an append-only vertex pool plus per-piece descriptor
+    # arrays (pool start, count, owner, violation budget).  A piece's
+    # vertices are written to the pool exactly once — at initialisation
+    # or when it is born from a clip — and never move again: retiring a
+    # piece or replacing it with its children only touches the (small)
+    # descriptor arrays, so a pass costs nothing proportional to the
+    # vertices of unchanged pieces.
     vx = np.tile(area_vx, m)
     vy = np.tile(area_vy, m)
     pc = np.tile(area_counts, m)
     po = np.repeat(np.arange(m, dtype=np.int64), pieces_per_site)
     pv = np.zeros(m * pieces_per_site, dtype=np.int64)
+    pstart = (np.cumsum(pc) - pc).astype(np.int64)
 
     sx = np.ascontiguousarray(sites[:, 0])
     sy = np.ascontiguousarray(sites[:, 1])
+    # Per-piece circumradius about the owning site, maintained as live
+    # state: a piece's vertices only change when the piece is clipped,
+    # so recomputing the radius over every live vertex at every level
+    # (the previous form) redid the identical hypot/max for the vast
+    # untouched majority.  Max is exact and per-vertex hypot is the
+    # same expression, so the cached values are bitwise identical.
+    owner_of_vert = po[segment_ids(pc, vx.shape[0])]
+    dist_v = np.hypot(vx - sx[owner_of_vert], vy - sy[owner_of_vert])
+    prad = np.maximum.reduceat(dist_v, pstart)
+
+    pool_used = vx.shape[0]
+    pool_cap = max(4 * pool_used, 1024)
+    pool_x = np.empty(pool_cap)
+    pool_y = np.empty(pool_cap)
+    pool_x[:pool_used] = vx
+    pool_y[:pool_used] = vy
     ncomp = np.diff(comp_indptr)
-    comp_owner = np.repeat(np.arange(m, dtype=np.int64), ncomp)
+    comp_owner = segment_ids(ncomp, comp_x.shape[0])
     cdx = comp_x - sx[comp_owner]
     cdy = comp_y - sy[comp_owner]
     comp_dist_sq = cdx * cdx + cdy * cdy
@@ -203,146 +238,127 @@ def clip_cells_batch(
         - sy[comp_owner] * sy[comp_owner]
     ) / 2.0
 
-    done = ncomp == 0
-    max_levels = int(ncomp.max()) if ncomp.size else 0
-    # Owners retire (cutoff hit, competitors exhausted, or no pieces
-    # left) exactly once; their pieces move to the stash so the
-    # per-level array passes only cover the shrinking working set.
-    working = np.ones(m, dtype=bool)
-    fin_x_parts: List[np.ndarray] = []
-    fin_y_parts: List[np.ndarray] = []
+    # Per-piece walk state: each piece consumes its owner's competitor
+    # list (sorted nearest-first) at its own pace.  Between two clip
+    # events a piece's geometry is unchanged, so a whole block of
+    # upcoming competitors can be classified against it in one fused
+    # evaluation — every classification up to the piece's *first*
+    # non-untouched competitor is exactly what the scalar one-at-a-time
+    # sweep would compute, and later entries are simply discarded and
+    # re-evaluated on the new geometry next pass.  This collapses the
+    # former owner-lock-stepped level loop (one pass per competitor
+    # rank, ~30 array dispatches each) into a handful of passes.
+    pptr = np.zeros(pc.shape[0], dtype=np.int64)
+    # Galloping block size per piece: the nearest competitors of a
+    # fresh cell almost all clip it (an event per competitor), so a
+    # fixed lookahead would waste most of its evaluations; a piece
+    # instead looks 1 competitor ahead after an event and doubles its
+    # lookahead (capped) after every event-free pass, so the crossing
+    # storm at the head of the competitor list costs no wasted
+    # evaluations while settled pieces race through their provably
+    # harmless tail.
+    pblk = np.ones(pc.shape[0], dtype=np.int64)
+    max_block = 64
+    fin_start_parts: List[np.ndarray] = []
     fin_pc_parts: List[np.ndarray] = []
     fin_po_parts: List[np.ndarray] = []
-    for level in range(max_levels):
-        finished_now = working & (done | (ncomp <= level))
-        if finished_now.any():
-            working &= ~finished_now
-            fin_piece = finished_now[po]
-            if fin_piece.any():
-                pstarts = np.cumsum(pc) - pc
-                fin_sel = np.nonzero(fin_piece)[0]
-                gidx = _ragged_indices(pstarts[fin_sel], pc[fin_sel])
-                fin_x_parts.append(vx[gidx])
-                fin_y_parts.append(vy[gidx])
-                fin_pc_parts.append(pc[fin_sel])
-                fin_po_parts.append(po[fin_sel])
-                live_sel = np.nonzero(~fin_piece)[0]
-                gidx = _ragged_indices(pstarts[live_sel], pc[live_sel])
-                vx = vx[gidx]
-                vy = vy[gidx]
-                pc = pc[live_sel]
-                po = po[live_sel]
-                pv = pv[live_sel]
-        if not working.any():
-            break
-        pstarts = np.cumsum(pc) - pc
+    while po.size:
+        # Retire pieces whose competitor list is exhausted, plus frozen
+        # pieces — those whose next (nearest remaining) competitor lies
+        # beyond twice the piece circumradius: its bisector, and every
+        # later one's, evaluates strictly negative on all the piece's
+        # vertices, so the piece is final.  This per-piece test
+        # subsumes the owner-level far-competitor cutoff of the scalar
+        # sweep (the owner radius is the max over its pieces), and
+        # skipping provable no-op competitors never changes an emitted
+        # vertex.
+        move = pptr >= ncomp[po]
+        live_rows = np.nonzero(~move)[0]
+        if live_rows.size:
+            next_d_sq = comp_dist_sq[comp_indptr[po[live_rows]] + pptr[live_rows]]
+            piece_reach = 2.0 * (prad[live_rows] + _CUTOFF_MARGIN)
+            move[live_rows[next_d_sq > piece_reach * piece_reach]] = True
+        if move.any():
+            mv_sel = np.nonzero(move)[0]
+            fin_start_parts.append(pstart[mv_sel])
+            fin_pc_parts.append(pc[mv_sel])
+            fin_po_parts.append(po[mv_sel])
+            live_sel = np.nonzero(~move)[0]
+            pstart = pstart[live_sel]
+            pc = pc[live_sel]
+            po = po[live_sel]
+            pv = pv[live_sel]
+            prad = prad[live_sel]
+            pptr = pptr[live_sel]
+            pblk = pblk[live_sel]
+            if po.size == 0:
+                break
 
-        # Per-piece freezing: competitors are sorted nearest-first, so a
-        # piece whose circumradius (about its own site) stays below half
-        # the *next* competitor's distance can never be reached by any
-        # remaining bisector — every later half-plane evaluates strictly
-        # negative on all its vertices.  Such pieces are final; moving
-        # them to the stash immediately keeps the per-level passes on
-        # the (much smaller) still-contested working set and lets the
-        # owner-level cutoff below fire earlier, all without changing a
-        # single emitted vertex.
-        piece_rad = np.zeros(0)
-        if po.size:
-            owner_of_vert = np.repeat(po, pc)
-            dist_v = np.hypot(vx - sx[owner_of_vert], vy - sy[owner_of_vert])
-            piece_rad = np.maximum.reduceat(dist_v, pstarts)
-            next_d_sq = comp_dist_sq[comp_indptr[po] + level]
-            piece_reach = 2.0 * (piece_rad + _CUTOFF_MARGIN)
-            frozen = next_d_sq > piece_reach * piece_reach
-            if frozen.any():
-                fr_sel = np.nonzero(frozen)[0]
-                gidx = _ragged_indices(pstarts[fr_sel], pc[fr_sel])
-                fin_x_parts.append(vx[gidx])
-                fin_y_parts.append(vy[gidx])
-                fin_pc_parts.append(pc[fr_sel])
-                fin_po_parts.append(po[fr_sel])
-                live_sel = np.nonzero(~frozen)[0]
-                gidx = _ragged_indices(pstarts[live_sel], pc[live_sel])
-                vx = vx[gidx]
-                vy = vy[gidx]
-                pc = pc[live_sel]
-                po = po[live_sel]
-                pv = pv[live_sel]
-                piece_rad = piece_rad[live_sel]
-                pstarts = np.cumsum(pc) - pc
-
-        # Current site radius of the candidate owners (max radius over
-        # their live pieces) for the progressive cutoff.  Every piece in
-        # the working arrays belongs to a candidate.  Frozen pieces are
-        # excluded on purpose: the remaining competitors are already
-        # proven no-ops for them, so they cannot justify more clipping.
-        site_rad = np.zeros(m)
-        if po.size:
-            group_start = np.nonzero(
-                np.concatenate(([True], po[1:] != po[:-1]))
-            )[0]
-            site_rad[po[group_start]] = np.maximum.reduceat(
-                piece_rad, group_start
-            )
-
-        rows = np.nonzero(working)[0]
-        cidx = comp_indptr[rows] + level
-        # Far-competitor cutoff (progressive form of the sweep's): the
-        # bisector of a competitor beyond 2*(radius + margin) lies
-        # strictly outside every live vertex, and competitors only get
-        # farther, so the owner is finished for good.
-        cutoff = 2.0 * (site_rad[rows] + _CUTOFF_MARGIN)
-        beyond = comp_dist_sq[cidx] > cutoff * cutoff
-        done[rows[beyond]] = True
-        keep = ~beyond & comp_separated[cidx]
-        rows = rows[keep]
-        cidx = cidx[keep]
-        # Owners with no pieces left cannot be clipped further.
-        live_counts = np.bincount(po, minlength=m)
-        has_pieces = live_counts[rows] > 0
-        done[rows[~has_pieces]] = True
-        rows = rows[has_pieces]
-        cidx = cidx[has_pieces]
-        if rows.size == 0:
-            continue
-
-        active_owner = np.zeros(m, dtype=bool)
-        active_owner[rows] = True
-        coeff_a_m = np.zeros(m)
-        coeff_b_m = np.zeros(m)
-        coeff_c_m = np.zeros(m)
-        coeff_a_m[rows] = coeff_a[cidx]
-        coeff_b_m[rows] = coeff_b[cidx]
-        coeff_c_m[rows] = coeff_c[cidx]
-
-        act_piece_rows = np.nonzero(active_owner[po])[0]
-        acounts = pc[act_piece_rows]
-        gidx = _ragged_indices(pstarts[act_piece_rows], acounts)
-        avx = vx[gidx]
-        avy = vy[gidx]
-        avo = np.repeat(po[act_piece_rows], acounts)
-        # Signed half-plane values, the scalar sweep's a*x + b*y - c.
-        val = coeff_a_m[avo] * avx + coeff_b_m[avo] * avy - coeff_c_m[avo]
-        substarts = np.cumsum(acounts) - acounts
-        pmax = np.maximum.reduceat(val, substarts)
-        pmin = np.minimum.reduceat(val, substarts)
-        untouched_sub = pmax <= eps
-        allout_sub = ~untouched_sub & (pmin >= -eps)
-        crossing_sub = ~(untouched_sub | allout_sub)
-        allout_keep_sub = allout_sub & (pv[act_piece_rows] + 1 <= budget)
-        allout_drop_sub = allout_sub & ~allout_keep_sub
-        if not crossing_sub.any() and not allout_drop_sub.any():
-            pv[act_piece_rows[allout_keep_sub]] += 1
+        # Fused classification of each live piece's next (lookahead
+        # many) competitors against its current geometry.  The
+        # per-entry bisector coefficients are the same float values as
+        # the historic per-owner gather, so the signed extrema are
+        # bitwise unchanged (see ``jit_kernels.halfplane_minmax``).
+        nblk = np.minimum(pblk, ncomp[po] - pptr)
+        blk_starts = np.cumsum(nblk) - nblk
+        total_blk = int(nblk.sum())
+        blk_piece = segment_ids(nblk, total_blk)
+        blk_pos = np.arange(total_blk, dtype=np.int64) - blk_starts[blk_piece]
+        cidx = comp_indptr[po[blk_piece]] + pptr[blk_piece] + blk_pos
+        pmax, pmin = halfplane_minmax(
+            pool_x,
+            pool_y,
+            pstart[blk_piece],
+            pc[blk_piece],
+            coeff_a[cidx],
+            coeff_b[cidx],
+            coeff_c[cidx],
+        )
+        # Co-located competitors are skipped outright (never strictly
+        # closer); they count as untouched so the walk consumes them.
+        untouched_blk = ~comp_separated[cidx] | (pmax <= eps)
+        allout_blk = ~untouched_blk & (pmin >= -eps)
+        # First event (all-out or crossing) per piece; entries past it
+        # were evaluated against geometry the event may invalidate and
+        # are discarded.
+        pos_or_sent = np.where(untouched_blk, np.iinfo(np.int64).max, blk_pos)
+        first_evt = np.minimum.reduceat(pos_or_sent, blk_starts)
+        has_evt = first_evt < nblk
+        evt_entry = blk_starts + np.where(has_evt, first_evt, 0)
+        allout_evt = has_evt & allout_blk[evt_entry]
+        cross_evt = has_evt & ~allout_blk[evt_entry]
+        allout_keep_evt = allout_evt & (pv + 1 <= budget)
+        allout_drop_evt = allout_evt & ~allout_keep_evt
+        # Competitors consumed this pass: everything before the event
+        # plus the event itself, or the whole block when none fired.
+        ptr_advanced = np.where(has_evt, pptr + first_evt + 1, pptr + nblk)
+        blk_next = np.where(has_evt, 1, np.minimum(pblk * 2, max_block))
+        if not cross_evt.any() and not allout_drop_evt.any():
+            pv = pv + allout_keep_evt
+            pptr = ptr_advanced
+            pblk = blk_next
             continue
 
         # ---- fused two-sided Sutherland–Hodgman over crossing pieces
-        cross_sub = np.nonzero(crossing_sub)[0]
-        ccounts = acounts[cross_sub]
+        cross_pieces_global = np.nonzero(cross_evt)[0]
+        a_cross = coeff_a[cidx[evt_entry[cross_pieces_global]]]
+        b_cross = coeff_b[cidx[evt_entry[cross_pieces_global]]]
+        c_cross = coeff_c[cidx[evt_entry[cross_pieces_global]]]
+        ccounts = pc[cross_pieces_global]
         ctotal = int(ccounts.sum())
-        cgather = _ragged_indices(substarts[cross_sub], ccounts)
-        cvx = avx[cgather]
-        cvy = avy[cgather]
-        cval = val[cgather]
+        cgather = _ragged_indices(pstart[cross_pieces_global], ccounts)
+        cvx = pool_x[cgather]
+        cvy = pool_y[cgather]
+        # Signed values of the crossing vertices only, recomputed with
+        # the same coefficients and expression as the kernel seam — the
+        # untouched/all-out majority never materialises per-vertex
+        # values at all.
+        vert_piece = segment_ids(ccounts, ctotal)
+        cval = (
+            a_cross[vert_piece] * cvx
+            + b_cross[vert_piece] * cvy
+            - c_cross[vert_piece]
+        )
         cstarts = np.cumsum(ccounts) - ccounts
         prev = np.arange(ctotal, dtype=np.int64) - 1
         prev[cstarts] = cstarts + ccounts - 1
@@ -352,12 +368,6 @@ def clip_cells_batch(
         inside_c = cval <= eps
         prev_in_c = pval <= eps
         cross_c = inside_c != prev_in_c
-        cross_pieces_global = act_piece_rows[cross_sub]
-        want_farther = pv[cross_pieces_global] + 1 <= budget
-        wf_vert = np.repeat(want_farther, ccounts)
-        inside_f = cval >= -eps
-        prev_in_f = pval >= -eps
-        cross_f = (inside_f != prev_in_f) & wf_vert
         # Edge/bisector intersections: one evaluation shared by both
         # sides, in the exact scalar grouping (midpoint fallback for
         # degenerate edges, clamped interpolation parameter).
@@ -368,7 +378,6 @@ def clip_cells_batch(
         ipy = np.where(degen, (pvy + cvy) / 2.0, pvy + t * (cvy - pvy))
         # Emission slots per vertex: [intersection, current vertex] —
         # the scalar append order.
-        vert_piece = np.repeat(np.arange(cross_sub.size, dtype=np.int64), ccounts)
         n2 = 2 * ctotal
         ex = np.empty(n2)
         ey = np.empty(n2)
@@ -380,109 +389,139 @@ def clip_cells_batch(
         emit_c = np.empty(n2, dtype=bool)
         emit_c[0::2] = cross_c
         emit_c[1::2] = inside_c
-        emit_f = np.empty(n2, dtype=bool)
-        emit_f[0::2] = cross_f
-        emit_f[1::2] = inside_f & wf_vert
         clo_x, clo_y, clo_counts = _compress_rings(
-            ex, ey, slot_piece, emit_c, cross_sub.size, eps
+            ex, ey, slot_piece, emit_c, cross_pieces_global.size, eps
         )
-        far_x, far_y, far_counts = _compress_rings(
-            ex, ey, slot_piece, emit_f, cross_sub.size, eps
-        )
+        # The farther side exists only for pieces that still have clip
+        # budget (``pv + 1 <= budget``); once a piece's budget is spent
+        # — for k=2, after its very first split — its farther child is
+        # discarded unconditionally, so the ring machinery is run on
+        # the budgeted subset only instead of emitting empty rings for
+        # everyone.  Identical per-entry arithmetic, restricted.
+        want_farther = pv[cross_pieces_global] + 1 <= budget
+        wsel = np.nonzero(want_farther)[0]
+        if wsel.size:
+            fcounts = ccounts[wsel]
+            fg = _ragged_indices(cstarts[wsel], fcounts)
+            cval_f = cval[fg]
+            pval_f = pval[fg]
+            inside_f = cval_f >= -eps
+            prev_in_f = pval_f >= -eps
+            cross_f = inside_f != prev_in_f
+            nf2 = 2 * fg.shape[0]
+            fx = np.empty(nf2)
+            fy = np.empty(nf2)
+            fx[0::2] = ipx[fg]
+            fx[1::2] = cvx[fg]
+            fy[0::2] = ipy[fg]
+            fy[1::2] = cvy[fg]
+            slot_piece_f = np.repeat(
+                segment_ids(fcounts, fg.shape[0]), 2
+            )
+            emit_f = np.empty(nf2, dtype=bool)
+            emit_f[0::2] = cross_f
+            emit_f[1::2] = inside_f
+            far_x, far_y, far_counts = _compress_rings(
+                fx, fy, slot_piece_f, emit_f, wsel.size, eps
+            )
+        else:
+            far_x = np.zeros(0)
+            far_y = np.zeros(0)
+            far_counts = np.zeros(0, dtype=np.int64)
         keep_closer = (clo_counts >= 3) & (
             _ring_areas(clo_x, clo_y, clo_counts) > _MIN_PIECE_AREA
         )
         keep_farther = (far_counts >= 3) & (
             _ring_areas(far_x, far_y, far_counts) > _MIN_PIECE_AREA
         )
+        # Circumradii of the clipped children (the only pieces whose
+        # vertices changed this level), same expression as the cached
+        # state they feed.
+        cross_owner = po[cross_pieces_global]
+        far_owner = cross_owner[wsel]
+        clo_rad = _ring_radii(clo_x, clo_y, clo_counts, sx[cross_owner], sy[cross_owner])
+        far_rad = _ring_radii(far_x, far_y, far_counts, sx[far_owner], sy[far_owner])
 
-        # ---- assemble the new state in scalar order: per original
-        # piece, the kept original, else its closer then farther child.
-        n_pieces = pc.shape[0]
-        keep_orig = np.ones(n_pieces, dtype=bool)
-        viol_bump = np.zeros(n_pieces, dtype=np.int64)
-        keep_orig[cross_pieces_global] = False
-        keep_orig[act_piece_rows[allout_drop_sub]] = False
-        viol_bump[act_piece_rows[allout_keep_sub]] = 1
-
-        orig_rows = np.nonzero(keep_orig)[0]
-        clo_rows = cross_pieces_global[keep_closer]
-        far_rows = cross_pieces_global[keep_farther]
-        rec_piece = np.concatenate((orig_rows, clo_rows, far_rows))
-        rec_side = np.concatenate(
-            (
-                np.zeros(orig_rows.size, dtype=np.int64),
-                np.zeros(clo_rows.size, dtype=np.int64),
-                np.ones(far_rows.size, dtype=np.int64),
-            )
-        )
-        rec_src = np.concatenate(
-            (
-                np.zeros(orig_rows.size, dtype=np.int64),
-                np.ones(clo_rows.size, dtype=np.int64),
-                np.full(far_rows.size, 2, dtype=np.int64),
-            )
-        )
+        # ---- append the kept children to the pool and rebuild the
+        # descriptor arrays: survivors keep their pool slices verbatim.
         clo_starts = np.cumsum(clo_counts) - clo_counts
         far_starts = np.cumsum(far_counts) - far_counts
-        rec_counts = np.concatenate(
-            (pc[orig_rows], clo_counts[keep_closer], far_counts[keep_farther])
+        clo_keep_counts = clo_counts[keep_closer]
+        far_keep_counts = far_counts[keep_farther]
+        n_clo = int(clo_keep_counts.sum())
+        n_far = int(far_keep_counts.sum())
+        if pool_used + n_clo + n_far > pool_cap:
+            pool_cap = max(2 * pool_cap, pool_used + n_clo + n_far)
+            grown_x = np.empty(pool_cap)
+            grown_y = np.empty(pool_cap)
+            grown_x[:pool_used] = pool_x[:pool_used]
+            grown_y[:pool_used] = pool_y[:pool_used]
+            pool_x = grown_x
+            pool_y = grown_y
+        if n_clo:
+            src = _ragged_indices(clo_starts[keep_closer], clo_keep_counts)
+            pool_x[pool_used : pool_used + n_clo] = clo_x[src]
+            pool_y[pool_used : pool_used + n_clo] = clo_y[src]
+        clo_child_start = pool_used + np.cumsum(clo_keep_counts) - clo_keep_counts
+        pool_used += n_clo
+        if n_far:
+            src = _ragged_indices(far_starts[keep_farther], far_keep_counts)
+            pool_x[pool_used : pool_used + n_far] = far_x[src]
+            pool_y[pool_used : pool_used + n_far] = far_y[src]
+        far_child_start = pool_used + np.cumsum(far_keep_counts) - far_keep_counts
+        pool_used += n_far
+
+        keep_orig = ~cross_evt & ~allout_drop_evt
+        orig_rows = np.nonzero(keep_orig)[0]
+        clo_rows = cross_pieces_global[keep_closer]
+        far_rows = cross_pieces_global[wsel[keep_farther]]
+        pstart = np.concatenate(
+            (pstart[orig_rows], clo_child_start, far_child_start)
         )
-        rec_srcstart = np.concatenate(
-            (pstarts[orig_rows], clo_starts[keep_closer], far_starts[keep_farther])
-        )
-        rec_viol = np.concatenate(
+        pc = np.concatenate((pc[orig_rows], clo_keep_counts, far_keep_counts))
+        pv = np.concatenate(
             (
-                pv[orig_rows] + viol_bump[orig_rows],
+                pv[orig_rows] + allout_keep_evt[orig_rows],
                 pv[clo_rows],
                 pv[far_rows] + 1,
             )
         )
-        order = np.lexsort((rec_side, rec_piece))
-        rec_piece = rec_piece[order]
-        rec_src = rec_src[order]
-        rec_counts = rec_counts[order]
-        rec_srcstart = rec_srcstart[order]
-        new_pv = rec_viol[order]
-        new_po = po[rec_piece]
-        new_pc = rec_counts
-        total = int(new_pc.sum())
-        new_vx = np.empty(total)
-        new_vy = np.empty(total)
-        dst_starts = np.cumsum(new_pc) - new_pc
-        for src_id, (src_arr_x, src_arr_y) in enumerate(
-            ((vx, vy), (clo_x, clo_y), (far_x, far_y))
-        ):
-            mask = rec_src == src_id
-            if not mask.any():
-                continue
-            si = _ragged_indices(rec_srcstart[mask], new_pc[mask])
-            di = _ragged_indices(dst_starts[mask], new_pc[mask])
-            new_vx[di] = src_arr_x[si]
-            new_vy[di] = src_arr_y[si]
-        vx, vy, pc, po, pv = new_vx, new_vy, new_pc, new_po, new_pv
-        emptied = working.copy()
-        emptied[po] = False
-        done[emptied] = True
+        prad = np.concatenate(
+            (prad[orig_rows], clo_rad[keep_closer], far_rad[keep_farther])
+        )
+        pptr = np.concatenate(
+            (
+                ptr_advanced[orig_rows],
+                ptr_advanced[clo_rows],
+                ptr_advanced[far_rows],
+            )
+        )
+        pblk = np.concatenate(
+            (
+                blk_next[orig_rows],
+                np.ones(clo_rows.size, dtype=np.int64),
+                np.ones(far_rows.size, dtype=np.int64),
+            )
+        )
+        po = np.concatenate((po[orig_rows], po[clo_rows], po[far_rows]))
 
-    # Merge the stash with whatever is still in the working arrays and
-    # regroup the pieces by ascending owner (the stable sort keeps each
-    # owner's scalar piece order, since an owner retires exactly once).
-    fin_x_parts.append(vx)
-    fin_y_parts.append(vy)
+    # Merge the stash with whatever is still live and regroup the
+    # pieces by ascending owner (the stable sort groups each owner's
+    # pieces in retirement order; piece order within an owner is not
+    # part of the contract — every downstream consumer reduces over
+    # the union of an owner's pieces).
+    fin_start_parts.append(pstart)
     fin_pc_parts.append(pc)
     fin_po_parts.append(po)
     all_pc = np.concatenate(fin_pc_parts)
     all_po = np.concatenate(fin_po_parts)
-    all_x = np.concatenate(fin_x_parts)
-    all_y = np.concatenate(fin_y_parts)
+    all_start = np.concatenate(fin_start_parts)
     order = np.argsort(all_po, kind="stable")
-    all_starts = np.cumsum(all_pc) - all_pc
-    gidx = _ragged_indices(all_starts[order], all_pc[order])
+    gidx = _ragged_indices(all_start[order], all_pc[order])
     piece_indptr = np.concatenate(([0], np.cumsum(all_pc[order])))
     return (
-        all_x[gidx],
-        all_y[gidx],
+        pool_x[gidx],
+        pool_y[gidx],
         piece_indptr.astype(np.int64),
         all_po[order],
     )

@@ -30,6 +30,25 @@ from repro.geometry.primitives import EPS, Point
 _MIN_PIECE_AREA = 1e-12
 
 
+def _is_convex(polygon: Sequence[Point]) -> bool:
+    """True when the simple polygon has no reflex vertex.
+
+    Collinear vertices are tolerated (they are not reflex); winding
+    order is normalised before the check.
+    """
+    pts = ensure_ccw(list(polygon))
+    n = len(pts)
+    if n < 3:
+        return False
+    for i in range(n):
+        if (
+            orientation(pts[i - 1], pts[i], pts[(i + 1) % n])
+            is Orientation.CLOCKWISE
+        ):
+            return False
+    return True
+
+
 def _point_in_triangle_inclusive(p: Point, a: Point, b: Point, c: Point) -> bool:
     """True when ``p`` lies inside or on the boundary of CCW triangle ``abc``.
 
@@ -177,7 +196,15 @@ def decompose_with_holes(
     polygon (holes are triangulated and subtracted triangle by triangle).
     Holes are assumed to lie inside ``outer``; overlapping holes are
     handled correctly because subtraction is applied sequentially.
+
+    An already-convex ``outer`` without holes decomposes into itself:
+    triangulating it would only multiply the piece count every
+    downstream clipping sweep pays for (the engines clip every site's
+    region against every piece), for no representational gain.
     """
+    if not holes and _is_convex(outer):
+        piece = ensure_ccw(list(outer))
+        return [piece] if polygon_area(piece) > _MIN_PIECE_AREA else []
     pieces = triangulate_polygon(outer)
     for hole in holes:
         hole_triangles = triangulate_polygon(hole)

@@ -24,6 +24,46 @@ import numpy as np
 from repro.geometry.primitives import Point
 
 
+def _ragged_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated runs ``[starts[i], starts[i] + counts[i])``.
+
+    Single-cumsum construction: seed with ones, write each segment
+    boundary's jump from the previous run's last value to the next
+    run's start, and one cumulative sum materialises every run — no
+    ``np.repeat``-sized intermediates.  (Local twin of the engine
+    tier's ``ragged_indices``; the network layer cannot import the
+    engine package without a cycle.)
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    nz = counts > 0
+    if not nz.all():
+        starts = starts[nz]
+        counts = counts[nz]
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    if starts.shape[0] > 1:
+        ends = np.cumsum(counts[:-1])
+        out[ends] = starts[1:] - starts[:-1] - counts[:-1] + 1
+    return np.cumsum(out)
+
+
+def _segment_ids(counts: np.ndarray, total: int) -> np.ndarray:
+    """Segment id per element of ragged runs (``np.repeat(arange, counts)``).
+
+    Bincount of the inner run boundaries plus one cumulative sum;
+    empty segments are skipped correctly (their ids never appear).
+    """
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)[:-1]
+    ends = ends[ends < total]
+    if ends.size == 0:
+        return np.zeros(total, dtype=np.int64)
+    return np.cumsum(np.bincount(ends, minlength=total))
+
+
 class SpatialGrid:
     """Uniform-grid spatial index over a set of indexed points.
 
@@ -163,11 +203,9 @@ class SpatialGrid:
         total_cols = int(spans_x.sum())
         if total_cols == 0:
             return np.zeros(0, dtype=np.int64), np.zeros(m + 1, dtype=np.int64)
-        col_owner = np.repeat(np.arange(m, dtype=np.int64), spans_x)
-        col_offset = np.arange(total_cols, dtype=np.int64) - np.repeat(
-            np.cumsum(spans_x) - spans_x, spans_x
-        )
-        col_base = (ix_lo[col_owner] + col_offset - self._kx_min) * self._ny
+        col_owner = _segment_ids(spans_x, total_cols)
+        flat_cols = _ragged_arange(ix_lo, spans_x)
+        col_base = (flat_cols - self._kx_min) * self._ny
         lo = np.searchsorted(
             self._cell_codes, col_base + (iy_lo[col_owner] - self._ky_min), side="left"
         )
@@ -178,22 +216,14 @@ class SpatialGrid:
         total_cells = int(run_lengths.sum())
         if total_cells == 0:
             return np.zeros(0, dtype=np.int64), np.zeros(m + 1, dtype=np.int64)
-        cell_pos = (
-            np.arange(total_cells, dtype=np.int64)
-            - np.repeat(np.cumsum(run_lengths) - run_lengths, run_lengths)
-            + np.repeat(lo, run_lengths)
-        )
-        cell_owner = np.repeat(col_owner, run_lengths)
+        cell_pos = _ragged_arange(lo, run_lengths)
+        cell_owner = col_owner[_segment_ids(run_lengths, total_cells)]
         starts = self._cell_starts[cell_pos]
         bucket_counts = self._cell_ends[cell_pos] - starts
         total_points = int(bucket_counts.sum())
-        slot = (
-            np.arange(total_points, dtype=np.int64)
-            - np.repeat(np.cumsum(bucket_counts) - bucket_counts, bucket_counts)
-            + np.repeat(starts, bucket_counts)
-        )
+        slot = _ragged_arange(starts, bucket_counts)
         candidates = self._order[slot]
-        owners = np.repeat(cell_owner, bucket_counts)
+        owners = cell_owner[_segment_ids(bucket_counts, total_points)]
         dx = self._px[candidates] - centers[owners, 0]
         dy = self._py[candidates] - centers[owners, 1]
         r2 = radii * radii

@@ -38,13 +38,14 @@ so the tolerance enters only through the fused clipping and the MEC.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.engine.kernels import chunk_budget_bytes
-from repro.engine.sparse_kernels import _ragged_indices, clip_cells_batch, mec_batch
+from repro.engine.jit_kernels import closer_counts, segment_ids
+from repro.engine.pieces import LazyRegions, materialize_pieces
+from repro.engine.profiling import StageTimer
+from repro.engine.sparse_kernels import clip_cells_batch, mec_batch
 from repro.network.neighbors import SpatialGrid
 from repro.runtime.engines import (
     BatchedDistributedEngine,
@@ -70,71 +71,9 @@ def _extend_schedule(rhos: List[float], thresholds: List[float], upto: int, step
         thresholds.append(rho * rho + 1e-15)
 
 
-class _LazyRegions(dict):
-    """A regions dict materialised on first read access.
-
-    The per-round protocol path only consumes the vectorised summary
-    (centers, displacements, proposed targets); the region *polygons*
-    are read by ``result()`` at the very end and by the compat agent
-    surface.  Deferring the flat-array → Python-piece conversion to the
-    first read keeps it off the per-round critical path.
-    """
-
-    def __init__(self, builder) -> None:
-        super().__init__()
-        self._builder = builder
-
-    def _ensure(self) -> None:
-        builder = self._builder
-        if builder is not None:
-            self._builder = None
-            super().update(builder())
-
-    def __getitem__(self, key):
-        self._ensure()
-        return super().__getitem__(key)
-
-    def __iter__(self):
-        self._ensure()
-        return super().__iter__()
-
-    def __len__(self):
-        self._ensure()
-        return super().__len__()
-
-    def __contains__(self, key):
-        self._ensure()
-        return super().__contains__(key)
-
-    def __eq__(self, other):
-        self._ensure()
-        return super().__eq__(other)
-
-    __hash__ = None
-
-    def __repr__(self):
-        self._ensure()
-        return super().__repr__()
-
-    def get(self, key, default=None):
-        self._ensure()
-        return super().get(key, default)
-
-    def keys(self):
-        self._ensure()
-        return super().keys()
-
-    def values(self):
-        self._ensure()
-        return super().values()
-
-    def items(self):
-        self._ensure()
-        return super().items()
-
-    def __reduce__(self):
-        self._ensure()
-        return (dict, (dict(self),))
+#: Historic name: the lazy regions dict now lives in
+#: :mod:`repro.engine.pieces`, shared with the centralized sparse tier.
+_LazyRegions = LazyRegions
 
 
 @register_distributed_engine
@@ -147,6 +86,7 @@ class SparseDistributedEngine(BatchedDistributedEngine):
     def run_round(self, round_index: int) -> DistributedEngineRound:
         network = self.network
         config = self.config
+        self._stage_timer = StageTimer()
         area = network.region
         area_pieces = area.convex_pieces()
         gamma = network.comm_range
@@ -165,9 +105,10 @@ class SparseDistributedEngine(BatchedDistributedEngine):
         # IS the legacy ring-member visiting order.
         grid = SpatialGrid(positions, cell_size=max(gamma, 1e-6))
         if self.scheduler.drop_probability > 0.0:
-            gathered = self._gather_lossy(
-                grid, positions, alive, step, max_radius, gamma
-            )
+            with self._stage_timer.stage("gather"):
+                gathered = self._gather_lossy(
+                    grid, positions, alive, step, max_radius, gamma
+                )
         else:
             gathered = self._gather_lossfree(
                 grid, positions, alive, step, max_radius, gamma
@@ -228,6 +169,7 @@ class SparseDistributedEngine(BatchedDistributedEngine):
         pair_ring = np.zeros(0, dtype=np.int64)
         pair_hops = np.zeros(0, dtype=np.int64)
 
+        timer = self._stage_timer
         fetched_levels = 0
         level = 0
         while active.any():
@@ -238,81 +180,91 @@ class SparseDistributedEngine(BatchedDistributedEngine):
                 # Fetch the next horizon block (doubling span) for the
                 # still-active owners.  All pairs of earlier rings have
                 # been processed, so the old pair state is obsolete.
-                span = max(2, fetched_levels)
-                new_fetched = level + span - 1
-                _extend_schedule(rhos, thresholds, new_fetched, step)
-                radius = rhos[new_fetched - 1]
-                rows_active = np.nonzero(active)[0]
-                owners_nodes = alive_rows[rows_active]
-                cand, indptr = grid.query_radius_many(
-                    positions[owners_nodes], radius
-                )
-                ow_row = np.repeat(rows_active, np.diff(indptr))
-                ow_node = alive_rows[ow_row]
-                keep = alive[cand] & (cand != ow_node)
-                cand = cand[keep]
-                ow_row = ow_row[keep]
-                ow_node = ow_node[keep]
-                dx = px[cand] - px[ow_node]
-                dy = py[cand] - py[ow_node]
-                dist_sq = dx * dx + dy * dy
-                hops = np.maximum(
-                    1, np.ceil(np.hypot(dx, dy) / gamma - 1e-9)
-                ).astype(np.int64)
-                # Ring index: first level whose inclusion threshold
-                # admits the pair (identical float schedule as the
-                # scalar rho accumulation).
-                ring = (
-                    np.searchsorted(
-                        np.asarray(thresholds[:new_fetched]), dist_sq, side="left"
+                with timer.stage("gather"):
+                    span = max(2, fetched_levels)
+                    new_fetched = level + span - 1
+                    _extend_schedule(rhos, thresholds, new_fetched, step)
+                    radius = rhos[new_fetched - 1]
+                    rows_active = np.nonzero(active)[0]
+                    owners_nodes = alive_rows[rows_active]
+                    cand, indptr = grid.query_radius_many(
+                        positions[owners_nodes], radius
                     )
-                    + 1
-                )
-                fresh = ring >= level
-                order = np.lexsort((ring[fresh], ow_row[fresh]))
-                pair_owner = ow_row[fresh][order]
-                pair_cand = cand[fresh][order]
-                pair_ring = ring[fresh][order]
-                pair_hops = hops[fresh][order]
-                fetched_levels = new_fetched
+                    ow_row = rows_active[
+                        segment_ids(np.diff(indptr), cand.shape[0])
+                    ]
+                    ow_node = alive_rows[ow_row]
+                    keep = alive[cand] & (cand != ow_node)
+                    cand = cand[keep]
+                    ow_row = ow_row[keep]
+                    ow_node = ow_node[keep]
+                    dx = px[cand] - px[ow_node]
+                    dy = py[cand] - py[ow_node]
+                    dist_sq = dx * dx + dy * dy
+                    hops = np.maximum(
+                        1, np.ceil(np.hypot(dx, dy) / gamma - 1e-9)
+                    ).astype(np.int64)
+                    # Ring index: first level whose inclusion threshold
+                    # admits the pair (identical float schedule as the
+                    # scalar rho accumulation).
+                    ring = (
+                        np.searchsorted(
+                            np.asarray(thresholds[:new_fetched]),
+                            dist_sq,
+                            side="left",
+                        )
+                        + 1
+                    )
+                    fresh = ring >= level
+                    order = np.lexsort((ring[fresh], ow_row[fresh]))
+                    pair_owner = ow_row[fresh][order]
+                    pair_cand = cand[fresh][order]
+                    pair_ring = ring[fresh][order]
+                    pair_hops = hops[fresh][order]
+                    fetched_levels = new_fetched
 
             mask = (pair_ring == level) & active[pair_owner]
             if mask.any():
-                level_hops = pair_hops[mask]
-                scheduler.record_many(
-                    np.repeat(level_hops, 2), np.tile(sizes, level_hops.shape[0])
-                )
-                lvl_owner = pair_owner[mask]
-                lvl_cand = pair_cand[mask]
-                acc_owner.append(lvl_owner)
-                acc_cand.append(lvl_cand)
-                known_owner = np.concatenate((known_owner, lvl_owner))
-                known_x = np.concatenate((known_x, px[lvl_cand]))
-                known_y = np.concatenate((known_y, py[lvl_cand]))
+                with timer.stage("gather"):
+                    level_hops = pair_hops[mask]
+                    scheduler.record_many(
+                        np.repeat(level_hops, 2),
+                        np.tile(sizes, level_hops.shape[0]),
+                    )
+                    lvl_owner = pair_owner[mask]
+                    lvl_cand = pair_cand[mask]
+                    acc_owner.append(lvl_owner)
+                    acc_cand.append(lvl_cand)
+                    known_owner = np.concatenate((known_owner, lvl_owner))
+                    known_x = np.concatenate((known_x, px[lvl_cand]))
+                    known_y = np.concatenate((known_y, py[lvl_cand]))
 
             # Algorithm-2 stop checks for every active node at once.
-            rows_active = np.nonzero(active)[0]
-            sel = active[known_owner]
-            ko = known_owner[sel]
-            by_owner = np.argsort(ko, kind="stable")
-            ko = ko[by_owner]
-            row_local = np.full(n_alive, -1, dtype=np.int64)
-            row_local[rows_active] = np.arange(rows_active.shape[0])
-            local = row_local[ko]
-            counts_local = np.bincount(local, minlength=rows_active.shape[0])
-            kptr = np.concatenate(([0], np.cumsum(counts_local))).astype(np.int64)
-            dominated = self._circle_dominated_many(
-                px[alive_rows[rows_active]],
-                py[alive_rows[rows_active]],
-                rho / 2.0,
-                known_x[sel][by_owner],
-                known_y[sel][by_owner],
-                kptr,
-            )
-            stopping = dominated | (rho >= max_radius)
-            stop_rows = rows_active[stopping]
-            rho_final[stop_rows] = rho
-            active[stop_rows] = False
+            with timer.stage("circle_check"):
+                rows_active = np.nonzero(active)[0]
+                sel = active[known_owner]
+                ko = known_owner[sel]
+                by_owner = np.argsort(ko, kind="stable")
+                ko = ko[by_owner]
+                row_local = np.full(n_alive, -1, dtype=np.int64)
+                row_local[rows_active] = np.arange(rows_active.shape[0])
+                local = row_local[ko]
+                counts_local = np.bincount(local, minlength=rows_active.shape[0])
+                kptr = np.concatenate(([0], np.cumsum(counts_local))).astype(
+                    np.int64
+                )
+                dominated = self._circle_dominated_many(
+                    px[alive_rows[rows_active]],
+                    py[alive_rows[rows_active]],
+                    rho / 2.0,
+                    known_x[sel][by_owner],
+                    known_y[sel][by_owner],
+                    kptr,
+                )
+                stopping = dominated | (rho >= max_radius)
+                stop_rows = rows_active[stopping]
+                rho_final[stop_rows] = rho
+                active[stop_rows] = False
 
         # Assemble per-node known lists in delivery order.
         if acc_owner:
@@ -358,105 +310,96 @@ class SparseDistributedEngine(BatchedDistributedEngine):
         scalar early-out.  Containment is therefore only evaluated at
         the samples whose closer-count falls short of ``k`` (the only
         places it can influence the verdict), which is typically a tiny
-        fraction of the sample set.  Known-position panels are
-        processed in owner chunks bounded by the kernel chunk budget,
-        and counting runs in two stages: a cheap pass over each node's
-        first ``max(8, 4k)`` knowns (delivery order is ring-ascending,
-        so these are the nearest-ish) settles most samples — a subset
-        count already >= k can only grow — and only rows with a
-        still-short sample pay for the remaining knowns.  Totals for
-        those rows are exact subset + remainder sums, so decisions are
-        identical to the one-shot panel.
+        fraction of the sample set.  The counting itself — candidate
+        gather, squared distances, and the two-stage cap-then-remainder
+        schedule (a subset count already >= k can only grow, so only
+        rows with a still-short sample pay for the knowns beyond the
+        first ``max(8, 4k)``) — is the fused
+        :func:`repro.engine.jit_kernels.closer_counts` kernel, shared
+        by the numpy and JIT tiers with decision-identical totals.
         """
         a = sx.shape[0]
         n_samples = self._circle_cos.shape[0]
         sample_x = sx[:, None] + radius * self._circle_cos[None, :]
         sample_y = sy[:, None] + radius * self._circle_sin[None, :]
         counts = np.diff(kptr)
-        rows = np.nonzero(counts > 0)[0]
         k = self.config.k
-        closer_counts = np.zeros((a, n_samples), dtype=np.int64)
-        if rows.size:
-            threshold = np.hypot(sx[:, None] - sample_x, sy[:, None] - sample_y)
-            threshold -= 1e-12
-            np.maximum(threshold, 0.0, out=threshold)
-            threshold_sq = threshold * threshold
-            cap = max(8, 4 * k)
-            use = np.minimum(counts[rows], cap)
-            closer_counts[rows] = self._closer_counts(
-                rows, kptr[rows], use, kx, ky, sample_x, sample_y, threshold_sq
-            )
-            need = rows[
-                (counts[rows] > cap) & np.any(closer_counts[rows] < k, axis=1)
-            ]
-            if need.size:
-                closer_counts[need] += self._closer_counts(
-                    need,
-                    kptr[need] + cap,
-                    counts[need] - cap,
+
+        def blocked(row_sel: np.ndarray, col_sel: np.ndarray) -> np.ndarray:
+            """Rows (of ``row_sel``) with a blocking sample among ``col_sel``.
+
+            Evaluates exactly the per-(row, sample) decision of the
+            one-shot check — counting kernel, then containment at the
+            short samples only — restricted to the given panel slice.
+            """
+            n_rows = row_sel.shape[0]
+            n_cols = col_sel.shape[0]
+            counted = np.zeros((n_rows, n_cols), dtype=np.int64)
+            # Rows with fewer than ``k`` knowns are counted-out a
+            # priori: no sample can reach ``k`` closer neighbours, so
+            # every sample is short regardless of the actual counts and
+            # the verdict is decided by containment alone — the kernel
+            # would change nothing about the decision.
+            kern = np.nonzero(counts[row_sel] >= k)[0]
+            if kern.size:
+                krows = row_sel[kern]
+                sample_x_r = np.ascontiguousarray(
+                    sample_x[np.ix_(krows, col_sel)]
+                )
+                sample_y_r = np.ascontiguousarray(
+                    sample_y[np.ix_(krows, col_sel)]
+                )
+                threshold = np.hypot(
+                    sx[krows, None] - sample_x_r, sy[krows, None] - sample_y_r
+                )
+                threshold -= 1e-12
+                np.maximum(threshold, 0.0, out=threshold)
+                threshold_sq = threshold * threshold
+                # Stage-1 budget for the two-stage counting kernel.
+                # Any value is decision-equivalent (a prefix count
+                # already at ``k`` only grows when more knowns are
+                # folded in); 8*k is the measured sweet spot between
+                # stage-1 panel traffic and stage-2 fallback rows.
+                cap = max(16, 8 * k)
+                counted[kern] = closer_counts(
                     kx,
                     ky,
-                    sample_x,
-                    sample_y,
+                    kptr[krows],
+                    counts[krows],
+                    sample_x_r,
+                    sample_y_r,
                     threshold_sq,
+                    cap,
+                    k,
                 )
-        short = closer_counts < k
-        undecided = np.nonzero(short.ravel())[0]
-        inside_short = np.zeros(short.size, dtype=bool)
-        if undecided.size:
-            inside_short[undecided] = self._containment.contains(
-                sample_x.ravel()[undecided], sample_y.ravel()[undecided]
+            short = counted < k
+            srow, scol = np.nonzero(short)
+            if not srow.size:
+                return np.zeros(n_rows, dtype=bool)
+            inside = self._containment.contains(
+                sample_x[row_sel[srow], col_sel[scol]],
+                sample_y[row_sel[srow], col_sel[scol]],
             )
-        blocking = short & inside_short.reshape(a, n_samples)
-        return ~blocking.any(axis=1)
+            return np.bincount(srow[inside], minlength=n_rows) > 0
 
-    def _closer_counts(
-        self,
-        row_ids: np.ndarray,
-        offsets: np.ndarray,
-        ncand: np.ndarray,
-        kx: np.ndarray,
-        ky: np.ndarray,
-        sample_x: np.ndarray,
-        sample_y: np.ndarray,
-        threshold_sq: np.ndarray,
-    ) -> np.ndarray:
-        """Per-(row, sample) counts of knowns strictly closer than the node.
-
-        ``row_ids[i]`` owns the ``ncand[i]`` knowns starting at flat
-        offset ``offsets[i]``; the panel is materialised in owner chunks
-        sized by the kernel chunk budget.
-        """
-        n_samples = sample_x.shape[1]
-        out = np.zeros((row_ids.shape[0], n_samples), dtype=np.int64)
-        budget = max(chunk_budget_bytes(), 1)
-        per_pair_bytes = n_samples * 8 * 3
-        start = 0
-        while start < row_ids.shape[0]:
-            stop = start
-            pair_total = 0
-            while (
-                stop < row_ids.shape[0]
-                and (pair_total + ncand[stop]) * per_pair_bytes <= budget
-            ):
-                pair_total += ncand[stop]
-                stop += 1
-            stop = max(stop, start + 1)
-            sub_counts = ncand[start:stop]
-            gidx = _ragged_indices(offsets[start:stop], sub_counts)
-            pair_global_row = row_ids[start:stop][
-                np.repeat(np.arange(stop - start), sub_counts)
-            ]
-            pdx = kx[gidx][:, None] - sample_x[pair_global_row]
-            pdy = ky[gidx][:, None] - sample_y[pair_global_row]
-            np.multiply(pdx, pdx, out=pdx)
-            np.multiply(pdy, pdy, out=pdy)
-            pdx += pdy
-            closer = pdx < threshold_sq[pair_global_row]
-            group_starts = np.cumsum(sub_counts) - sub_counts
-            out[start:stop] = np.add.reduceat(closer, group_starts, axis=0)
-            start = stop
-        return out
+        # Two-phase evaluation: a strided sixth of the samples spans
+        # the whole circle, so any blocking arc wider than one stride
+        # shows up in the first (cheap) panel and finalises its row as
+        # not-dominated without ever paying for the other five sixths.
+        # The survivors — at late gather levels, nearly everyone — then
+        # pay exactly the remaining samples, so the split never costs
+        # more than one extra kernel dispatch.  Decisions are the
+        # one-shot ones: the phases partition the sample set and each
+        # (row, sample) verdict is computed with the same arithmetic.
+        all_rows = np.arange(a, dtype=np.int64)
+        phase_a = np.arange(0, n_samples, 6, dtype=np.int64)
+        phase_b = np.setdiff1d(np.arange(n_samples, dtype=np.int64), phase_a)
+        block_a = blocked(all_rows, phase_a)
+        survivors = np.nonzero(~block_a)[0]
+        dominated = np.zeros(a, dtype=bool)
+        if survivors.size:
+            dominated[survivors] = ~blocked(survivors, phase_b)
+        return dominated
 
     # ------------------------------------------------------------------
     # Lossy gather: per-node, RNG draw-exact
@@ -555,44 +498,38 @@ class SparseDistributedEngine(BatchedDistributedEngine):
         network = self.network
         config = self.config
         k = config.k
+        timer = self._stage_timer
         n_alive = alive_rows.shape[0]
         px = positions[:, 0]
         py = positions[:, 1]
         sx = px[alive_rows]
         sy = py[alive_rows]
-        owner = np.repeat(
-            np.arange(n_alive, dtype=np.int64), np.diff(known_indptr)
-        )
-        dx = px[known_ids] - sx[owner]
-        dy = py[known_ids] - sy[owner]
-        dist_sq = dx * dx + dy * dy
-        # The sweep's competitor order: nearest first, stable on ties
-        # (base order = delivery order, as in the scalar sweep).
-        order = np.lexsort((dist_sq, owner))
-        comp_ids = known_ids[order]
-        vx, vy, piece_indptr, piece_owner = clip_cells_batch(
-            np.column_stack((sx, sy)),
-            px[comp_ids],
-            py[comp_ids],
-            known_indptr,
-            area_pieces,
-            k,
-        )
+        with timer.stage("clip"):
+            owner = segment_ids(np.diff(known_indptr), known_ids.shape[0])
+            dx = px[known_ids] - sx[owner]
+            dy = py[known_ids] - sy[owner]
+            dist_sq = dx * dx + dy * dy
+            # The sweep's competitor order: nearest first, stable on ties
+            # (base order = delivery order, as in the scalar sweep).
+            order = np.lexsort((dist_sq, owner))
+            comp_ids = known_ids[order]
+            vx, vy, piece_indptr, piece_owner = clip_cells_batch(
+                np.column_stack((sx, sy)),
+                px[comp_ids],
+                py[comp_ids],
+                known_indptr,
+                area_pieces,
+                k,
+            )
 
         # Region polygons (read by the deployer's result() and the
         # compat agent surface) are materialised lazily on first access.
         known_count = np.diff(known_indptr)
 
         def build_regions() -> Dict[int, DominatingRegion]:
-            vx_list = vx.tolist()
-            vy_list = vy.tolist()
-            pieces_per_row: List[List] = [[] for _ in range(n_alive)]
-            for p in range(piece_owner.shape[0]):
-                s = int(piece_indptr[p])
-                e = int(piece_indptr[p + 1])
-                pieces_per_row[int(piece_owner[p])].append(
-                    list(zip(vx_list[s:e], vy_list[s:e]))
-                )
+            pieces_per_row = materialize_pieces(
+                vx, vy, piece_indptr, piece_owner, n_alive
+            )
             built: Dict[int, DominatingRegion] = {}
             for row in range(n_alive):
                 node_id = int(alive_rows[row])
@@ -605,43 +542,49 @@ class SparseDistributedEngine(BatchedDistributedEngine):
                 )
             return built
 
-        regions: Dict[int, DominatingRegion] = _LazyRegions(build_regions)
+        regions: Dict[int, DominatingRegion] = LazyRegions(build_regions)
 
         # Vectorised summary: Chebyshev centers via mec_batch, ranges
         # and displacements via ragged reductions, move proposals with
         # the agent's exact update grouping.
-        vert_owner = np.repeat(piece_owner, np.diff(piece_indptr))
-        owner_vert_counts = np.bincount(vert_owner, minlength=n_alive)
-        vert_indptr = np.concatenate(
-            ([0], np.cumsum(owner_vert_counts))
-        ).astype(np.int64)
-        cx, cy, radius = mec_batch(vx, vy, vert_indptr)
-        empty = owner_vert_counts == 0
-        cx = np.where(empty, sx, cx)
-        cy = np.where(empty, sy, cy)
-        radius = np.where(empty, 0.0, radius)
-        ranges = np.zeros(n_alive)
-        if vx.size:
-            vert_dist = np.hypot(vx - sx[vert_owner], vy - sy[vert_owner])
-            group_starts = np.nonzero(
-                np.concatenate(([True], vert_owner[1:] != vert_owner[:-1]))
-            )[0]
-            ranges[vert_owner[group_starts]] = np.maximum.reduceat(
-                vert_dist, group_starts
+        with timer.stage("summary"):
+            vert_owner = piece_owner[
+                segment_ids(np.diff(piece_indptr), vx.shape[0])
+            ]
+            owner_vert_counts = np.bincount(vert_owner, minlength=n_alive)
+            vert_indptr = np.concatenate(
+                ([0], np.cumsum(owner_vert_counts))
+            ).astype(np.int64)
+            cx, cy, radius = mec_batch(vx, vy, vert_indptr)
+            empty = owner_vert_counts == 0
+            cx = np.where(empty, sx, cx)
+            cy = np.where(empty, sy, cy)
+            radius = np.where(empty, 0.0, radius)
+            ranges = np.zeros(n_alive)
+            if vx.size:
+                vert_dist = np.hypot(vx - sx[vert_owner], vy - sy[vert_owner])
+                group_starts = np.nonzero(
+                    np.concatenate(([True], vert_owner[1:] != vert_owner[:-1]))
+                )[0]
+                ranges[vert_owner[group_starts]] = np.maximum.reduceat(
+                    vert_dist, group_starts
+                )
+            displacements = np.hypot(sx - cx, sy - cy)
+            ids = alive_rows.tolist()
+            centers: Dict[int, Tuple[float, float]] = dict(
+                zip(ids, zip(cx.tolist(), cy.tolist()))
             )
-        displacements = np.hypot(sx - cx, sy - cy)
-        centers: Dict[int, Tuple[float, float]] = {}
-        for row in range(n_alive):
-            centers[int(alive_rows[row])] = (float(cx[row]), float(cy[row]))
-        proposed: Dict[int, Tuple[float, float]] = {}
-        alpha = config.alpha
-        for row in np.nonzero(displacements > config.epsilon)[0].tolist():
-            node_id = int(alive_rows[row])
-            pos_x = sx[row]
-            pos_y = sy[row]
-            proposed[node_id] = (
-                float(pos_x + alpha * (cx[row] - pos_x)),
-                float(pos_y + alpha * (cy[row] - pos_y)),
+            alpha = config.alpha
+            move_rows = np.nonzero(displacements > config.epsilon)[0]
+            # Same expression grouping as the scalar agent update:
+            # pos + alpha * (center - pos), evaluated per coordinate.
+            tx = sx[move_rows] + alpha * (cx[move_rows] - sx[move_rows])
+            ty = sy[move_rows] + alpha * (cy[move_rows] - sy[move_rows])
+            proposed: Dict[int, Tuple[float, float]] = dict(
+                zip(
+                    alive_rows[move_rows].tolist(),
+                    zip(tx.tolist(), ty.tolist()),
+                )
             )
         return DistributedEngineRound(
             regions=regions,
@@ -650,4 +593,5 @@ class SparseDistributedEngine(BatchedDistributedEngine):
             ranges_from_position=ranges.tolist(),
             displacements=displacements.tolist(),
             proposed_targets=proposed,
+            profile=timer.result(),
         )

@@ -1,0 +1,301 @@
+"""Kernel-tier seam tests: env resolution, oracles, and piece emission.
+
+The sparse tier's two bandwidth-bound kernels live behind a seam in
+``repro.engine.jit_kernels`` with a NumPy reference implementation (the
+equivalence oracle, always present) and an optional numba-compiled
+tier.  These tests pin the contract from DESIGN.md "Kernel tiers":
+
+* ``REPRO_KERNELS`` resolves to ``numpy``/``jit`` with clear errors for
+  invalid values and for ``jit`` without numba;
+* the loop-form kernel bodies (the exact code numba compiles) agree
+  with the NumPy implementations — bitwise for half-plane values,
+  decision-exactly for closer counts;
+* :class:`repro.engine.pieces.PieceAccumulator` reproduces the historic
+  owner-then-discovery piece order of the ``_stash_pieces`` loop it
+  replaced.
+
+The JIT-tier tests run only when numba is importable; CI exercises both
+legs (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.engine.jit_kernels as jk
+from repro.engine.jit_kernels import (
+    KERNELS_ENV,
+    _closer_counts_loops,
+    _halfplane_minmax_loops,
+    closer_counts,
+    halfplane_minmax,
+    kernel_tier,
+    numba_available,
+    ragged_indices,
+    segment_ids,
+)
+from repro.engine.kernels import plan_chunks
+from repro.engine.pieces import PieceAccumulator
+
+
+# ----------------------------------------------------------------------
+# Ragged fixtures
+# ----------------------------------------------------------------------
+def _ragged_pieces(rng, n_pieces=40, max_verts=9):
+    counts = rng.integers(1, max_verts, size=n_pieces).astype(np.int64)
+    starts = (np.cumsum(counts) - counts).astype(np.int64)
+    total = int(counts.sum())
+    vx = rng.uniform(-3.0, 3.0, size=total)
+    vy = rng.uniform(-3.0, 3.0, size=total)
+    ca = rng.uniform(-2.0, 2.0, size=n_pieces)
+    cb = rng.uniform(-2.0, 2.0, size=n_pieces)
+    cc = rng.uniform(-2.0, 2.0, size=n_pieces)
+    return vx, vy, starts, counts, ca, cb, cc
+
+
+def _counting_problem(rng, n_rows=25, n_samples=16, max_known=30):
+    counts = rng.integers(0, max_known, size=n_rows).astype(np.int64)
+    offsets = (np.cumsum(counts) - counts).astype(np.int64)
+    total = int(counts.sum())
+    kx = rng.uniform(0.0, 1.0, size=total)
+    ky = rng.uniform(0.0, 1.0, size=total)
+    sample_x = rng.uniform(0.0, 1.0, size=(n_rows, n_samples))
+    sample_y = rng.uniform(0.0, 1.0, size=(n_rows, n_samples))
+    threshold_sq = rng.uniform(0.0, 0.05, size=(n_rows, n_samples))
+    return kx, ky, offsets, counts, sample_x, sample_y, threshold_sq
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20260808)
+
+
+# ----------------------------------------------------------------------
+# REPRO_KERNELS resolution
+# ----------------------------------------------------------------------
+class TestTierResolution:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(KERNELS_ENV, raising=False)
+        assert kernel_tier() == ("jit" if numba_available() else "numpy")
+
+    def test_blank_value_means_auto(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "  ")
+        assert kernel_tier() == ("jit" if numba_available() else "numpy")
+
+    def test_numpy_forced(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        assert kernel_tier() == "numpy"
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, " NumPy ")
+        assert kernel_tier() == "numpy"
+
+    def test_invalid_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "fortran")
+        with pytest.raises(ValueError, match="fortran"):
+            kernel_tier()
+
+    def test_jit_without_numba_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "jit")
+        monkeypatch.setattr(jk, "_NUMBA_OK", False)
+        with pytest.raises(RuntimeError, match="numba"):
+            kernel_tier()
+
+    def test_auto_without_numba_falls_back(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "auto")
+        monkeypatch.setattr(jk, "_NUMBA_OK", False)
+        assert kernel_tier() == "numpy"
+
+    def test_auto_with_numba_selects_jit(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "auto")
+        monkeypatch.setattr(jk, "_NUMBA_OK", True)
+        assert kernel_tier() == "jit"
+
+
+# ----------------------------------------------------------------------
+# Loop-form bodies as dependency-free oracles of the NumPy seam
+# ----------------------------------------------------------------------
+class TestLoopFormOracles:
+    def test_halfplane_loops_bitwise_match_numpy(self, rng, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        vx, vy, starts, counts, ca, cb, cc = _ragged_pieces(rng)
+        pmax, pmin = halfplane_minmax(vx, vy, starts, counts, ca, cb, cc)
+        lmax = np.empty_like(pmax)
+        lmin = np.empty_like(pmin)
+        _halfplane_minmax_loops(vx, vy, starts, counts, ca, cb, cc, lmax, lmin)
+        # Bitwise: the loop body uses the identical IEEE expression.
+        np.testing.assert_array_equal(pmax, lmax)
+        np.testing.assert_array_equal(pmin, lmin)
+
+    @pytest.mark.parametrize("cap", [1, 4, 16, 1000])
+    def test_closer_counts_decisions_match_loops(self, rng, cap, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        k = 2
+        kx, ky, offsets, counts, sx, sy, tsq = _counting_problem(rng)
+        out_np = closer_counts(kx, ky, offsets, counts, sx, sy, tsq, cap, k)
+        out_loops = np.zeros_like(out_np)
+        _closer_counts_loops(
+            kx, ky, offsets, counts, sx, sy, tsq, cap, k, out_loops
+        )
+        # Counts themselves are only decision-equivalent across cap
+        # values, but for the *same* cap the two-stage schedules agree
+        # exactly, so the matrices must be equal.
+        np.testing.assert_array_equal(out_np, out_loops)
+
+    @pytest.mark.parametrize("cap", [1, 3, 7, 64])
+    def test_closer_counts_decisions_match_brute_force(self, rng, cap):
+        k = 2
+        kx, ky, offsets, counts, sx, sy, tsq = _counting_problem(rng)
+        out = closer_counts(kx, ky, offsets, counts, sx, sy, tsq, cap, k)
+        n_rows, n_samples = sx.shape
+        full = np.zeros((n_rows, n_samples), dtype=np.int64)
+        for r in range(n_rows):
+            for s in range(n_samples):
+                for j in range(offsets[r], offsets[r] + counts[r]):
+                    dx = kx[j] - sx[r, s]
+                    dy = ky[j] - sy[r, s]
+                    if dx * dx + dy * dy < tsq[r, s]:
+                        full[r, s] += 1
+        # Decision contract: ``count >= k`` agrees everywhere with the
+        # exhaustive count, for any stage-1 budget.
+        np.testing.assert_array_equal(out >= k, full >= k)
+
+    def test_empty_inputs(self):
+        empty_i = np.zeros(0, dtype=np.int64)
+        empty_f = np.zeros(0)
+        pmax, pmin = halfplane_minmax(
+            empty_f, empty_f, empty_i, empty_i, empty_f, empty_f, empty_f
+        )
+        assert pmax.shape == (0,) and pmin.shape == (0,)
+        out = closer_counts(
+            empty_f, empty_f, empty_i, empty_i,
+            np.zeros((0, 8)), np.zeros((0, 8)), np.zeros((0, 8)), 4, 2,
+        )
+        assert out.shape == (0, 8)
+
+
+# ----------------------------------------------------------------------
+# JIT tier (only with numba present; CI runs a leg without it)
+# ----------------------------------------------------------------------
+needs_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed"
+)
+
+
+@needs_numba
+class TestJitTier:
+    def test_halfplane_jit_bitwise_matches_numpy(self, rng, monkeypatch):
+        vx, vy, starts, counts, ca, cb, cc = _ragged_pieces(rng, n_pieces=60)
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        ref_max, ref_min = halfplane_minmax(vx, vy, starts, counts, ca, cb, cc)
+        monkeypatch.setenv(KERNELS_ENV, "jit")
+        jit_max, jit_min = halfplane_minmax(vx, vy, starts, counts, ca, cb, cc)
+        np.testing.assert_array_equal(ref_max, jit_max)
+        np.testing.assert_array_equal(ref_min, jit_min)
+
+    @pytest.mark.parametrize("cap", [2, 16])
+    def test_closer_counts_jit_matches_numpy(self, rng, cap, monkeypatch):
+        k = 2
+        kx, ky, offsets, counts, sx, sy, tsq = _counting_problem(rng)
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        ref = closer_counts(kx, ky, offsets, counts, sx, sy, tsq, cap, k)
+        monkeypatch.setenv(KERNELS_ENV, "jit")
+        jit = closer_counts(kx, ky, offsets, counts, sx, sy, tsq, cap, k)
+        np.testing.assert_array_equal(ref, jit)
+
+
+# ----------------------------------------------------------------------
+# plan_chunks edge cases
+# ----------------------------------------------------------------------
+class TestPlanChunksEdges:
+    def test_single_giant_panel(self):
+        # Budget big enough for everything: exactly one chunk.
+        assert list(plan_chunks(10_000, bytes_per_item=8, budget=10_000 * 8)) == [
+            (0, 10_000)
+        ]
+
+    def test_budget_below_one_item_degrades_to_singles(self):
+        assert list(plan_chunks(3, bytes_per_item=1024, budget=8)) == [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+        ]
+
+    def test_zero_items_yields_nothing(self):
+        assert list(plan_chunks(0, bytes_per_item=8, budget=1)) == []
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            list(plan_chunks(-1, bytes_per_item=8))
+
+
+# ----------------------------------------------------------------------
+# PieceAccumulator: owner-then-discovery order
+# ----------------------------------------------------------------------
+class TestPieceAccumulatorOrdering:
+    def test_owner_then_discovery_order(self):
+        acc = PieceAccumulator()
+        # Iteration 1 finishes owners 2 and 0 (in that clip-output
+        # order); iteration 2 finishes owner 1 with two pieces.
+        acc.extend(
+            np.asarray([0.0, 1.0, 2.0, 10.0, 11.0, 12.0]),
+            np.asarray([0.5, 1.5, 2.5, 10.5, 11.5, 12.5]),
+            np.asarray([3, 3]),
+            np.asarray([2, 0]),
+        )
+        acc.extend(
+            np.asarray([20.0, 21.0, 22.0, 30.0, 31.0, 32.0, 33.0]),
+            np.asarray([20.5, 21.5, 22.5, 30.5, 31.5, 32.5, 33.5]),
+            np.asarray([3, 4]),
+            np.asarray([1, 1]),
+        )
+        vx, vy, piece_indptr, piece_owner, vert_indptr = acc.finalize(3)
+        # Pieces grouped by ascending owner; owner 1's two pieces keep
+        # their within-iteration discovery order.
+        np.testing.assert_array_equal(piece_owner, [0, 1, 1, 2])
+        np.testing.assert_array_equal(piece_indptr, [0, 3, 6, 10, 13])
+        np.testing.assert_array_equal(vx[:3], [10.0, 11.0, 12.0])
+        np.testing.assert_array_equal(vx[3:6], [20.0, 21.0, 22.0])
+        np.testing.assert_array_equal(vx[6:10], [30.0, 31.0, 32.0, 33.0])
+        np.testing.assert_array_equal(vx[10:], [0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(vert_indptr, [0, 3, 10, 13])
+        assert vy[10] == 0.5
+
+    def test_empty_finalize(self):
+        vx, vy, piece_indptr, piece_owner, vert_indptr = (
+            PieceAccumulator().finalize(4)
+        )
+        assert vx.size == 0 and vy.size == 0
+        np.testing.assert_array_equal(piece_indptr, [0])
+        assert piece_owner.size == 0
+        np.testing.assert_array_equal(vert_indptr, [0, 0, 0, 0, 0])
+
+    def test_empty_extend_is_noop(self):
+        acc = PieceAccumulator()
+        acc.extend(np.zeros(0), np.zeros(0), np.zeros(0, dtype=np.int64),
+                   np.zeros(0, dtype=np.int64))
+        _, _, piece_indptr, piece_owner, _ = acc.finalize(1)
+        np.testing.assert_array_equal(piece_indptr, [0])
+        assert piece_owner.size == 0
+
+
+# ----------------------------------------------------------------------
+# Ragged-index primitives backing both tiers
+# ----------------------------------------------------------------------
+class TestRaggedPrimitives:
+    def test_ragged_indices_matches_concatenated_aranges(self, rng):
+        starts = rng.integers(0, 50, size=20).astype(np.int64)
+        counts = rng.integers(0, 6, size=20).astype(np.int64)
+        expected = np.concatenate(
+            [np.arange(s, s + c) for s, c in zip(starts, counts)]
+            or [np.zeros(0, dtype=np.int64)]
+        )
+        np.testing.assert_array_equal(ragged_indices(starts, counts), expected)
+
+    def test_segment_ids_matches_repeat(self, rng):
+        counts = rng.integers(0, 5, size=30).astype(np.int64)
+        expected = np.repeat(np.arange(30), counts)
+        np.testing.assert_array_equal(
+            segment_ids(counts, int(counts.sum())), expected
+        )
