@@ -27,12 +27,27 @@ workloads and writes them to a committed JSON baseline.
 * the distributed scaling exponent ``log(t_50k / t_10k) / log(5)``,
   committed as evidence of sub-quadratic scaling.
 
+``--suite service`` (writes ``BENCH_PR8.json``):
+
+* session-creation throughput: 1000 concurrent creates against a
+  :class:`~repro.service.SessionManager` capped at 64 live sessions,
+  so checkpoint-eviction is active throughout;
+* p99/p50 step latency with all 1000 sessions resident (most of them
+  evicted — a step typically pays a resurrection), drained through a
+  bounded client pool;
+* idle-session resident memory, live (tracemalloc-measured Simulation)
+  vs evicted (checkpoint blob bytes) — the memory the eviction tier
+  reclaims;
+* the eviction-equivalence bit: a session evicted after every round
+  must finish bitwise-identical to a direct in-process run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/export_bench.py                # write benchmarks/BENCH_PR4.json
     PYTHONPATH=src python benchmarks/export_bench.py --suite sparse # write benchmarks/BENCH_PR7.json
+    PYTHONPATH=src python benchmarks/export_bench.py --suite service # write benchmarks/BENCH_PR8.json
     PYTHONPATH=src python benchmarks/export_bench.py --check benchmarks/BENCH_PR4.json
-    PYTHONPATH=src python benchmarks/export_bench.py --check benchmarks/BENCH_PR7.json
+    PYTHONPATH=src python benchmarks/export_bench.py --check benchmarks/BENCH_PR8.json
     PYTHONPATH=src python benchmarks/export_bench.py --profile      # sparse per-stage breakdown
 
 ``--profile`` runs one sparse round per size with ``REPRO_PROFILE=1``
@@ -69,6 +84,7 @@ import numpy as np
 
 DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_PR4.json"
 SPARSE_OUT = Path(__file__).resolve().parent / "BENCH_PR7.json"
+SERVICE_OUT = Path(__file__).resolve().parent / "BENCH_PR8.json"
 
 ROUND_SIZES = (50, 200, 500)
 ENGINES = ("legacy", "batched")
@@ -453,9 +469,207 @@ def check_sparse(baseline_payload: Dict, factor: float) -> int:
     return 0
 
 
+#: Concurrent sessions hosted during the service load test.  The live
+#: cap keeps ~94% of them evicted at any moment, so the measured step
+#: latency includes resurrection — the honest steady-state cost of a
+#: multi-tenant deployment over budget.
+SERVICE_SESSION_COUNT = 1000
+SERVICE_MAX_LIVE = 64
+#: In-flight client requests during the step-latency sweep.  Latency is
+#: measured per call under this contention, not under a 1000-deep queue
+#: whose p99 would just re-measure queue depth.
+SERVICE_STEP_CONCURRENCY = 16
+SERVICE_SCENARIO = dict(node_count=8, k=1, max_rounds=8, epsilon=2e-3)
+#: Sessions sampled for the idle-memory comparison.
+SERVICE_MEMORY_SAMPLE = 32
+
+
+def measure_service_load() -> Dict[str, object]:
+    """Creates/sec and step-latency percentiles at 1000 sessions."""
+    import asyncio
+
+    from repro.service import SessionManager
+
+    async def main() -> Dict[str, object]:
+        manager = SessionManager(
+            max_live_sessions=SERVICE_MAX_LIVE, max_workers=SERVICE_STEP_CONCURRENCY
+        )
+        names = [f"bench-{i}" for i in range(SERVICE_SESSION_COUNT)]
+        start = time.perf_counter()
+        await asyncio.gather(
+            *(
+                manager.create(name, **dict(SERVICE_SCENARIO, seed=i))
+                for i, name in enumerate(names)
+            )
+        )
+        create_elapsed = time.perf_counter() - start
+
+        gate = asyncio.Semaphore(SERVICE_STEP_CONCURRENCY)
+        latencies: list = []
+
+        async def step_once(name: str) -> None:
+            async with gate:
+                begin = time.perf_counter()
+                await manager.step(name, include_events=False)
+                latencies.append(time.perf_counter() - begin)
+
+        await asyncio.gather(*(step_once(name) for name in names))
+        stats = manager.stats()
+        await manager.close()
+        samples = np.asarray(latencies)
+        return {
+            "concurrent_sessions": SERVICE_SESSION_COUNT,
+            "session_creates_per_second": SERVICE_SESSION_COUNT / create_elapsed,
+            "step_latency_seconds": {
+                "p50": float(np.percentile(samples, 50)),
+                "p99": float(np.percentile(samples, 99)),
+                "mean": float(samples.mean()),
+            },
+            "total_evictions": stats["total_evictions"],
+            "total_resurrections": stats["total_resurrections"],
+        }
+
+    return asyncio.run(main())
+
+
+def measure_service_idle_memory() -> Dict[str, float]:
+    """Idle-session footprint: live Simulation vs evicted checkpoint blob.
+
+    Live bytes are tracemalloc-measured over a sample of constructed
+    (and briefly stepped) simulations; evicted bytes are the serialized
+    checkpoint's length — exactly what the manager keeps resident for
+    an evicted session.
+    """
+    import gc
+    import tracemalloc
+
+    from repro.api import Simulation
+
+    gc.collect()
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    sims = [
+        Simulation(**dict(SERVICE_SCENARIO, seed=i))
+        for i in range(SERVICE_MEMORY_SAMPLE)
+    ]
+    for sim in sims:
+        sim.step()
+        sim.step()
+    gc.collect()
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    live_bytes = (after - before) / len(sims)
+    evicted_bytes = sum(sim.checkpoint().nbytes for sim in sims) / len(sims)
+    return {
+        "live_session_idle_bytes": live_bytes,
+        "evicted_session_idle_bytes": evicted_bytes,
+        "eviction_memory_ratio": evicted_bytes / live_bytes,
+    }
+
+
+def measure_service_equivalence() -> bool:
+    """Evict-every-round through the manager == direct in-process run."""
+    import asyncio
+
+    from repro.api import Simulation
+    from repro.service import SessionManager
+
+    scenario = dict(SERVICE_SCENARIO, seed=17, max_rounds=12)
+
+    async def serviced() -> Dict:
+        manager = SessionManager()
+        await manager.create("equiv", **scenario)
+        while not manager.info("equiv")["done"]:
+            await manager.step("equiv", include_events=False)
+            await manager.evict("equiv")
+        result = await manager.result("equiv")
+        await manager.close()
+        return result
+
+    return asyncio.run(serviced()) == Simulation(**scenario).run().to_dict()
+
+
+def collect_service() -> Dict[str, object]:
+    workloads: Dict[str, object] = {}
+    workloads.update(measure_service_load())
+    workloads.update(measure_service_idle_memory())
+    workloads["eviction_equivalence"] = measure_service_equivalence()
+    return {
+        "bench_format_version": 1,
+        "label": "PR8",
+        "calibration_seconds": measure_calibration(),
+        "workloads": workloads,
+    }
+
+
+def check_service(baseline_payload: Dict, factor: float) -> int:
+    """Regression gate for the service baseline.
+
+    Throughput (creates/sec) fails below ``baseline / (machine_scale *
+    factor)``; p99 step latency fails above ``baseline * machine_scale
+    * factor``; the memory claim (evicted footprint below live) and the
+    eviction-equivalence bit are machine-independent and must simply
+    hold on the checking machine.
+    """
+    baseline = baseline_payload["workloads"]
+    current_payload = collect_service()
+    current = current_payload["workloads"]
+    failures = []
+
+    scale = current_payload["calibration_seconds"] / baseline_payload[
+        "calibration_seconds"
+    ]
+    print(f"machine-speed scale vs baseline: {scale:.2f}x "
+          f"(calibration {current_payload['calibration_seconds']:.3f}s "
+          f"vs {baseline_payload['calibration_seconds']:.3f}s)\n")
+
+    base_rate = baseline["session_creates_per_second"]
+    new_rate = current["session_creates_per_second"]
+    floor = base_rate / (scale * factor)
+    status = "ok"
+    if new_rate < floor:
+        status = f"REGRESSION (< baseline / {factor:.1f}x machine scale)"
+        failures.append("session_creates_per_second")
+    print(f"{'session creates/sec':55s} baseline {base_rate:8.1f}  "
+          f"now {new_rate:8.1f}   {status}")
+
+    for percentile in ("p50", "p99"):
+        base_value = baseline["step_latency_seconds"][percentile]
+        new_value = current["step_latency_seconds"][percentile]
+        status = "ok"
+        if new_value > base_value * scale * factor:
+            status = f"REGRESSION (> {factor:.1f}x speed-scaled baseline)"
+            failures.append(f"step_latency_seconds[{percentile}]")
+        print(f"{'step latency ' + percentile:55s} baseline {base_value * 1e3:8.2f}ms "
+              f"now {new_value * 1e3:8.2f}ms  {status}")
+
+    live = current["live_session_idle_bytes"]
+    evicted = current["evicted_session_idle_bytes"]
+    status = "ok"
+    if evicted > live:
+        status = "REGRESSION (evicted footprint above live)"
+        failures.append("evicted_session_idle_bytes")
+    print(f"{'idle memory evicted vs live':55s} evicted {evicted / 1024:8.1f}KiB "
+          f"live {live / 1024:8.1f}KiB  {status}")
+
+    status = "ok" if current["eviction_equivalence"] else "REGRESSION (diverged)"
+    if not current["eviction_equivalence"]:
+        failures.append("eviction_equivalence")
+    print(f"{'eviction equivalence (bitwise)':55s} "
+          f"{'holds' if current['eviction_equivalence'] else 'VIOLATED':>21s}   {status}")
+
+    if failures:
+        print(f"\nFAILED: {len(failures)} regression(s): {', '.join(failures)}")
+        return 1
+    print("\nOK: no measurement regressed beyond the allowed factor")
+    return 0
+
+
 def check(baseline_path: Path, factor: float) -> int:
     """Re-measure and compare; returns a process exit code."""
     baseline_payload = json.loads(baseline_path.read_text())
+    if baseline_payload.get("label") == "PR8":
+        return check_service(baseline_payload, factor)
     if baseline_payload.get("label") in ("PR6", "PR7"):
         return check_sparse(baseline_payload, factor)
     baseline = baseline_payload["workloads"]
@@ -521,7 +735,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--out", type=Path, default=None,
                         help="where to write the baseline JSON")
-    parser.add_argument("--suite", choices=("pr4", "sparse"), default="pr4",
+    parser.add_argument("--suite", choices=("pr4", "sparse", "service"), default="pr4",
                         help="which workload suite to record (default pr4)")
     parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
                         help="compare fresh measurements against a committed "
@@ -538,6 +752,26 @@ def main(argv=None) -> int:
 
     if args.check is not None:
         return check(args.check, args.factor)
+
+    if args.suite == "service":
+        payload = collect_service()
+        out = args.out if args.out is not None else SERVICE_OUT
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        workloads = payload["workloads"]
+        print(f"wrote {out}")
+        latency = workloads["step_latency_seconds"]
+        print(f"{workloads['concurrent_sessions']} concurrent sessions "
+              f"(max {SERVICE_MAX_LIVE} live): "
+              f"{workloads['session_creates_per_second']:.0f} creates/s, "
+              f"step p50 {latency['p50'] * 1e3:.2f}ms p99 {latency['p99'] * 1e3:.2f}ms, "
+              f"{workloads['total_evictions']} evictions / "
+              f"{workloads['total_resurrections']} resurrections")
+        print(f"idle session: live {workloads['live_session_idle_bytes'] / 1024:.1f}KiB "
+              f"-> evicted {workloads['evicted_session_idle_bytes'] / 1024:.1f}KiB "
+              f"({workloads['eviction_memory_ratio']:.2f}x); "
+              f"eviction equivalence "
+              f"{'holds' if workloads['eviction_equivalence'] else 'VIOLATED'}")
+        return 0
 
     if args.suite == "sparse":
         payload = collect_sparse()

@@ -1,0 +1,122 @@
+"""Service-layer load benchmarks: creates/sec, step latency, memory.
+
+Small-scale siblings of ``export_bench.py --suite service`` (which
+hosts 1000 sessions and records ``BENCH_PR8.json``): these run inside
+the tier-1 suite on every push, so they exercise the same hot paths —
+concurrent creation under an active eviction budget, stepping mostly
+evicted sessions (each step pays a resurrection), and the batched
+event fan-out — at a scale that stays cheap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import Simulation
+from repro.service import SessionManager
+
+SCENARIO = dict(node_count=8, k=1, max_rounds=8, epsilon=2e-3)
+SESSIONS = 50
+MAX_LIVE = 8
+
+
+@pytest.mark.benchmark(group="service-create")
+def test_concurrent_session_creation_under_eviction(benchmark):
+    """Create 50 sessions concurrently with only 8 allowed live."""
+
+    def workload():
+        async def main():
+            manager = SessionManager(max_live_sessions=MAX_LIVE)
+            await asyncio.gather(
+                *(
+                    manager.create(f"s{i}", **dict(SCENARIO, seed=i))
+                    for i in range(SESSIONS)
+                )
+            )
+            stats = manager.stats()
+            await manager.close()
+            return stats
+
+        return asyncio.run(main())
+
+    stats = benchmark.pedantic(workload, rounds=3, iterations=1)
+    benchmark.extra_info["sessions"] = SESSIONS
+    benchmark.extra_info["evictions"] = stats["total_evictions"]
+    assert stats["live_sessions"] <= MAX_LIVE
+    assert stats["evicted_sessions"] == SESSIONS - stats["live_sessions"]
+    assert stats["total_evictions"] >= SESSIONS - MAX_LIVE
+
+
+@pytest.mark.benchmark(group="service-step")
+def test_step_latency_with_resurrection(benchmark):
+    """Step every session once; almost all steps resurrect from a blob."""
+
+    def workload():
+        async def main():
+            manager = SessionManager(max_live_sessions=MAX_LIVE)
+            for i in range(SESSIONS):
+                await manager.create(f"s{i}", **dict(SCENARIO, seed=i))
+            await asyncio.gather(
+                *(
+                    manager.step(f"s{i}", include_events=False)
+                    for i in range(SESSIONS)
+                )
+            )
+            stats = manager.stats()
+            await manager.close()
+            return stats
+
+        return asyncio.run(main())
+
+    stats = benchmark.pedantic(workload, rounds=3, iterations=1)
+    benchmark.extra_info["resurrections"] = stats["total_resurrections"]
+    assert stats["total_steps"] == SESSIONS
+    assert stats["total_resurrections"] >= SESSIONS - MAX_LIVE
+
+
+@pytest.mark.benchmark(group="service-fanout")
+def test_batched_event_fanout(benchmark):
+    """Run one session to completion with 10 batching subscribers."""
+
+    def workload():
+        async def main():
+            manager = SessionManager(batch_max_events=4, batch_max_latency=60.0)
+            await manager.create("watched", **dict(SCENARIO, seed=1))
+            subs = [await manager.subscribe("watched") for _ in range(10)]
+            await manager.run_to_round("watched", SCENARIO["max_rounds"])
+            totals = []
+            for sub in subs:
+                seen = 0
+                while True:
+                    batch = await manager.next_batch("watched", sub, timeout=0.05)
+                    if batch is None:
+                        break
+                    seen += batch["event_count"]
+                totals.append(seen)
+            rounds = manager.info("watched")["rounds_executed"]
+            await manager.close()
+            return rounds, totals
+
+        return asyncio.run(main())
+
+    rounds, totals = benchmark.pedantic(workload, rounds=3, iterations=1)
+    assert totals == [rounds] * 10, "every subscriber sees every round, batched"
+
+
+@pytest.mark.benchmark(group="service-memory")
+def test_eviction_memory_footprint(benchmark):
+    """The blob an evicted session keeps resident vs its live estimate."""
+    from repro.service import estimate_live_nbytes
+
+    def workload():
+        sim = Simulation(**dict(SCENARIO, seed=2))
+        sim.step()
+        return sim.checkpoint().nbytes
+
+    blob_nbytes = benchmark.pedantic(workload, rounds=3, iterations=1)
+    live_estimate = estimate_live_nbytes(SCENARIO["node_count"])
+    benchmark.extra_info["evicted_bytes"] = blob_nbytes
+    benchmark.extra_info["live_estimate_bytes"] = live_estimate
+    assert 0 < blob_nbytes < live_estimate

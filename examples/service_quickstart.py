@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Quickstart: drive the simulation service with nothing but stdlib urllib.
+
+Boots the JSON-over-HTTP session service in-process (the same server
+``repro serve`` runs standalone), then acts as a remote client:
+
+* creates several named sessions under a live-byte budget small enough
+  that idle sessions are checkpoint-evicted — and keeps stepping them
+  anyway, since resurrection is transparent;
+* attaches a batching subscriber to one session and long-polls its
+  coalesced round-event batches while the session runs;
+* fetches a final result and verifies it matches a direct in-process
+  ``Simulation`` run bit for bit, eviction churn notwithstanding.
+
+Everything on the client side is ``urllib.request`` + ``json`` — no
+HTTP library, no SDK, which is the point: any language's stdlib can be
+a client.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+from _scale import scaled
+
+from repro.api import Simulation
+from repro.service import ServiceThread, estimate_live_nbytes
+
+
+def call(method: str, url: str, body=None):
+    """One JSON request/response round-trip."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    node_count = scaled(16, minimum=8)
+    rounds = scaled(12, minimum=4)
+    scenario = dict(
+        node_count=node_count, k=2, seed=2026, max_rounds=rounds, epsilon=1e-3
+    )
+
+    # A budget below one live session's estimate forces eviction of every
+    # idle session: the service keeps only checkpoint blobs resident.
+    budget = estimate_live_nbytes(node_count) - 1
+    with ServiceThread(max_live_bytes=budget) as service:
+        base = service.base_url
+        print(f"service listening at {base} (live-byte budget: {budget} B)")
+
+        for i in range(3):
+            info = call(
+                "POST",
+                base + "/sessions",
+                {"name": f"field-{i}", "scenario": dict(scenario, seed=2026 + i)},
+            )
+            print(f"created {info['name']}: {info['node_count']} nodes, "
+                  f"live={info['live']}")
+
+        # Watch field-0 through a batching subscriber: round events are
+        # coalesced server-side and delivered as chunks via long-poll.
+        sub = call(
+            "POST",
+            base + "/sessions/field-0/subscribers",
+            {"max_events": 4, "max_latency": 30.0},
+        )["subscriber_id"]
+
+        print(f"\nstepping 3 sessions round-robin ({rounds} rounds each):")
+        finished = [False] * 3
+        for _ in range(rounds):
+            for i in range(3):
+                if finished[i]:
+                    continue
+                out = call("POST", base + f"/sessions/field-{i}/step", {})
+                finished[i] = out["session"]["done"]
+        stats = call("GET", base + "/stats")
+        print(f"  evictions so far: {stats['total_evictions']}, "
+              f"resurrections: {stats['total_resurrections']}, "
+              f"live now: {stats['live_sessions']}")
+
+        print("\nbatched event stream for field-0:")
+        while True:
+            batch = call(
+                "GET", base + f"/sessions/field-0/subscribers/{sub}/batch?timeout=0.2"
+            )["batch"]
+            if batch is None:
+                break
+            rounds_in_batch = [e["round_index"] for e in batch["events"]]
+            print(f"  batch {batch['batch_index']}: rounds {rounds_in_batch}"
+                  + ("  (final)" if batch["final"] else ""))
+        call("DELETE", base + f"/sessions/field-0/subscribers/{sub}")
+
+        info = call("GET", base + "/sessions/field-0")
+        print(f"\nfield-0 after {info['rounds_executed']} rounds: "
+              f"live={info['live']}, evictions={info['evictions']}, "
+              f"resident ~{info['nbytes']} B")
+
+        served = call("GET", base + "/sessions/field-0/result")
+
+    direct = Simulation(**dict(scenario, seed=2026)).run(until=rounds)
+    identical = served == direct.to_dict()
+    print(f"\nserved result == direct in-process run: {identical}")
+    assert identical, "eviction must be invisible in everything but memory"
+    print(f"max sensing range R*: {served['max_sensing_range']:.4f}")
+
+
+if __name__ == "__main__":
+    main()

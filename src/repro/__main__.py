@@ -1,0 +1,6 @@
+"""``python -m repro`` — the ``repro`` console script without installing."""
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

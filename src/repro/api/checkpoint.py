@@ -122,6 +122,7 @@ class SimulationCheckpoint:
                 f"version {CHECKPOINT_VERSION})"
             )
         self.payload = payload
+        self._nbytes: Optional[int] = None
 
     # -- plain-data views ------------------------------------------------
     @property
@@ -139,6 +140,24 @@ class SimulationCheckpoint:
         """Content digest of the originating scenario (if spec-built)."""
         return self.payload.get("spec_digest")
 
+    @property
+    def nbytes(self) -> int:
+        """Size of the serialized checkpoint in bytes.
+
+        This is exactly the memory an *evicted* session costs a hosting
+        process that keeps the JSON blob resident (see
+        ``repro.service``), and the disk footprint of :meth:`save`.
+        Computed lazily on first access and cached — the payload is
+        immutable by contract once snapshotted.
+        """
+        if self._nbytes is None:
+            self._nbytes = len(self.to_json().encode("utf-8"))
+        return self._nbytes
+
+    def to_json(self) -> str:
+        """The canonical serialized form (what :meth:`save` writes)."""
+        return json.dumps(self.payload)
+
     def to_dict(self) -> Dict[str, Any]:
         return self.payload
 
@@ -152,7 +171,9 @@ class SimulationCheckpoint:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(json.dumps(self.payload))
+        text = self.to_json()
+        self._nbytes = len(text.encode("utf-8"))
+        tmp.write_text(text)
         os.replace(tmp, path)
         return path
 

@@ -26,6 +26,8 @@ Quickstart::
 
 from __future__ import annotations
 
+import logging
+import time
 import warnings
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Union
@@ -46,6 +48,8 @@ from repro.network.mobility import MobilityModel
 from repro.network.network import SensorNetwork
 
 Observer = Callable[[RoundEvent], None]
+
+logger = logging.getLogger(__name__)
 
 #: Sentinel distinguishing "not passed" from an explicit default value,
 #: so construction-form dispatch can route shared keywords (comm_range,
@@ -96,6 +100,7 @@ class Simulation:
     ) -> None:
         self._observers: List[Observer] = []
         self.spec = None
+        self._idle_since = time.monotonic()
 
         if deployer is not None:
             self.deployer = deployer
@@ -260,6 +265,21 @@ class Simulation:
         """True once the run is complete (converged or at the round cap)."""
         return self.deployer.done
 
+    @property
+    def idle_since(self) -> float:
+        """Monotonic timestamp of the last driving activity.
+
+        Updated on construction, every :meth:`step` and every
+        :meth:`touch`.  ``time.monotonic() - sim.idle_since`` is how
+        long the session has sat idle — what an eviction policy ranks
+        sessions by (see ``repro.service``) without serializing them.
+        """
+        return self._idle_since
+
+    def touch(self) -> None:
+        """Mark the session as just-used (resets :attr:`idle_since`)."""
+        self._idle_since = time.monotonic()
+
     # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
@@ -277,10 +297,26 @@ class Simulation:
     # Driving
     # ------------------------------------------------------------------
     def step(self) -> RoundEvent:
-        """Execute one round and fan the event out to the observers."""
+        """Execute one round and fan the event out to the observers.
+
+        Observer exceptions cannot corrupt the session: the round has
+        already completed by the time observers run, and a raising
+        observer is logged and detached so the remaining observers (and
+        all future rounds) keep receiving events.
+        """
         event = self.deployer.step()
-        for observer in self._observers:
-            observer(event)
+        self._idle_since = time.monotonic()
+        for observer in list(self._observers):
+            try:
+                observer(event)
+            except Exception:
+                logger.exception(
+                    "observer %r raised on round %d; detaching it "
+                    "(session state is unaffected)",
+                    observer,
+                    event.round_index,
+                )
+                self.remove_observer(observer)
         return event
 
     def events(self, until: Optional[int] = None) -> Iterator[RoundEvent]:

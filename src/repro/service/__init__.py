@@ -1,0 +1,58 @@
+"""``repro.service`` — simulation-as-a-service (see DESIGN.md).
+
+The layer above :mod:`repro.api` that turns the single-caller
+:class:`~repro.api.Simulation` session into a multi-tenant service:
+
+* :class:`SessionManager` — thousands of named sessions on one asyncio
+  loop, CPU-bound stepping on a bounded worker pool, LRU
+  checkpoint-backed eviction of idle sessions (resident cost of an
+  evicted session ≈ its JSON checkpoint blob) with transparent,
+  bitwise-identical resurrection;
+* :class:`EventBatcher` / :class:`Subscriber` — coalesced round-event
+  batches flushed on a count/wall-clock window instead of per-event
+  callbacks;
+* :class:`ServiceServer` / :class:`ServiceThread` — the stdlib-only
+  JSON-over-HTTP front end (create/step/run/checkpoint/subscribe/delete,
+  long-poll batch delivery) and its thread harness for synchronous
+  callers;
+* the ``repro serve`` CLI (:mod:`repro.service.cli`).
+"""
+
+from repro.service.batching import (
+    DEFAULT_MAX_EVENTS,
+    DEFAULT_MAX_LATENCY,
+    DEFAULT_MAX_PENDING,
+    EventBatcher,
+    Subscriber,
+)
+from repro.service.events import event_to_dict
+from repro.service.http import ServiceServer, ServiceThread
+from repro.service.manager import (
+    LIVE_BYTES_BUDGET_ENV,
+    MAX_LIVE_SESSIONS_ENV,
+    DuplicateSessionError,
+    SessionCompletedError,
+    SessionManager,
+    SessionRecord,
+    UnknownSessionError,
+    estimate_live_nbytes,
+)
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_MAX_LATENCY",
+    "DEFAULT_MAX_PENDING",
+    "DuplicateSessionError",
+    "EventBatcher",
+    "LIVE_BYTES_BUDGET_ENV",
+    "MAX_LIVE_SESSIONS_ENV",
+    "ServiceServer",
+    "ServiceThread",
+    "SessionCompletedError",
+    "SessionManager",
+    "SessionRecord",
+    "Subscriber",
+    "UnknownSessionError",
+    "estimate_live_nbytes",
+    "event_to_dict",
+]

@@ -1,0 +1,252 @@
+"""Batched event delivery: coalesce round events, flush on a window.
+
+Remote consumers must not pay one round-trip per round event — at
+thousands of concurrent sessions the per-event callback model of
+``Simulation.add_observer`` becomes pure overhead.  The service layer
+instead coalesces events per subscriber and flushes *batches* on a
+configurable window, whichever comes first:
+
+* **count**: the buffer reached ``max_events``;
+* **wall-clock**: ``max_latency`` seconds passed since the first event
+  entered the (non-empty) buffer.
+
+This is the bulk-sensor pattern of production firmwares (klipper's
+``_InternalClient`` + ``BATCH_UPDATES``): producers append cheaply,
+consumers receive chunks, and latency is bounded by the flush window
+rather than by the consumer's round-trip time.
+
+A subscriber that stops draining does not block the producer or grow
+without bound: flushed batches queue up to ``max_pending`` and the
+oldest are dropped, with the drop *counted* and reported on the next
+batch the subscriber does read (``dropped_batches``) — delivery is
+best-effort, loss is observable, sessions never stall.
+
+Everything here is single-loop asyncio: ``publish`` must be called on
+the event loop that owns the batcher (the :class:`SessionManager`
+guarantees this), so no locks are needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+#: Default flush window: a batch closes at this many events ...
+DEFAULT_MAX_EVENTS = 32
+#: ... or this many seconds after its first event, whichever is first.
+DEFAULT_MAX_LATENCY = 0.25
+#: Flushed-but-undelivered batches kept per subscriber before the
+#: oldest are dropped (and counted).
+DEFAULT_MAX_PENDING = 64
+
+
+class Subscriber:
+    """One consumer's view of a session's event stream.
+
+    Holds the open (still-coalescing) buffer, the queue of flushed
+    batches awaiting delivery, and the long-poll wakeup event.  Created
+    via :meth:`EventBatcher.attach`; never constructed directly.
+    """
+
+    def __init__(
+        self,
+        subscriber_id: str,
+        *,
+        max_events: int,
+        max_latency: float,
+        max_pending: int,
+        include_positions: bool = False,
+    ) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        if max_latency < 0.0:
+            raise ValueError("max_latency must be >= 0")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.id = subscriber_id
+        self.max_events = max_events
+        self.max_latency = max_latency
+        self.max_pending = max_pending
+        self.include_positions = include_positions
+        self.buffer: List[Dict[str, Any]] = []
+        self.pending: Deque[Dict[str, Any]] = deque()
+        self.dropped_batches = 0
+        self.batches_flushed = 0
+        self.events_seen = 0
+        self.closed = False
+        self._wakeup = asyncio.Event()
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+
+    # -- producer side (EventBatcher) ----------------------------------
+    def _enqueue(self, batch: Dict[str, Any]) -> None:
+        if len(self.pending) >= self.max_pending:
+            self.pending.popleft()
+            self.dropped_batches += 1
+        self.pending.append(batch)
+        self._wakeup.set()
+
+    def _cancel_timer(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+
+    # -- consumer side -------------------------------------------------
+    async def next_batch(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Long-poll: the next flushed batch, or ``None`` on timeout.
+
+        Returns immediately when a batch is already pending; otherwise
+        waits up to ``timeout`` seconds (forever when ``None``) for one
+        to be flushed.  On a closed, fully drained subscriber this
+        returns ``None`` immediately.
+        """
+        while True:
+            if self.pending:
+                batch = self.pending.popleft()
+                # Stamped at delivery, not at flush: the consumer learns
+                # of every drop that has happened up to this read.
+                batch["dropped_batches"] = self.dropped_batches
+                if not self.pending:
+                    self._wakeup.clear()
+                return batch
+            if self.closed:
+                return None
+            self._wakeup.clear()
+            try:
+                if timeout is None:
+                    await self._wakeup.wait()
+                else:
+                    await asyncio.wait_for(self._wakeup.wait(), timeout)
+            except asyncio.TimeoutError:
+                return None
+
+
+class EventBatcher:
+    """Coalesces one session's round events into per-subscriber batches."""
+
+    def __init__(
+        self,
+        session_name: str,
+        *,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        max_latency: float = DEFAULT_MAX_LATENCY,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
+        self.session_name = session_name
+        self.max_events = max_events
+        self.max_latency = max_latency
+        self.max_pending = max_pending
+        self._subscribers: Dict[str, Subscriber] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Subscriber lifecycle
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        *,
+        max_events: Optional[int] = None,
+        max_latency: Optional[float] = None,
+        include_positions: bool = False,
+    ) -> Subscriber:
+        """Register a new subscriber (optionally overriding the window)."""
+        subscriber = Subscriber(
+            f"sub-{next(self._ids)}",
+            max_events=self.max_events if max_events is None else max_events,
+            max_latency=self.max_latency if max_latency is None else max_latency,
+            max_pending=self.max_pending,
+            include_positions=include_positions,
+        )
+        self._subscribers[subscriber.id] = subscriber
+        return subscriber
+
+    def detach(self, subscriber_id: str) -> None:
+        """Unsubscribe; a mid-batch buffer is discarded, pending batches
+        are dropped, and an in-flight long-poll returns ``None``."""
+        subscriber = self._subscribers.pop(subscriber_id, None)
+        if subscriber is None:
+            raise KeyError(subscriber_id)
+        subscriber._cancel_timer()
+        subscriber.closed = True
+        subscriber.buffer.clear()
+        subscriber.pending.clear()
+        subscriber._wakeup.set()
+
+    def get(self, subscriber_id: str) -> Subscriber:
+        return self._subscribers[subscriber_id]
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    # ------------------------------------------------------------------
+    # Producer path
+    # ------------------------------------------------------------------
+    def publish(self, event: Any) -> None:
+        """Buffer one round event for every subscriber (loop-thread only).
+
+        ``event`` is a :class:`~repro.api.events.RoundEvent`; the wire
+        projection is computed at most twice (with and without
+        positions) regardless of the subscriber count.
+        """
+        from repro.service.events import event_to_dict
+
+        projections: Dict[bool, Dict[str, Any]] = {}
+        for subscriber in self._subscribers.values():
+            projection = projections.get(subscriber.include_positions)
+            if projection is None:
+                projection = event_to_dict(
+                    event, include_positions=subscriber.include_positions
+                )
+                projections[subscriber.include_positions] = projection
+            self._buffer_event(subscriber, projection)
+
+    def _buffer_event(self, subscriber: Subscriber, projection: Dict[str, Any]) -> None:
+        subscriber.buffer.append(projection)
+        subscriber.events_seen += 1
+        if len(subscriber.buffer) >= subscriber.max_events:
+            self._flush(subscriber)
+        elif subscriber._flush_handle is None:
+            # First event of a fresh batch: bound its latency.  A zero
+            # window degenerates to per-event delivery (flush now).
+            if subscriber.max_latency == 0.0:
+                self._flush(subscriber)
+            else:
+                loop = asyncio.get_running_loop()
+                subscriber._flush_handle = loop.call_later(
+                    subscriber.max_latency, self._flush_timer, subscriber
+                )
+
+    def _flush_timer(self, subscriber: Subscriber) -> None:
+        subscriber._flush_handle = None
+        self._flush(subscriber)
+
+    def flush_all(self) -> None:
+        """Force every non-empty buffer out (session end / shutdown)."""
+        for subscriber in list(self._subscribers.values()):
+            self._flush(subscriber)
+
+    def _flush(self, subscriber: Subscriber) -> None:
+        subscriber._cancel_timer()
+        if not subscriber.buffer:
+            # An empty flush window (timer fired after a count-flush
+            # raced it, or an explicit flush_all on an idle stream)
+            # produces no batch: subscribers never see empty batches.
+            return
+        batch = {
+            "session": self.session_name,
+            "batch_index": subscriber.batches_flushed,
+            "events": subscriber.buffer,
+            "event_count": len(subscriber.buffer),
+            "dropped_batches": subscriber.dropped_batches,  # re-stamped at delivery
+            "final": bool(subscriber.buffer[-1]["done"]),
+        }
+        subscriber.buffer = []
+        subscriber.batches_flushed += 1
+        subscriber._enqueue(batch)
+
+    def close(self) -> None:
+        """Detach every subscriber (session deleted)."""
+        for subscriber_id in list(self._subscribers):
+            self.detach(subscriber_id)

@@ -1,0 +1,131 @@
+"""The ``repro`` command — service-side entry points.
+
+``repro serve`` starts the simulation-as-a-service HTTP front end::
+
+    repro serve --port 8080 --max-live-sessions 256 \\
+        --live-bytes-budget 64000000 --workers 4
+
+    # or without installing the console script:
+    PYTHONPATH=src python -m repro serve --port 8080
+
+The server hosts an async :class:`~repro.service.manager.SessionManager`
+(checkpoint-backed eviction, batched event delivery) and serves the
+JSON-over-HTTP API documented in :mod:`repro.service.http`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+from typing import List, Optional
+
+from repro.service.batching import DEFAULT_MAX_EVENTS, DEFAULT_MAX_LATENCY
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LAACAD reproduction services (see also: laacad-experiments).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="Run the simulation-as-a-service HTTP server"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8723, help="TCP port (0 = ephemeral)")
+    serve.add_argument(
+        "--max-live-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="live (un-evicted) session cap; LRU idle sessions beyond it "
+        "are checkpoint-evicted (default 128, env REPRO_SERVICE_MAX_LIVE)",
+    )
+    serve.add_argument(
+        "--live-bytes-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="resident-byte budget for live sessions (default unlimited, "
+        "env REPRO_SERVICE_LIVE_BYTES)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded thread pool driving CPU-bound step() calls "
+        "(default min(8, cores+2))",
+    )
+    serve.add_argument(
+        "--flush-count",
+        type=int,
+        default=DEFAULT_MAX_EVENTS,
+        metavar="N",
+        help=f"events per subscriber batch before a flush (default {DEFAULT_MAX_EVENTS})",
+    )
+    serve.add_argument(
+        "--flush-window",
+        type=float,
+        default=DEFAULT_MAX_LATENCY,
+        metavar="SECONDS",
+        help="max seconds a buffered event waits before its batch flushes "
+        f"(default {DEFAULT_MAX_LATENCY})",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log requests and evictions"
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    from repro.service.http import ServiceServer
+    from repro.service.manager import SessionManager
+
+    manager = SessionManager(
+        max_live_sessions=args.max_live_sessions,
+        max_live_bytes=args.live_bytes_budget,
+        max_workers=args.workers,
+        batch_max_events=args.flush_count,
+        batch_max_latency=args.flush_window,
+    )
+    server = ServiceServer(manager, host=args.host, port=args.port)
+    await server.start()
+    budget = (
+        f"{manager.max_live_bytes} bytes"
+        if manager.max_live_bytes is not None
+        else "unlimited"
+    )
+    print(
+        f"repro service listening on {server.base_url} "
+        f"(max {manager.max_live_sessions} live sessions, "
+        f"live-byte budget {budget}, {manager.max_workers} workers)"
+    )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.INFO if getattr(args, "verbose", False) else logging.WARNING
+    )
+    if args.command == "serve":
+        try:
+            return asyncio.run(_serve(args))
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            print("\nshutting down")
+            return 0
+    return 2  # pragma: no cover - argparse enforces valid commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Wire form of the per-round event stream.
+
+Remote subscribers cannot receive live :class:`~repro.api.events.RoundEvent`
+objects, so the service layer ships a JSON-compatible projection of
+each event.  The projection is deliberately *scalar-first*: the stats
+dataclass and the per-round flags always travel, while the O(N) vectors
+(positions, displacements, centers) are opt-in per subscriber — a
+thousand dashboards watching convergence curves should not each pull
+every node position every round.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from repro.api.events import RoundEvent
+
+
+def event_to_dict(event: RoundEvent, include_positions: bool = False) -> Dict[str, Any]:
+    """Project a round event onto its JSON wire form.
+
+    The scalar core (round index, full stats record, flags) is always
+    present; ``include_positions`` adds the post-move positions and the
+    per-node Chebyshev centers.  Dominating-region geometry never
+    travels — it is live objects, meaningful only in-process.
+    """
+    payload: Dict[str, Any] = {
+        "round_index": int(event.round_index),
+        "stats": dataclasses.asdict(event.stats),
+        "moved": bool(event.moved),
+        "converged": bool(event.converged),
+        "done": bool(event.done),
+    }
+    if include_positions:
+        payload["positions"] = [[float(x), float(y)] for x, y in event.positions]
+        payload["centers"] = {
+            str(node_id): [float(c[0]), float(c[1])]
+            for node_id, c in event.centers.items()
+        }
+    return payload

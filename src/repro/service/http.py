@@ -1,0 +1,339 @@
+"""Stdlib-only JSON-over-HTTP front end for the session manager.
+
+A deliberately small asyncio HTTP/1.1 server — no web framework, no new
+dependencies — exposing the :class:`~repro.service.manager.SessionManager`
+lifecycle.  One request per connection (``Connection: close``), JSON
+bodies both ways; stdlib ``urllib.request`` is a complete client (see
+``examples/service_quickstart.py``).
+
+Endpoints (table mirrored in DESIGN.md, "The service layer"):
+
+    ==========  =========================================  ==========================
+    Method      Path                                       Meaning
+    ==========  =========================================  ==========================
+    GET         /stats                                     manager-wide hosting stats
+    GET         /sessions                                  list session infos
+    POST        /sessions                                  create ``{"name"?, "scenario": {...}}``
+    GET         /sessions/{name}                           one session's info
+    DELETE      /sessions/{name}                           delete the session
+    POST        /sessions/{name}/step                      ``{"rounds"?: 1}`` → events + info
+    POST        /sessions/{name}/run                       ``{"until_round": R}`` run-to-round
+    GET         /sessions/{name}/result                    (mid-run or final) result payload
+    GET         /sessions/{name}/checkpoint                full checkpoint payload
+    POST        /sessions/{name}/evict                     force checkpoint-eviction
+    POST        /sessions/{name}/subscribers               attach batch subscriber
+    GET         /sessions/{name}/subscribers/{id}/batch    long-poll next batch (?timeout=s)
+    DELETE      /sessions/{name}/subscribers/{id}          unsubscribe
+    ==========  =========================================  ==========================
+
+Error mapping: unknown session/subscriber → 404; duplicate name or
+stepping a completed session → 409; malformed request → 400.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.manager import (
+    DuplicateSessionError,
+    SessionCompletedError,
+    SessionManager,
+    UnknownSessionError,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Longest body accepted (a scenario spec is tiny; this guards sockets).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+#: Cap on the long-poll wait so a dead client cannot pin a connection.
+MAX_LONGPOLL_SECONDS = 60.0
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class ServiceServer:
+    """Asyncio HTTP server bound to one :class:`SessionManager`."""
+
+    def __init__(self, manager: SessionManager, host: str = "127.0.0.1", port: int = 0):
+        self.manager = manager
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "server not started"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except _HttpError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception:  # noqa: BLE001 - the server must not die
+            logger.exception("unhandled error serving a request")
+            status, payload = 500, {"error": "internal server error"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        request_line = (await reader.readline()).decode("ascii", "replace").strip()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        try:
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, f"malformed request line: {request_line!r}")
+        headers: Dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("ascii", "replace")
+            if line in ("\r\n", "\n", ""):
+                break
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        raw = await reader.readexactly(length) if length else b""
+        body: Dict[str, Any] = {}
+        if raw:
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise _HttpError(400, f"invalid JSON body: {exc}")
+            if not isinstance(body, dict):
+                raise _HttpError(400, "JSON body must be an object")
+        split = urlsplit(target)
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        parts = [p for p in split.path.split("/") if p]
+        try:
+            return await self._route(method.upper(), parts, query, body)
+        except UnknownSessionError as exc:
+            raise _HttpError(404, f"unknown session or subscriber: {exc}")
+        except DuplicateSessionError as exc:
+            raise _HttpError(409, str(exc))
+        except SessionCompletedError as exc:
+            raise _HttpError(409, str(exc))
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, str(exc))
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self,
+        method: str,
+        parts: List[str],
+        query: Dict[str, str],
+        body: Dict[str, Any],
+    ) -> Tuple[int, Dict[str, Any]]:
+        manager = self.manager
+        if parts == ["stats"]:
+            if method != "GET":
+                raise _HttpError(405, "use GET /stats")
+            return 200, manager.stats()
+        if parts == ["sessions"]:
+            if method == "GET":
+                return 200, {"sessions": manager.list_sessions()}
+            if method == "POST":
+                scenario = body.get("scenario", {})
+                if not isinstance(scenario, dict):
+                    raise _HttpError(400, "'scenario' must be an object")
+                info = await manager.create(body.get("name"), **scenario)
+                return 201, info
+            raise _HttpError(405, "use GET or POST on /sessions")
+        if len(parts) >= 2 and parts[0] == "sessions":
+            name = parts[1]
+            rest = parts[2:]
+            if not rest:
+                if method == "GET":
+                    return 200, manager.info(name)
+                if method == "DELETE":
+                    await manager.delete(name)
+                    return 200, {"deleted": name}
+                raise _HttpError(405, "use GET or DELETE on /sessions/{name}")
+            if rest == ["step"] and method == "POST":
+                rounds = int(body.get("rounds", 1))
+                include = bool(body.get("include_events", True))
+                return 200, await manager.step(name, rounds, include_events=include)
+            if rest == ["run"] and method == "POST":
+                if "until_round" not in body:
+                    raise _HttpError(400, "'until_round' is required")
+                include = bool(body.get("include_events", False))
+                return 200, await manager.run_to_round(
+                    name, int(body["until_round"]), include_events=include
+                )
+            if rest == ["result"] and method == "GET":
+                return 200, await manager.result(name)
+            if rest == ["checkpoint"] and method == "GET":
+                return 200, await manager.checkpoint(name)
+            if rest == ["evict"] and method == "POST":
+                return 200, await manager.evict(name)
+            if rest == ["subscribers"] and method == "POST":
+                max_events = body.get("max_events")
+                max_latency = body.get("max_latency")
+                subscriber_id = await manager.subscribe(
+                    name,
+                    max_events=int(max_events) if max_events is not None else None,
+                    max_latency=(
+                        float(max_latency) if max_latency is not None else None
+                    ),
+                    include_positions=bool(body.get("include_positions", False)),
+                )
+                return 201, {"subscriber_id": subscriber_id, "session": name}
+            if len(rest) == 3 and rest[0] == "subscribers" and rest[2] == "batch":
+                if method != "GET":
+                    raise _HttpError(405, "use GET for batch long-polls")
+                timeout = min(
+                    float(query.get("timeout", "10")), MAX_LONGPOLL_SECONDS
+                )
+                batch = await manager.next_batch(name, rest[1], timeout)
+                if batch is None:
+                    return 200, {"batch": None, "session": name}
+                return 200, {"batch": batch, "session": name}
+            if len(rest) == 2 and rest[0] == "subscribers" and method == "DELETE":
+                await manager.unsubscribe(name, rest[1])
+                return 200, {"unsubscribed": rest[1], "session": name}
+        raise _HttpError(404, f"no route for {method} /{'/'.join(parts)}")
+
+
+class ServiceThread:
+    """A server + manager on a private event-loop thread.
+
+    The convenience harness for synchronous callers — tests, the
+    quickstart example and the CI smoke job drive the HTTP API with
+    plain ``urllib`` while the service runs here.  Not used by
+    ``repro serve`` (which owns the loop in the main thread).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, **manager_kwargs: Any):
+        self._host = host
+        self._port = port
+        self._manager_kwargs = manager_kwargs
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.server: Optional[ServiceServer] = None
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        if not self._started.is_set():
+            raise RuntimeError("service did not start within 30s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            manager = SessionManager(**self._manager_kwargs)
+            self.server = ServiceServer(manager, host=self._host, port=self._port)
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+    @property
+    def base_url(self) -> str:
+        assert self.server is not None
+        return self.server.base_url
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self._loop = None
+        self._thread = None

@@ -238,6 +238,74 @@ class TestObservers:
         assert all(r % 3 == 0 for r in probe.rounds[:-1])
         assert all(load > 0 for load in probe.max_loads)
 
+    def test_raising_observer_is_logged_and_detached(self, square, fast_config, caplog):
+        # An observer that raises must not corrupt the session or kill
+        # the event stream: the round's effects stand, the bad observer
+        # is detached, and the healthy observers keep receiving events.
+        import logging
+
+        sim = Simulation(network=_network(square), config=fast_config)
+        healthy = []
+        calls = []
+
+        def bad(event):
+            calls.append(event.round_index)
+            raise RuntimeError("observer bug")
+
+        sim.add_observer(bad)
+        sim.add_observer(lambda e: healthy.append(e.round_index))
+        with caplog.at_level(logging.ERROR, logger="repro.api.session"):
+            event = sim.step()
+        assert event.round_index == 0
+        assert calls == [0]
+        assert any("detaching" in rec.message for rec in caplog.records)
+        assert bad not in sim._observers
+
+        sim.step()
+        assert calls == [0], "detached observer must not be called again"
+        assert healthy == [0, 1], "healthy observers keep the stream"
+        assert sim.state.rounds_executed == 2
+
+    def test_raising_observer_matches_clean_run(self, square, fast_config):
+        clean = Simulation(network=_network(square), config=fast_config).run()
+
+        sim = Simulation(network=_network(square), config=fast_config)
+
+        def bad(event):
+            raise ValueError("boom")
+
+        sim.add_observer(bad)
+        result = sim.run()
+        assert result.final_positions == clean.final_positions
+        assert result.history == clean.history
+
+    def test_idle_since_advances_on_step_and_touch(self, square, fast_config):
+        import time
+
+        sim = Simulation(network=_network(square), config=fast_config)
+        created = sim.idle_since
+        assert created <= time.monotonic()
+        sim.step()
+        after_step = sim.idle_since
+        assert after_step >= created
+        sim.touch()
+        assert sim.idle_since >= after_step
+
+    def test_checkpoint_nbytes_matches_serialized_size(self, square, fast_config):
+        import json
+
+        sim = Simulation(network=_network(square), config=fast_config)
+        sim.step()
+        ckpt = sim.checkpoint()
+        assert ckpt.nbytes == len(json.dumps(ckpt.payload).encode("utf-8"))
+
+    def test_checkpoint_nbytes_matches_saved_file(self, square, fast_config, tmp_path):
+        sim = Simulation(network=_network(square), config=fast_config)
+        sim.step()
+        ckpt = sim.checkpoint()
+        path = ckpt.save(tmp_path / "s.ckpt.json")
+        assert ckpt.nbytes == path.stat().st_size
+
     def test_coverage_probe(self, square):
         sim = Simulation(
             network=_network(square, n=10),

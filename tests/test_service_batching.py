@@ -1,0 +1,307 @@
+"""Batched event delivery: flush windows, back-pressure, lifecycle.
+
+Covers the boundary conditions the klipper-style coalescing pattern has
+to get right: count-triggered vs wall-clock-triggered flushes, empty
+flush windows producing no batch, a subscriber slower than the
+producer (bounded queue, counted drops), and unsubscribe mid-batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import Simulation
+from repro.service import EventBatcher, SessionManager
+
+SCENARIO = dict(node_count=8, k=1, seed=3, max_rounds=30, epsilon=2e-3)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_events(count):
+    """Real RoundEvents from a real session (the wire form needs stats)."""
+    sim = Simulation(**SCENARIO)
+    return [sim.step() for _ in range(count)]
+
+
+class TestFlushWindows:
+    def test_count_triggered_flush(self):
+        async def main():
+            batcher = EventBatcher("s", max_events=3, max_latency=60.0)
+            sub = batcher.attach()
+            for event in make_events(7):
+                batcher.publish(event)
+            # 7 events, window of 3: two full batches flushed, one open.
+            first = await sub.next_batch(timeout=0.1)
+            second = await sub.next_batch(timeout=0.1)
+            assert first["event_count"] == 3 and second["event_count"] == 3
+            assert first["batch_index"] == 0 and second["batch_index"] == 1
+            assert [e["round_index"] for e in first["events"]] == [0, 1, 2]
+            assert await sub.next_batch(timeout=0.05) is None, (
+                "the seventh event must still be coalescing"
+            )
+            assert len(sub.buffer) == 1
+
+        run(main())
+
+    def test_wallclock_triggered_flush(self):
+        async def main():
+            batcher = EventBatcher("s", max_events=100, max_latency=0.05)
+            sub = batcher.attach()
+            batcher.publish(make_events(1)[0])
+            assert not sub.pending, "no flush before the window elapses"
+            batch = await sub.next_batch(timeout=2.0)
+            assert batch is not None and batch["event_count"] == 1
+
+        run(main())
+
+    def test_zero_latency_degenerates_to_per_event(self):
+        async def main():
+            batcher = EventBatcher("s", max_events=100, max_latency=0.0)
+            sub = batcher.attach()
+            for event in make_events(3):
+                batcher.publish(event)
+            sizes = []
+            while True:
+                batch = await sub.next_batch(timeout=0.05)
+                if batch is None:
+                    break
+                sizes.append(batch["event_count"])
+            assert sizes == [1, 1, 1]
+
+        run(main())
+
+    def test_empty_flush_window_produces_no_batch(self):
+        async def main():
+            batcher = EventBatcher("s", max_events=4, max_latency=60.0)
+            sub = batcher.attach()
+            batcher.flush_all()  # nothing buffered
+            assert await sub.next_batch(timeout=0.05) is None
+            assert sub.batches_flushed == 0
+
+        run(main())
+
+    def test_flush_all_closes_partial_batch(self):
+        async def main():
+            batcher = EventBatcher("s", max_events=100, max_latency=60.0)
+            sub = batcher.attach()
+            for event in make_events(2):
+                batcher.publish(event)
+            batcher.flush_all()
+            batch = await sub.next_batch(timeout=0.1)
+            assert batch["event_count"] == 2
+
+        run(main())
+
+    def test_final_flag_set_on_done_event(self):
+        async def main():
+            sim = Simulation(node_count=6, k=1, seed=1, max_rounds=2)
+            batcher = EventBatcher("s", max_events=100, max_latency=60.0)
+            sub = batcher.attach()
+            while not sim.done:
+                batcher.publish(sim.step())
+            batcher.flush_all()
+            batch = await sub.next_batch(timeout=0.1)
+            assert batch["final"] is True
+
+        run(main())
+
+    def test_per_subscriber_window_overrides(self):
+        async def main():
+            batcher = EventBatcher("s", max_events=10, max_latency=60.0)
+            small = batcher.attach(max_events=2)
+            large = batcher.attach()
+            for event in make_events(4):
+                batcher.publish(event)
+            batch = await small.next_batch(timeout=0.1)
+            assert batch["event_count"] == 2
+            assert await large.next_batch(timeout=0.05) is None
+
+        run(main())
+
+    def test_invalid_windows_rejected(self):
+        batcher = EventBatcher("s")
+        with pytest.raises(ValueError):
+            batcher.attach(max_events=0)
+        with pytest.raises(ValueError):
+            batcher.attach(max_latency=-1.0)
+
+
+class TestBackpressure:
+    def test_slow_subscriber_drops_oldest_and_counts(self):
+        async def main():
+            batcher = EventBatcher("s", max_events=1, max_latency=60.0, max_pending=3)
+            sub = batcher.attach()
+            for event in make_events(8):
+                batcher.publish(event)  # 8 one-event batches, queue holds 3
+            batches = []
+            while True:
+                batch = await sub.next_batch(timeout=0.05)
+                if batch is None:
+                    break
+                batches.append(batch)
+            assert len(batches) == 3
+            # The *newest* batches survive; the drop count is reported.
+            assert [b["events"][0]["round_index"] for b in batches] == [5, 6, 7]
+            assert batches[-1]["dropped_batches"] == 5
+            assert sub.dropped_batches == 5
+
+        run(main())
+
+    def test_producer_never_blocks_on_full_queue(self):
+        async def main():
+            batcher = EventBatcher("s", max_events=1, max_latency=60.0, max_pending=2)
+            sub = batcher.attach()
+            events = make_events(20)
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            for event in events:
+                batcher.publish(event)
+            assert loop.time() - start < 1.0
+            assert len(sub.pending) == 2
+
+        run(main())
+
+
+class TestSubscriberLifecycle:
+    def test_unsubscribe_mid_batch(self):
+        async def main():
+            batcher = EventBatcher("s", max_events=5, max_latency=60.0)
+            sub = batcher.attach()
+            for event in make_events(3):
+                batcher.publish(event)  # open batch of 3, not yet flushed
+            batcher.detach(sub.id)
+            assert sub.closed
+            assert await sub.next_batch(timeout=0.05) is None
+            # The dangling flush timer must have been cancelled: nothing
+            # fires later and no batch materialises.
+            await asyncio.sleep(0.05)
+            assert sub.batches_flushed == 0
+            # Publishing after detach reaches no one.
+            batcher.publish(make_events(1)[0])
+            assert batcher.subscriber_count == 0
+
+        run(main())
+
+    def test_unsubscribe_wakes_pending_longpoll(self):
+        async def main():
+            batcher = EventBatcher("s", max_events=5, max_latency=60.0)
+            sub = batcher.attach()
+
+            async def poll():
+                return await sub.next_batch(timeout=5.0)
+
+            task = asyncio.create_task(poll())
+            await asyncio.sleep(0.02)
+            batcher.detach(sub.id)
+            result = await asyncio.wait_for(task, timeout=1.0)
+            assert result is None
+
+        run(main())
+
+    def test_detach_unknown_raises(self):
+        batcher = EventBatcher("s")
+        with pytest.raises(KeyError):
+            batcher.detach("sub-99")
+
+    def test_independent_subscriber_cursors(self):
+        async def main():
+            batcher = EventBatcher("s", max_events=2, max_latency=60.0)
+            a = batcher.attach()
+            b = batcher.attach()
+            for event in make_events(4):
+                batcher.publish(event)
+            a1 = await a.next_batch(timeout=0.1)
+            b1 = await b.next_batch(timeout=0.1)
+            b2 = await b.next_batch(timeout=0.1)
+            assert a1["batch_index"] == 0
+            assert (b1["batch_index"], b2["batch_index"]) == (0, 1)
+            # a's second batch is still waiting, independent of b.
+            a2 = await a.next_batch(timeout=0.1)
+            assert a2["batch_index"] == 1
+
+        run(main())
+
+
+class TestManagerIntegration:
+    def test_subscriber_sees_every_round_in_order(self):
+        async def main():
+            manager = SessionManager(batch_max_events=4, batch_max_latency=60.0)
+            await manager.create("alpha", **SCENARIO)
+            sub = await manager.subscribe("alpha")
+            await manager.run_to_round("alpha", 10)
+            seen = []
+            while True:
+                batch = await manager.next_batch("alpha", sub, timeout=0.05)
+                if batch is None:
+                    break
+                seen.extend(e["round_index"] for e in batch["events"])
+            # 10 rounds, window 4 → batches of 4+4, last 2 still open...
+            # unless the session finished early, which force-flushes.
+            info = manager.info("alpha")
+            expected = 10 if not info["done"] else info["rounds_executed"]
+            assert seen == list(range(8 if expected == 10 else expected))
+            await manager.close()
+
+        run(main())
+
+    def test_done_session_force_flushes_partial_batch(self):
+        async def main():
+            manager = SessionManager(batch_max_events=100, batch_max_latency=60.0)
+            await manager.create("alpha", node_count=6, k=1, seed=1, max_rounds=3)
+            sub = await manager.subscribe("alpha")
+            await manager.run_to_round("alpha", 99)
+            batch = await manager.next_batch("alpha", sub, timeout=0.5)
+            assert batch is not None and batch["final"]
+            assert batch["event_count"] == 3
+            await manager.close()
+
+        run(main())
+
+    def test_positions_opt_in(self):
+        async def main():
+            manager = SessionManager(batch_max_events=1)
+            await manager.create("alpha", **SCENARIO)
+            lean = await manager.subscribe("alpha")
+            rich = await manager.subscribe("alpha", include_positions=True)
+            await manager.step("alpha")
+            lean_batch = await manager.next_batch("alpha", lean, timeout=0.5)
+            rich_batch = await manager.next_batch("alpha", rich, timeout=0.5)
+            assert "positions" not in lean_batch["events"][0]
+            assert len(rich_batch["events"][0]["positions"]) == SCENARIO["node_count"]
+            assert rich_batch["events"][0]["centers"]
+            await manager.close()
+
+        run(main())
+
+    def test_subscription_survives_eviction(self):
+        async def main():
+            manager = SessionManager(batch_max_events=2, batch_max_latency=60.0)
+            await manager.create("alpha", **SCENARIO)
+            sub = await manager.subscribe("alpha")
+            await manager.step("alpha")
+            await manager.evict("alpha")
+            await manager.step("alpha")  # resurrects; batch completes
+            batch = await manager.next_batch("alpha", sub, timeout=0.5)
+            assert [e["round_index"] for e in batch["events"]] == [0, 1]
+            await manager.close()
+
+        run(main())
+
+    def test_unsubscribe_through_manager(self):
+        async def main():
+            manager = SessionManager()
+            await manager.create("alpha", **SCENARIO)
+            sub = await manager.subscribe("alpha")
+            await manager.unsubscribe("alpha", sub)
+            from repro.service import UnknownSessionError
+
+            with pytest.raises(UnknownSessionError):
+                await manager.next_batch("alpha", sub, timeout=0.05)
+            await manager.close()
+
+        run(main())

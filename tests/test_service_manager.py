@@ -1,0 +1,346 @@
+"""Service-layer tests: SessionManager lifecycle, eviction, races.
+
+The heart of the contract: a session that is checkpoint-evicted and
+transparently resurrected continues **bitwise identically** to one that
+was never evicted — eviction is invisible to the caller in everything
+but resident memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import Simulation
+from repro.service import (
+    DuplicateSessionError,
+    SessionCompletedError,
+    SessionManager,
+    UnknownSessionError,
+    estimate_live_nbytes,
+)
+
+SCENARIO = dict(node_count=10, k=1, seed=3, max_rounds=25, epsilon=2e-3)
+#: A second scenario with distributed communication + RNG state, the
+#: hardest thing eviction must round-trip.
+DISTRIBUTED_SCENARIO = dict(
+    node_count=10,
+    k=1,
+    seed=5,
+    max_rounds=20,
+    epsilon=2e-3,
+    pipeline="distributed",
+    drop_probability=0.1,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_create_info_delete(self):
+        async def main():
+            manager = SessionManager()
+            info = await manager.create("alpha", **SCENARIO)
+            assert info["name"] == "alpha"
+            assert info["live"] and not info["done"]
+            assert info["rounds_executed"] == 0
+            assert info["node_count"] == SCENARIO["node_count"]
+            assert manager.info("alpha")["name"] == "alpha"
+            assert [s["name"] for s in manager.list_sessions()] == ["alpha"]
+            await manager.delete("alpha")
+            with pytest.raises(UnknownSessionError):
+                manager.info("alpha")
+            await manager.close()
+
+        run(main())
+
+    def test_auto_names_are_unique(self):
+        async def main():
+            manager = SessionManager()
+            names = {(await manager.create(**SCENARIO))["name"] for _ in range(5)}
+            assert len(names) == 5
+            await manager.close()
+
+        run(main())
+
+    def test_duplicate_name_rejected(self):
+        async def main():
+            manager = SessionManager()
+            await manager.create("alpha", **SCENARIO)
+            with pytest.raises(DuplicateSessionError):
+                await manager.create("alpha", **SCENARIO)
+            await manager.close()
+
+        run(main())
+
+    def test_step_and_run_to_round(self):
+        async def main():
+            manager = SessionManager()
+            await manager.create("alpha", **SCENARIO)
+            out = await manager.step("alpha", rounds=3)
+            assert out["session"]["rounds_executed"] == 3
+            assert [e["round_index"] for e in out["events"]] == [0, 1, 2]
+            out = await manager.run_to_round("alpha", 7)
+            assert out["session"]["rounds_executed"] == 7
+            # run_to_round at-or-past the target is a no-op
+            out = await manager.run_to_round("alpha", 5)
+            assert out["session"]["rounds_executed"] == 7
+            await manager.close()
+
+        run(main())
+
+    def test_stepping_completed_session_conflicts(self):
+        async def main():
+            manager = SessionManager()
+            await manager.create("alpha", node_count=6, k=1, seed=1, max_rounds=2)
+            await manager.run_to_round("alpha", 99)
+            assert manager.info("alpha")["done"]
+            with pytest.raises(SessionCompletedError):
+                await manager.step("alpha")
+            # ... but the result stays servable.
+            result = await manager.result("alpha")
+            assert result["rounds_executed"] == 2
+            await manager.close()
+
+        run(main())
+
+    def test_unknown_session_everywhere(self):
+        async def main():
+            manager = SessionManager()
+            with pytest.raises(UnknownSessionError):
+                await manager.step("ghost")
+            with pytest.raises(UnknownSessionError):
+                await manager.checkpoint("ghost")
+            with pytest.raises(UnknownSessionError):
+                await manager.delete("ghost")
+            with pytest.raises(UnknownSessionError):
+                await manager.subscribe("ghost")
+            await manager.close()
+
+        run(main())
+
+    def test_adopt_existing_simulation(self):
+        async def main():
+            sim = Simulation(**SCENARIO)
+            sim.step()
+            manager = SessionManager()
+            info = await manager.adopt("pre-built", sim)
+            assert info["rounds_executed"] == 1
+            out = await manager.step("pre-built")
+            assert out["session"]["rounds_executed"] == 2
+            await manager.close()
+
+        run(main())
+
+
+class TestEviction:
+    def test_lru_eviction_over_session_cap(self):
+        async def main():
+            manager = SessionManager(max_live_sessions=2)
+            for i in range(5):
+                await manager.create(f"s{i}", **SCENARIO)
+            stats = manager.stats()
+            assert stats["live_sessions"] == 2
+            assert stats["evicted_sessions"] == 3
+            # LRU: the oldest creations went first.
+            live = {s["name"] for s in manager.list_sessions() if s["live"]}
+            assert live == {"s3", "s4"}
+            await manager.close()
+
+        run(main())
+
+    def test_byte_budget_eviction(self):
+        async def main():
+            # Budget below one session's estimate: every session is
+            # evicted as soon as it is not the one being touched.
+            budget = estimate_live_nbytes(SCENARIO["node_count"]) - 1
+            manager = SessionManager(max_live_bytes=budget)
+            await manager.create("a", **SCENARIO)
+            await manager.create("b", **SCENARIO)
+            stats = manager.stats()
+            assert stats["live_sessions"] == 0
+            assert stats["evicted_sessions"] == 2
+            # Stepping still works — resurrect, step, evict again.
+            out = await manager.step("a")
+            assert out["session"]["rounds_executed"] == 1
+            assert manager.stats()["evicted_sessions"] == 2
+            await manager.close()
+
+        run(main())
+
+    def test_resurrection_on_step_is_transparent(self):
+        async def main():
+            manager = SessionManager()
+            await manager.create("alpha", **SCENARIO)
+            await manager.step("alpha", rounds=2)
+            await manager.evict("alpha")
+            assert not manager.info("alpha")["live"]
+            out = await manager.step("alpha")
+            assert out["session"]["rounds_executed"] == 3
+            assert out["session"]["live"]
+            assert out["session"]["resurrections"] == 1
+            await manager.close()
+
+        run(main())
+
+    def test_evicted_checkpoint_served_from_blob_without_resurrection(self):
+        async def main():
+            manager = SessionManager()
+            await manager.create("alpha", **SCENARIO)
+            await manager.step("alpha", rounds=2)
+            await manager.evict("alpha")
+            payload = await manager.checkpoint("alpha")
+            assert payload["rounds_executed"] == 2
+            assert not manager.info("alpha")["live"], (
+                "serving a checkpoint must not resurrect"
+            )
+            assert manager.stats()["total_resurrections"] == 0
+            await manager.close()
+
+        run(main())
+
+    def test_evicted_nbytes_is_blob_size(self):
+        async def main():
+            manager = SessionManager()
+            await manager.create("alpha", **SCENARIO)
+            live_nbytes = manager.info("alpha")["nbytes"]
+            assert live_nbytes == estimate_live_nbytes(SCENARIO["node_count"])
+            await manager.evict("alpha")
+            payload = await manager.checkpoint("alpha")
+            blob_nbytes = len(json.dumps(payload).encode("utf-8"))
+            assert manager.info("alpha")["nbytes"] == blob_nbytes
+            assert blob_nbytes < live_nbytes
+            await manager.close()
+
+        run(main())
+
+    @pytest.mark.parametrize(
+        "scenario", [SCENARIO, DISTRIBUTED_SCENARIO], ids=["laacad", "distributed"]
+    )
+    def test_evicted_session_continues_bitwise_identically(self, scenario):
+        """The acceptance contract: evict/resurrect every round, final
+        result equals an uninterrupted in-process run exactly."""
+
+        async def service_run():
+            manager = SessionManager()
+            await manager.create("alpha", **scenario)
+            while not manager.info("alpha")["done"]:
+                await manager.step("alpha")
+                await manager.evict("alpha")
+            result = await manager.result("alpha")
+            evictions = manager.info("alpha")["evictions"]
+            await manager.close()
+            return result, evictions
+
+        serviced, evictions = run(service_run())
+        direct = Simulation(**scenario).run().to_dict()
+        assert evictions >= serviced["rounds_executed"] >= 1
+        assert serviced == direct, (
+            "evicted-and-resurrected session diverged from the direct run"
+        )
+
+    def test_completed_session_survives_eviction(self):
+        async def main():
+            manager = SessionManager()
+            await manager.create("alpha", node_count=6, k=1, seed=1, max_rounds=3)
+            await manager.run_to_round("alpha", 99)
+            result_before = await manager.result("alpha")
+            await manager.evict("alpha")
+            result_after = await manager.result("alpha")
+            assert result_before == result_after
+            await manager.close()
+
+        run(main())
+
+
+class TestConcurrency:
+    def test_concurrent_creates_same_name_one_winner(self):
+        async def main():
+            manager = SessionManager()
+            results = await asyncio.gather(
+                *(manager.create("alpha", **SCENARIO) for _ in range(4)),
+                return_exceptions=True,
+            )
+            winners = [r for r in results if isinstance(r, dict)]
+            losers = [r for r in results if isinstance(r, DuplicateSessionError)]
+            assert len(winners) == 1 and len(losers) == 3
+            await manager.close()
+
+        run(main())
+
+    def test_concurrent_step_evict_resurrect_race(self):
+        """Many tasks hammer overlapping sessions under a 2-live cap;
+        every session must end at exactly the requested round count."""
+
+        async def main():
+            manager = SessionManager(max_live_sessions=2, max_workers=4)
+            names = [f"s{i}" for i in range(8)]
+            for name in names:
+                await manager.create(name, **SCENARIO)
+
+            async def drive(name):
+                for _ in range(3):
+                    await manager.step(name)
+
+            await asyncio.gather(*(drive(name) for name in names))
+            for name in names:
+                assert manager.info(name)["rounds_executed"] == 3
+            stats = manager.stats()
+            assert stats["live_sessions"] <= 2
+            assert stats["total_evictions"] > 0, "the cap must have forced evictions"
+            assert stats["total_steps"] == 3 * len(names)
+            await manager.close()
+
+        run(main())
+
+    def test_concurrent_steps_on_one_session_serialize(self):
+        async def main():
+            manager = SessionManager(max_workers=4)
+            await manager.create("alpha", **SCENARIO)
+            await asyncio.gather(*(manager.step("alpha") for _ in range(5)))
+            assert manager.info("alpha")["rounds_executed"] == 5
+            await manager.close()
+
+        run(main())
+
+    def test_concurrent_race_matches_direct_runs(self):
+        """Interleaved stepping with eviction pressure still reproduces
+        each scenario's direct single-caller result bit for bit."""
+
+        async def main():
+            manager = SessionManager(max_live_sessions=1)
+            scenarios = {
+                f"s{i}": dict(SCENARIO, seed=100 + i, max_rounds=6) for i in range(4)
+            }
+            for name, scenario in scenarios.items():
+                await manager.create(name, **scenario)
+
+            async def drive(name):
+                while not manager.info(name)["done"]:
+                    await manager.step(name)
+                return await manager.result(name)
+
+            results = dict(
+                zip(scenarios, await asyncio.gather(*(drive(n) for n in scenarios)))
+            )
+            await manager.close()
+            return results
+
+        results = run(main())
+        for name, result in results.items():
+            seed = 100 + int(name[1:])
+            direct = Simulation(**dict(SCENARIO, seed=seed, max_rounds=6)).run()
+            assert result == direct.to_dict(), f"{name} diverged under contention"
+
+    def test_closed_manager_rejects_creates(self):
+        async def main():
+            manager = SessionManager()
+            await manager.close()
+            with pytest.raises(RuntimeError):
+                await manager.create("alpha", **SCENARIO)
+
+        run(main())
