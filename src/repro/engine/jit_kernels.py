@@ -1,13 +1,13 @@
 """Optional JIT kernel tier for the bandwidth-bound sparse kernels.
 
-The sparse tier's two remaining hot loops are memory-bandwidth bound in
-NumPy: the per-piece signed half-plane reduction inside
-:func:`~repro.engine.sparse_kernels.clip_cells_batch` (every live vertex
-is read, multiplied and max/min-reduced once per clipping level) and the
-circle-check closer-counting panels of the distributed gather (every
-``(known, sample)`` pair is expanded into a float64 panel).  This module
-gives each of them a *kernel seam* with two interchangeable
-implementations:
+The sparse tier's hot loops are memory-bandwidth bound in NumPy: the
+per-pass body of :func:`~repro.engine.sparse_kernels.clip_cells_batch`
+(first-event classification of each piece's upcoming competitors, the
+fused two-sided Sutherland–Hodgman over crossing pieces, and the ring
+compression that dedupes the emitted children) and the circle-check
+closer-counting panels of the distributed gather (every ``(known,
+sample)`` pair is expanded into a float64 panel).  This module gives
+each of them a *kernel seam* with two interchangeable implementations:
 
 * a **NumPy reference implementation** — always present, always the
   equivalence oracle.  It reproduces the exact array expressions the
@@ -15,15 +15,23 @@ implementations:
   no floats;
 * an optional **JIT implementation** compiled with ``numba`` on first
   use.  The loop bodies use the same IEEE-754 operations in the same
-  grouping (no ``fastmath``), so half-plane values are bitwise identical
-  and the closer-count *decisions* (integer counts compared against
-  ``k``) are identical; see DESIGN.md "Kernel tiers" for the contract.
+  grouping (no ``fastmath``), so half-plane values and clip vertices are
+  bitwise identical and every *decision* (first-event classification,
+  closer-count ``>= k`` verdicts, dedupe keep/drop) is identical; see
+  DESIGN.md "Kernel tiers" for the contract.  All JIT kernels compile
+  with ``nogil=True``: they read the flat piece pools / CSR descriptors
+  directly and write disjoint output slices, so independent chunks run
+  concurrently on the shared kernel thread pool
+  (``REPRO_KERNEL_THREADS``, see :mod:`repro.engine.kernels`).
 
 Tier selection is the ``REPRO_KERNELS`` environment knob:
 
 * ``auto`` (default) — JIT when ``numba`` imports, NumPy otherwise;
 * ``numpy`` — force the reference implementation;
 * ``jit`` — require numba; raises with a clear message when missing.
+  If numba *imports* but **compilation fails** (e.g. a corrupted or
+  unwritable cache directory), the tier degrades to numpy with a single
+  warning naming the knob instead of surfacing a raw numba traceback.
 
 ``numba`` is an *optional* dependency: nothing in this module imports it
 at module load, and the loop-form kernel bodies are plain Python
@@ -34,11 +42,18 @@ but dependency-free oracle for the JIT code path in tests.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.kernels import chunk_budget_bytes
+from repro.engine.kernels import (
+    chunk_budget_bytes,
+    kernel_threads,
+    run_chunk_tasks,
+    split_ranges,
+)
+from repro.geometry.primitives import EPS
 
 __all__ = [
     "KERNELS_ENV",
@@ -46,6 +61,9 @@ __all__ = [
     "numba_available",
     "halfplane_minmax",
     "closer_counts",
+    "classify_first_events",
+    "clip_crossing_pieces",
+    "compress_rings",
 ]
 
 #: Environment knob selecting the kernel tier: ``jit`` | ``numpy`` | ``auto``.
@@ -55,6 +73,10 @@ _VALID_TIERS = ("auto", "numpy", "jit")
 
 #: Cached numba availability probe (None = not probed yet).
 _NUMBA_OK: Optional[bool] = None
+
+#: Set when numba imported but a kernel failed to compile: the tier
+#: permanently degrades to numpy for this process (one warning).
+_JIT_BROKEN = False
 
 #: Lazily compiled JIT kernels, keyed by seam name.
 _JIT_CACHE: Dict[str, Callable] = {}
@@ -77,7 +99,10 @@ def kernel_tier() -> str:
     """Resolve ``REPRO_KERNELS`` to the effective tier: ``jit`` or ``numpy``.
 
     Read per call (not cached) so tests and benchmarks can flip the knob
-    at runtime; the JIT compilation cache persists across flips.
+    at runtime; the JIT compilation cache persists across flips.  When a
+    previous JIT compilation failed (broken numba install/cache), the
+    resolution is ``numpy`` even for an explicit ``jit`` request — the
+    failure already warned once, naming the knob.
     """
     raw = os.environ.get(KERNELS_ENV, "auto").strip().lower() or "auto"
     if raw not in _VALID_TIERS:
@@ -85,6 +110,8 @@ def kernel_tier() -> str:
             f"{KERNELS_ENV} must be one of {', '.join(_VALID_TIERS)}, got {raw!r}"
         )
     if raw == "numpy":
+        return "numpy"
+    if _JIT_BROKEN:
         return "numpy"
     if raw == "jit":
         if not numba_available():
@@ -171,23 +198,275 @@ def _closer_counts_loops(
                 out[r, s] += cnt
 
 
-def _get_jit(name: str) -> Callable:
-    """Compile (once) and return the JIT build of a loop-form body."""
+def _classify_first_events_loops(
+    pool_x, pool_y, pstart, pc, centry, nblk, ca, cb, cc, sep, eps,
+    first_out, kind_out,
+):
+    """First clip event per piece over its competitor lookahead block.
+
+    Piece ``p`` owns ``pc[p]`` pool vertices at ``pstart[p]`` and a
+    block of ``nblk[p]`` upcoming competitors whose bisector
+    coefficients sit contiguously at ``centry[p]`` in ``ca/cb/cc``.
+    Walking the block in order, a non-separated competitor is skipped
+    outright and a separated one whose signed maximum over the piece's
+    vertices is ``<= eps`` is untouched; the first other entry is the
+    event: kind 1 (all-out) when the signed minimum is ``>= -eps``,
+    else kind 2 (crossing).  ``first_out[p]`` is the event's block
+    position (``nblk[p]`` when none fired; ``kind_out[p]`` is 0 then).
+
+    Unlike the NumPy reference — which evaluates the whole block and
+    discards entries past the event — the walk stops at the event, so
+    the JIT tier does strictly less arithmetic for identical decisions.
+    """
+    for p in range(pstart.shape[0]):
+        s = pstart[p]
+        e = s + pc[p]
+        base = centry[p]
+        n = nblk[p]
+        evt = n
+        kind = 0
+        for b in range(n):
+            ci = base + b
+            if not sep[ci]:
+                continue
+            a = ca[ci]
+            bb = cb[ci]
+            c = cc[ci]
+            hi = -np.inf
+            lo = np.inf
+            for i in range(s, e):
+                v = a * pool_x[i] + bb * pool_y[i] - c
+                if v > hi:
+                    hi = v
+                if v < lo:
+                    lo = v
+            if hi <= eps:
+                continue
+            evt = b
+            if lo >= -eps:
+                kind = 1
+            else:
+                kind = 2
+            break
+        first_out[p] = evt
+        kind_out[p] = kind
+
+
+def _compress_ring_slot(x, y, start, m, eps):
+    """In-place ring compression of ``x/y[start : start + m]``.
+
+    Pass-for-pass analogue of the whole-array dedupe in the NumPy
+    reference: each pass compares every vertex against its predecessor
+    *in the current array* (pre-compaction values), removes all flagged
+    duplicates at once, and repeats until a pass removes nothing; then
+    trailing vertices cyclically within ``eps`` of the ring head are
+    dropped.  Returns the compressed vertex count.
+    """
+    while m > 0:
+        ndup = 0
+        w = 1
+        prevx = x[start]
+        prevy = y[start]
+        for r in range(1, m):
+            curx = x[start + r]
+            cury = y[start + r]
+            if abs(curx - prevx) <= eps and abs(cury - prevy) <= eps:
+                ndup += 1
+            else:
+                x[start + w] = curx
+                y[start + w] = cury
+                w += 1
+            prevx = curx
+            prevy = cury
+        m = w
+        if ndup == 0:
+            break
+    while (
+        m >= 2
+        and abs(x[start + m - 1] - x[start]) <= eps
+        and abs(y[start + m - 1] - y[start]) <= eps
+    ):
+        m -= 1
+    return m
+
+
+def _compress_rings_loops(x, y, starts, counts, eps, out_counts):
+    """Per-ring compression over rings already compacted into slots."""
+    for r in range(starts.shape[0]):
+        out_counts[r] = _compress_ring_slot(x, y, starts[r], counts[r], eps)
+
+
+def _clip_crossing_loops(
+    pool_x, pool_y, pstart, pc, ca, cb, cc, want_farther, eps, degen_eps,
+    slot_start, clo_x, clo_y, clo_n, far_x, far_y, far_n,
+):
+    """Fused two-sided Sutherland–Hodgman + ring compression per piece.
+
+    Piece ``p`` (``pc[p]`` pool vertices at ``pstart[p]``) is split by
+    its event bisector ``ca[p]*x + cb[p]*y - cc[p]``: the closer-side
+    child keeps ``value <= eps`` vertices, the farther-side child (only
+    when ``want_farther[p]``) keeps ``value >= -eps`` vertices, and
+    edge/bisector intersections are computed once and emitted to both
+    sides in the scalar append order ``[intersection, current vertex]``.
+    Children are written into the disjoint slot windows
+    ``[slot_start[p], slot_start[p] + 2*pc[p])`` of the output buffers
+    and compressed in place; ``clo_n/far_n[p]`` receive the final
+    counts.  The arithmetic is the exact IEEE grouping of the NumPy
+    reference (midpoint fallback for degenerate edges, clamped
+    interpolation parameter), so emitted vertices are bitwise identical.
+    """
+    for p in range(pstart.shape[0]):
+        s = pstart[p]
+        n = pc[p]
+        a = ca[p]
+        b = cb[p]
+        c = cc[p]
+        base = slot_start[p]
+        wantf = want_farther[p]
+        mclo = 0
+        mfar = 0
+        pvx = pool_x[s + n - 1]
+        pvy = pool_y[s + n - 1]
+        pval = a * pvx + b * pvy - c
+        for i in range(n):
+            cvx = pool_x[s + i]
+            cvy = pool_y[s + i]
+            cval = a * cvx + b * cvy - c
+            inside_c = cval <= eps
+            prev_in_c = pval <= eps
+            inside_f = cval >= -eps
+            prev_in_f = pval >= -eps
+            cross_c = inside_c != prev_in_c
+            cross_f = inside_f != prev_in_f
+            if cross_c or (wantf and cross_f):
+                denom = pval - cval
+                if abs(denom) <= degen_eps:
+                    ipx = (pvx + cvx) / 2.0
+                    ipy = (pvy + cvy) / 2.0
+                else:
+                    t = pval / denom
+                    if t <= 0.0:
+                        t = 0.0
+                    elif t >= 1.0:
+                        t = 1.0
+                    ipx = pvx + t * (cvx - pvx)
+                    ipy = pvy + t * (cvy - pvy)
+                if cross_c:
+                    clo_x[base + mclo] = ipx
+                    clo_y[base + mclo] = ipy
+                    mclo += 1
+                if wantf and cross_f:
+                    far_x[base + mfar] = ipx
+                    far_y[base + mfar] = ipy
+                    mfar += 1
+            if inside_c:
+                clo_x[base + mclo] = cvx
+                clo_y[base + mclo] = cvy
+                mclo += 1
+            if wantf and inside_f:
+                far_x[base + mfar] = cvx
+                far_y[base + mfar] = cvy
+                mfar += 1
+            pvx = cvx
+            pvy = cvy
+            pval = cval
+        clo_n[p] = _compress_ring_slot(clo_x, clo_y, base, mclo, eps)
+        if wantf:
+            far_n[p] = _compress_ring_slot(far_x, far_y, base, mfar, eps)
+        else:
+            far_n[p] = 0
+
+
+#: Dummy argument factories per seam: calling the freshly decorated
+#: dispatcher on a minimal concrete input forces compilation *inside*
+#: ``_get_jit``'s try block (numba compiles lazily on first call), so a
+#: broken numba install/cache surfaces there — and real calls hit the
+#: already-typed fast path.
+def _dummy_args(name: str) -> tuple:
+    f1 = np.zeros(1)
+    i1 = np.zeros(1, dtype=np.int64)
+    one = np.ones(1, dtype=np.int64)
+    if name == "halfplane_minmax":
+        return (f1, f1, i1, one, f1, f1, f1, np.empty(1), np.empty(1))
+    if name == "closer_counts":
+        panel = np.zeros((1, 1))
+        return (
+            f1, f1, i1, one, panel, np.zeros((1, 1)), np.ones((1, 1)),
+            np.int64(1), np.int64(1), np.zeros((1, 1), dtype=np.int64),
+        )
+    if name == "classify_first_events":
+        return (
+            f1, f1, i1, one, i1, one, f1, f1, f1,
+            np.ones(1, dtype=bool), 1e-9,
+            np.empty(1, dtype=np.int64), np.empty(1, dtype=np.int64),
+        )
+    if name == "compress_rings":
+        return (np.zeros(4), np.zeros(4), i1, one, 1e-9, np.empty(1, dtype=np.int64))
+    if name == "clip_crossing":
+        tri_x = np.asarray([0.0, 1.0, 0.0])
+        tri_y = np.asarray([0.0, 0.0, 1.0])
+        return (
+            tri_x, tri_y, i1, np.full(1, 3, dtype=np.int64),
+            np.ones(1), np.zeros(1), np.zeros(1), np.ones(1, dtype=bool),
+            1e-9, 1e-24, i1,
+            np.empty(6), np.empty(6), np.empty(1, dtype=np.int64),
+            np.empty(6), np.empty(6), np.empty(1, dtype=np.int64),
+        )
+    raise KeyError(name)
+
+
+def _get_jit(name: str) -> Optional[Callable]:
+    """Compile (once) and return the JIT build of a loop-form body.
+
+    Returns ``None`` — after a single :class:`RuntimeWarning` naming
+    ``REPRO_KERNELS`` — when numba imports but compilation fails (e.g. a
+    corrupted or unwritable cache directory); callers then fall through
+    to the NumPy reference and :func:`kernel_tier` resolves to
+    ``numpy`` for the rest of the process.
+    """
+    global _JIT_BROKEN, _compress_ring_slot
     fn = _JIT_CACHE.get(name)
-    if fn is None:
+    if fn is not None:
+        return fn
+    if _JIT_BROKEN:
+        return None
+    try:
         import numba
 
+        njit = numba.njit(cache=False, fastmath=False, nogil=True)
+        if name in ("clip_crossing", "compress_rings") and "_ring_slot" not in _JIT_CACHE:
+            # The ring-compression helper is called from other JIT
+            # bodies, so numba must see it as a compiled dispatcher:
+            # rebind the module global before compiling the callers.
+            # (The dispatcher is still a callable, so the plain-Python
+            # loop-form oracles keep working unchanged.)
+            _compress_ring_slot = njit(_compress_ring_slot)
+            _JIT_CACHE["_ring_slot"] = _compress_ring_slot
         body = {
             "halfplane_minmax": _halfplane_minmax_loops,
             "closer_counts": _closer_counts_loops,
+            "classify_first_events": _classify_first_events_loops,
+            "compress_rings": _compress_rings_loops,
+            "clip_crossing": _clip_crossing_loops,
         }[name]
-        # ``parallel=True`` would be tempting, but the outer loops carry
-        # no dependencies *and* no shared writes, so plain ``njit`` with
-        # an explicit prange rewrite is the safe default only for the
-        # row loop; keep it serial-per-call and deterministic — the
-        # panels parallelise across calls at the protocol level.
-        fn = numba.njit(cache=False, fastmath=False)(body)
-        _JIT_CACHE[name] = fn
+        # Bodies stay serial per call (no ``parallel=True``): they
+        # release the GIL instead, and the seams split work into
+        # chunk-ordered, disjoint-output tasks on the shared kernel
+        # thread pool — deterministic for every worker count.
+        fn = njit(body)
+        fn(*_dummy_args(name))
+    except Exception as exc:
+        _JIT_BROKEN = True
+        warnings.warn(
+            f"{KERNELS_ENV}=jit kernel compilation failed "
+            f"({type(exc).__name__}: {exc}); falling back to the numpy "
+            f"kernel tier for this process. Set {KERNELS_ENV}=numpy to "
+            f"silence this warning.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    _JIT_CACHE[name] = fn
     return fn
 
 
@@ -216,12 +495,50 @@ def halfplane_minmax(
     if n_pieces == 0:
         return np.zeros(0), np.zeros(0)
     if kernel_tier() == "jit":
-        pmax = np.empty(n_pieces)
-        pmin = np.empty(n_pieces)
-        _get_jit("halfplane_minmax")(
-            vx, vy, starts, counts, coeff_a, coeff_b, coeff_c, pmax, pmin
+        fn = _get_jit("halfplane_minmax")
+        if fn is not None:
+            pmax = np.empty(n_pieces)
+            pmin = np.empty(n_pieces)
+            run_chunk_tasks(
+                [
+                    (
+                        lambda lo=lo, hi=hi: fn(
+                            vx, vy, starts[lo:hi], counts[lo:hi],
+                            coeff_a[lo:hi], coeff_b[lo:hi], coeff_c[lo:hi],
+                            pmax[lo:hi], pmin[lo:hi],
+                        )
+                    )
+                    for lo, hi in split_ranges(n_pieces, min_per_worker=1024)
+                ]
+            )
+            return pmax, pmin
+    ranges = split_ranges(n_pieces, min_per_worker=4096)
+    if len(ranges) <= 1:
+        return _halfplane_minmax_numpy(
+            vx, vy, starts, counts, coeff_a, coeff_b, coeff_c
         )
-        return pmax, pmin
+    # Per-piece reductions are independent, so the range split changes
+    # no floats; chunk-ordered disjoint writes keep any worker count
+    # bitwise identical to serial.
+    pmax = np.empty(n_pieces)
+    pmin = np.empty(n_pieces)
+
+    def _run(lo: int, hi: int) -> Callable[[], None]:
+        def task() -> None:
+            pmax[lo:hi], pmin[lo:hi] = _halfplane_minmax_numpy(
+                vx, vy, starts[lo:hi], counts[lo:hi],
+                coeff_a[lo:hi], coeff_b[lo:hi], coeff_c[lo:hi],
+            )
+
+        return task
+
+    run_chunk_tasks([_run(lo, hi) for lo, hi in ranges])
+    return pmax, pmin
+
+
+def _halfplane_minmax_numpy(vx, vy, starts, counts, coeff_a, coeff_b, coeff_c):
+    """NumPy reference body of :func:`halfplane_minmax` (pre-seam exact)."""
+    n_pieces = int(starts.shape[0])
     total = int(counts.sum())
     if n_pieces == 1 or np.array_equal(
         starts[1:], starts[0] + np.cumsum(counts[:-1])
@@ -269,19 +586,24 @@ def closer_counts(
     if n_rows == 0 or n_samples == 0:
         return out
     if kernel_tier() == "jit":
-        _get_jit("closer_counts")(
-            kx,
-            ky,
-            offsets.astype(np.int64, copy=False),
-            counts.astype(np.int64, copy=False),
-            sample_x,
-            sample_y,
-            threshold_sq,
-            np.int64(cap),
-            np.int64(k),
-            out,
-        )
-        return out
+        fn = _get_jit("closer_counts")
+        if fn is not None:
+            off64 = offsets.astype(np.int64, copy=False)
+            cnt64 = counts.astype(np.int64, copy=False)
+            run_chunk_tasks(
+                [
+                    (
+                        lambda lo=lo, hi=hi: fn(
+                            kx, ky, off64[lo:hi], cnt64[lo:hi],
+                            sample_x[lo:hi], sample_y[lo:hi],
+                            threshold_sq[lo:hi], np.int64(cap), np.int64(k),
+                            out[lo:hi],
+                        )
+                    )
+                    for lo, hi in split_ranges(n_rows, min_per_worker=16)
+                ]
+            )
+            return out
     _closer_counts_numpy(
         kx, ky, offsets, counts, sample_x, sample_y, threshold_sq, cap, k, out
     )
@@ -331,6 +653,7 @@ def _panel_counts(
     n_samples = sample_x.shape[1]
     budget = max(chunk_budget_bytes(), 1)
     per_pair_bytes = n_samples * 8 * 3
+    bounds = []
     start = 0
     while start < n_rows:
         stop = start
@@ -342,9 +665,15 @@ def _panel_counts(
             pair_total += ncand[stop]
             stop += 1
         stop = max(stop, start + 1)
-        sub_counts = ncand[start:stop]
-        total = int(sub_counts.sum())
-        if total:
+        bounds.append((start, stop))
+        start = stop
+
+    def _chunk(start: int, stop: int):
+        def task() -> None:
+            sub_counts = ncand[start:stop]
+            total = int(sub_counts.sum())
+            if not total:
+                return
             gidx = ragged_indices(offsets[start:stop], sub_counts)
             pair_row = rows[start:stop][segment_ids(sub_counts, total)]
             pdx = kx[gidx][:, None] - sample_x[pair_row]
@@ -361,7 +690,349 @@ def _panel_counts(
                 out[rows[start:stop]] += block
             else:
                 out[rows[start:stop]] = block
-        start = stop
+
+        return task
+
+    # Chunks own disjoint row blocks of ``out`` (``rows`` is strictly
+    # increasing), so the panel chunks run concurrently on the kernel
+    # thread pool with bitwise-serial results.
+    run_chunk_tasks([_chunk(lo, hi) for lo, hi in bounds])
+
+
+# ----------------------------------------------------------------------
+# Clip-pass seams: first-event classification, fused two-sided clip,
+# ring compression — operating on the flat pools / CSR descriptors.
+# ----------------------------------------------------------------------
+def classify_first_events(
+    pool_x: np.ndarray,
+    pool_y: np.ndarray,
+    pstart: np.ndarray,
+    pc: np.ndarray,
+    centry: np.ndarray,
+    nblk: np.ndarray,
+    coeff_a: np.ndarray,
+    coeff_b: np.ndarray,
+    coeff_c: np.ndarray,
+    separated: np.ndarray,
+    eps: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """First clip event per live piece over its competitor lookahead.
+
+    Piece ``p`` spans ``pool_x/pool_y[pstart[p] : pstart[p] + pc[p]]``
+    and looks at ``nblk[p] >= 1`` upcoming competitors whose bisector
+    coefficients sit contiguously at ``coeff_*[centry[p] + b]``
+    (``separated`` marks competitors not co-located with the owner
+    site; non-separated entries are consumed as untouched).  Returns
+    ``(first_evt, evt_kind)``: the block position of the first
+    non-untouched competitor (``nblk[p]`` when the whole block is
+    untouched) and its kind — 0 none, 1 all-out (signed minimum
+    ``>= -eps``), 2 crossing.
+
+    The NumPy reference evaluates the whole block with the pre-seam
+    array expressions (identical floats, identical decisions); the JIT
+    tier walks each piece and stops at its first event.  Both split
+    into per-piece ranges for the kernel thread pool — outputs are
+    per-piece, so every worker count is bitwise identical.
+    """
+    n = int(pstart.shape[0])
+    first_evt = np.empty(n, dtype=np.int64)
+    evt_kind = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return first_evt, evt_kind
+    if kernel_tier() == "jit":
+        fn = _get_jit("classify_first_events")
+        if fn is not None:
+            run_chunk_tasks(
+                [
+                    (
+                        lambda lo=lo, hi=hi: fn(
+                            pool_x, pool_y, pstart[lo:hi], pc[lo:hi],
+                            centry[lo:hi], nblk[lo:hi],
+                            coeff_a, coeff_b, coeff_c, separated, eps,
+                            first_evt[lo:hi], evt_kind[lo:hi],
+                        )
+                    )
+                    for lo, hi in split_ranges(n, min_per_worker=512)
+                ]
+            )
+            return first_evt, evt_kind
+
+    def _range(lo: int, hi: int) -> Callable[[], None]:
+        def task() -> None:
+            _classify_first_events_numpy(
+                pool_x, pool_y, pstart[lo:hi], pc[lo:hi],
+                centry[lo:hi], nblk[lo:hi],
+                coeff_a, coeff_b, coeff_c, separated, eps,
+                first_evt[lo:hi], evt_kind[lo:hi],
+            )
+
+        return task
+
+    run_chunk_tasks(
+        [_range(lo, hi) for lo, hi in split_ranges(n, min_per_worker=2048)]
+    )
+    return first_evt, evt_kind
+
+
+def _classify_first_events_numpy(
+    pool_x, pool_y, pstart, pc, centry, nblk, coeff_a, coeff_b, coeff_c,
+    separated, eps, first_out, kind_out,
+):
+    """NumPy reference: the pre-seam block-expanded classification."""
+    blk_starts = np.cumsum(nblk) - nblk
+    total_blk = int(nblk.sum())
+    blk_piece = segment_ids(nblk, total_blk)
+    blk_pos = np.arange(total_blk, dtype=np.int64) - blk_starts[blk_piece]
+    cidx = centry[blk_piece] + blk_pos
+    pmax, pmin = _halfplane_minmax_numpy(
+        pool_x, pool_y, pstart[blk_piece], pc[blk_piece],
+        coeff_a[cidx], coeff_b[cidx], coeff_c[cidx],
+    )
+    untouched = ~separated[cidx] | (pmax <= eps)
+    allout = ~untouched & (pmin >= -eps)
+    pos_or_sent = np.where(untouched, np.iinfo(np.int64).max, blk_pos)
+    first = np.minimum.reduceat(pos_or_sent, blk_starts)
+    has = first < nblk
+    entry = blk_starts + np.where(has, first, 0)
+    kind_out[:] = np.where(has, np.where(allout[entry], 1, 2), 0)
+    first_out[:] = np.where(has, first, nblk)
+
+
+def clip_crossing_pieces(
+    pool_x: np.ndarray,
+    pool_y: np.ndarray,
+    pstart: np.ndarray,
+    pc: np.ndarray,
+    coeff_a: np.ndarray,
+    coeff_b: np.ndarray,
+    coeff_c: np.ndarray,
+    want_farther: np.ndarray,
+    eps: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split every crossing piece by its event bisector, both sides.
+
+    Piece ``p`` (``pc[p]`` pool vertices at ``pstart[p]``) is clipped
+    against ``coeff_a[p]*x + coeff_b[p]*y - coeff_c[p]``.  Returns
+    ``(clo_x, clo_y, clo_counts, far_x, far_y, far_counts)``: compacted
+    deduped rings in piece order, with full-length count arrays —
+    ``far_counts[p] == 0`` whenever ``not want_farther[p]`` (the
+    farther child of a budget-exhausted piece is discarded without
+    being built).
+
+    Both tiers split the pieces into ranges for the kernel thread
+    pool; each range's outputs are compacted in chunk order (NumPy) or
+    written to disjoint slot windows of a shared buffer (JIT), so any
+    worker count reproduces the serial floats bitwise.
+    """
+    n = int(pc.shape[0])
+    if n == 0:
+        z = np.zeros(0)
+        zc = np.zeros(0, dtype=np.int64)
+        return z, z, zc, z.copy(), z.copy(), zc.copy()
+    want = np.asarray(want_farther, dtype=bool)
+    if kernel_tier() == "jit":
+        fn = _get_jit("clip_crossing")
+        if fn is not None:
+            slot_start = 2 * (np.cumsum(pc) - pc).astype(np.int64)
+            cap = int(2 * pc.sum())
+            slot_clo_x = np.empty(cap)
+            slot_clo_y = np.empty(cap)
+            slot_far_x = np.empty(cap)
+            slot_far_y = np.empty(cap)
+            clo_counts = np.zeros(n, dtype=np.int64)
+            far_counts = np.zeros(n, dtype=np.int64)
+            run_chunk_tasks(
+                [
+                    (
+                        lambda lo=lo, hi=hi: fn(
+                            pool_x, pool_y, pstart[lo:hi], pc[lo:hi],
+                            coeff_a[lo:hi], coeff_b[lo:hi], coeff_c[lo:hi],
+                            want[lo:hi], eps, EPS * EPS, slot_start[lo:hi],
+                            slot_clo_x, slot_clo_y, clo_counts[lo:hi],
+                            slot_far_x, slot_far_y, far_counts[lo:hi],
+                        )
+                    )
+                    for lo, hi in split_ranges(n, min_per_worker=128)
+                ]
+            )
+            cidx = ragged_indices(slot_start, clo_counts)
+            fidx = ragged_indices(slot_start, far_counts)
+            return (
+                slot_clo_x[cidx], slot_clo_y[cidx], clo_counts,
+                slot_far_x[fidx], slot_far_y[fidx], far_counts,
+            )
+    ranges = split_ranges(n, min_per_worker=512)
+    parts = run_chunk_tasks(
+        [
+            (
+                lambda lo=lo, hi=hi: _clip_crossing_numpy(
+                    pool_x, pool_y, pstart[lo:hi], pc[lo:hi],
+                    coeff_a[lo:hi], coeff_b[lo:hi], coeff_c[lo:hi],
+                    want[lo:hi], eps,
+                )
+            )
+            for lo, hi in ranges
+        ]
+    )
+    if len(parts) == 1:
+        return parts[0]
+    return tuple(np.concatenate([part[j] for part in parts]) for j in range(6))
+
+
+def _clip_crossing_numpy(
+    pool_x, pool_y, pstart, pc, a_cross, b_cross, c_cross, want, eps
+):
+    """NumPy reference: the pre-seam fused two-sided clip expressions."""
+    ccounts = pc
+    ctotal = int(ccounts.sum())
+    cgather = ragged_indices(pstart, ccounts)
+    cvx = pool_x[cgather]
+    cvy = pool_y[cgather]
+    vert_piece = segment_ids(ccounts, ctotal)
+    cval = (
+        a_cross[vert_piece] * cvx
+        + b_cross[vert_piece] * cvy
+        - c_cross[vert_piece]
+    )
+    cstarts = np.cumsum(ccounts) - ccounts
+    prev = np.arange(ctotal, dtype=np.int64) - 1
+    prev[cstarts] = cstarts + ccounts - 1
+    pvx = cvx[prev]
+    pvy = cvy[prev]
+    pval = cval[prev]
+    inside_c = cval <= eps
+    prev_in_c = pval <= eps
+    cross_c = inside_c != prev_in_c
+    # Edge/bisector intersections: one evaluation shared by both sides,
+    # in the exact scalar grouping (midpoint fallback for degenerate
+    # edges, clamped interpolation parameter).
+    denom = pval - cval
+    degen = np.abs(denom) <= EPS * EPS
+    t = np.clip(pval / np.where(degen, 1.0, denom), 0.0, 1.0)
+    ipx = np.where(degen, (pvx + cvx) / 2.0, pvx + t * (cvx - pvx))
+    ipy = np.where(degen, (pvy + cvy) / 2.0, pvy + t * (cvy - pvy))
+    # Emission slots per vertex: [intersection, current vertex] — the
+    # scalar append order.
+    n2 = 2 * ctotal
+    ex = np.empty(n2)
+    ey = np.empty(n2)
+    ex[0::2] = ipx
+    ex[1::2] = cvx
+    ey[0::2] = ipy
+    ey[1::2] = cvy
+    slot_piece = np.repeat(vert_piece, 2)
+    emit_c = np.empty(n2, dtype=bool)
+    emit_c[0::2] = cross_c
+    emit_c[1::2] = inside_c
+    clo_x, clo_y, clo_counts = _compress_rings_numpy(
+        ex, ey, slot_piece, emit_c, ccounts.shape[0], eps
+    )
+    # The farther side exists only for pieces that still have clip
+    # budget; the ring machinery runs on the budgeted subset only and
+    # the counts are scattered back to full length (zero => discarded).
+    far_counts = np.zeros(ccounts.shape[0], dtype=np.int64)
+    wsel = np.nonzero(want)[0]
+    if wsel.size:
+        fcounts = ccounts[wsel]
+        fg = ragged_indices(cstarts[wsel], fcounts)
+        cval_f = cval[fg]
+        pval_f = pval[fg]
+        inside_f = cval_f >= -eps
+        prev_in_f = pval_f >= -eps
+        cross_f = inside_f != prev_in_f
+        nf2 = 2 * fg.shape[0]
+        fx = np.empty(nf2)
+        fy = np.empty(nf2)
+        fx[0::2] = ipx[fg]
+        fx[1::2] = cvx[fg]
+        fy[0::2] = ipy[fg]
+        fy[1::2] = cvy[fg]
+        slot_piece_f = np.repeat(segment_ids(fcounts, fg.shape[0]), 2)
+        emit_f = np.empty(nf2, dtype=bool)
+        emit_f[0::2] = cross_f
+        emit_f[1::2] = inside_f
+        far_x, far_y, fcnt = _compress_rings_numpy(
+            fx, fy, slot_piece_f, emit_f, wsel.size, eps
+        )
+        far_counts[wsel] = fcnt
+    else:
+        far_x = np.zeros(0)
+        far_y = np.zeros(0)
+    return clo_x, clo_y, clo_counts, far_x, far_y, far_counts
+
+
+def compress_rings(
+    ex: np.ndarray,
+    ey: np.ndarray,
+    ring_of_slot: np.ndarray,
+    emit: np.ndarray,
+    nrings: int,
+    eps: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compact emitted clip vertices into deduped rings.
+
+    Consecutive vertices within ``eps`` (per axis) are collapsed, then
+    trailing vertices cyclically equal to the ring head are dropped —
+    array-pass analogues of the scalar running dedupe in
+    ``split_ring_halfplane`` (identical except on chains of 3+ vertices
+    that are pairwise but not transitively within ``eps``, which the
+    sparse tier's tolerance contract covers).  Rings are independent,
+    so the JIT tier's per-ring fixpoint reaches the identical result.
+    """
+    if kernel_tier() == "jit":
+        fn = _get_jit("compress_rings")
+        if fn is not None:
+            x = ex[emit]
+            y = ey[emit]
+            counts = np.bincount(
+                ring_of_slot[emit], minlength=nrings
+            ).astype(np.int64)
+            starts = np.cumsum(counts) - counts
+            out_counts = np.empty(nrings, dtype=np.int64)
+            fn(x, y, starts, counts, eps, out_counts)
+            gidx = ragged_indices(starts, out_counts)
+            return x[gidx], y[gidx], out_counts
+    return _compress_rings_numpy(ex, ey, ring_of_slot, emit, nrings, eps)
+
+
+def _compress_rings_numpy(ex, ey, ring_of_slot, emit, nrings, eps):
+    """NumPy reference: whole-array dedupe passes until fixpoint."""
+    x = ex[emit]
+    y = ey[emit]
+    ring = ring_of_slot[emit]
+    counts = np.bincount(ring, minlength=nrings)
+    while x.size:
+        starts = np.cumsum(counts) - counts
+        first = np.zeros(x.size, dtype=bool)
+        first[starts[counts > 0]] = True
+        prev = np.arange(x.size, dtype=np.int64) - 1
+        dup = ~first & (np.abs(x - x[prev]) <= eps) & (np.abs(y - y[prev]) <= eps)
+        if not dup.any():
+            break
+        keep = ~dup
+        x = x[keep]
+        y = y[keep]
+        ring = ring[keep]
+        counts = np.bincount(ring, minlength=nrings)
+    while x.size:
+        starts = np.cumsum(counts) - counts
+        rows = np.nonzero(counts >= 2)[0]
+        if rows.size == 0:
+            break
+        lasts = starts[rows] + counts[rows] - 1
+        close = (np.abs(x[lasts] - x[starts[rows]]) <= eps) & (
+            np.abs(y[lasts] - y[starts[rows]]) <= eps
+        )
+        if not close.any():
+            break
+        drop = np.zeros(x.size, dtype=bool)
+        drop[lasts[close]] = True
+        keep = ~drop
+        x = x[keep]
+        y = y[keep]
+        ring = ring[keep]
+        counts = np.bincount(ring, minlength=nrings)
+    return x, y, counts
 
 
 # ----------------------------------------------------------------------

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -77,6 +78,16 @@ _DEFAULT_DENSE_MATRIX_BYTES = 1 << 30  # 1 GiB
 CHUNK_BYTES_ENV = "REPRO_CHUNK_BYTES"
 _DEFAULT_CHUNK_BYTES = 16 << 20  # 16 MiB
 
+#: Environment knob selecting the intra-round worker count of the
+#: chunked kernel seams.  Default: one worker per available core
+#: (respecting CPU affinity / container quotas where the platform
+#: exposes them); ``1`` disables the executor entirely and runs the
+#: exact serial dispatch path.  Every parallel site partitions its work
+#: into per-item-independent chunks with disjoint output slices (or a
+#: chunk-ordered concatenation), so the computed floats are identical
+#: for every worker count — the knob changes wall-clock only.
+KERNEL_THREADS_ENV = "REPRO_KERNEL_THREADS"
+
 
 def _env_bytes(name: str, default: int) -> int:
     raw = os.environ.get(name)
@@ -101,6 +112,107 @@ def chunk_budget_bytes() -> int:
     return _env_bytes(CHUNK_BYTES_ENV, _DEFAULT_CHUNK_BYTES)
 
 
+def _available_cores() -> int:
+    """Cores available to this process (affinity-aware where possible)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+def kernel_threads() -> int:
+    """Resolve ``REPRO_KERNEL_THREADS`` to the effective worker count.
+
+    Read per call (not cached) so tests and benchmarks can flip the
+    knob at runtime.  Unset/empty means one worker per available core;
+    ``1`` is the serial dispatch path, byte-for-byte today's behaviour.
+    """
+    raw = os.environ.get(KERNEL_THREADS_ENV, "").strip()
+    if not raw:
+        return _available_cores()
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{KERNEL_THREADS_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{KERNEL_THREADS_ENV} must be a positive integer, got {raw!r}"
+        )
+    return value
+
+
+#: Shared intra-round executor, built lazily and grown (never shrunk)
+#: to the largest worker count requested so far.  One pool serves every
+#: kernel seam of every engine in the process: the seams release the
+#: GIL for the bulk of their work (NumPy ufunc inner loops, numba
+#: ``nogil`` kernels), so chunks genuinely overlap.
+_EXECUTOR = None
+_EXECUTOR_WORKERS = 0
+_EXECUTOR_LOCK = threading.Lock()
+
+
+def _shared_executor(workers: int):
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    with _EXECUTOR_LOCK:
+        if _EXECUTOR is None or workers > _EXECUTOR_WORKERS:
+            from concurrent.futures import ThreadPoolExecutor
+
+            old = _EXECUTOR
+            _EXECUTOR = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-kernel"
+            )
+            _EXECUTOR_WORKERS = workers
+            if old is not None:
+                old.shutdown(wait=False)
+        return _EXECUTOR
+
+
+def run_chunk_tasks(tasks, workers: Optional[int] = None) -> list:
+    """Run independent chunk thunks, returning results in task order.
+
+    The deterministic chunk-ordered reduction primitive shared by the
+    kernel seams: submission order *is* reduction order, so callers that
+    concatenate the returned chunks (or let chunks write disjoint slices
+    of a preallocated output) produce identical arrays for every worker
+    count.  With one worker — or one task — the tasks run inline on the
+    calling thread, which is exactly the historic serial path.
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = kernel_threads()
+    if workers <= 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+    executor = _shared_executor(workers)
+    futures = [executor.submit(task) for task in tasks]
+    return [future.result() for future in futures]
+
+
+def split_ranges(
+    total_items: int, workers: Optional[int] = None, min_per_worker: int = 1
+) -> List[Tuple[int, int]]:
+    """Contiguous near-equal ``(start, stop)`` ranges for worker fan-out.
+
+    At most ``workers`` ranges, each at least ``min_per_worker`` items
+    (the last range takes the remainder); a single range when the work
+    is too small to be worth splitting.  Used by seams whose per-item
+    results are independent, so the split is invisible in the output.
+    """
+    if workers is None:
+        workers = kernel_threads()
+    if total_items <= 0:
+        return []
+    n_ranges = min(workers, max(1, total_items // max(1, min_per_worker)))
+    if n_ranges <= 1:
+        return [(0, total_items)]
+    step = -(-total_items // n_ranges)
+    return [
+        (start, min(start + step, total_items))
+        for start in range(0, total_items, step)
+    ]
+
+
 def _check_dense_budget(n: int, matrices: int) -> None:
     """Refuse a dense ``(N, N)`` allocation that would blow the byte cap.
 
@@ -123,7 +235,10 @@ def _check_dense_budget(n: int, matrices: int) -> None:
 
 
 def plan_chunks(
-    total_items: int, bytes_per_item: int, budget: Optional[int] = None
+    total_items: int,
+    bytes_per_item: int,
+    budget: Optional[int] = None,
+    workers: int = 1,
 ) -> Iterator[Tuple[int, int]]:
     """Yield ``(start, stop)`` slices bounding transient memory.
 
@@ -134,6 +249,13 @@ def plan_chunks(
     budget (``REPRO_CHUNK_BYTES`` by default).  Always yields at least
     one item per chunk, so pathologically large rows degrade to
     item-at-a-time evaluation instead of failing.
+
+    ``workers`` is the executor fan-out the caller intends to dispatch
+    the chunks across (``kernel_threads()``): with more than one worker
+    the chunk size is additionally capped so at least ``workers`` chunks
+    exist, otherwise one budget-sized chunk could serialise the whole
+    pass on a single thread.  ``workers=1`` (the default) is bitwise the
+    historic plan — the budget alone sizes the chunks.
     """
     if total_items < 0:
         raise ValueError("total_items must be non-negative")
@@ -142,6 +264,8 @@ def plan_chunks(
     if budget is None:
         budget = chunk_budget_bytes()
     chunk = max(1, budget // bytes_per_item)
+    if workers > 1:
+        chunk = max(1, min(chunk, -(-total_items // workers)))
     for start in range(0, total_items, chunk):
         yield start, min(start + chunk, total_items)
 
@@ -173,15 +297,27 @@ def csr_pair_distances(
     )
     dist = np.empty(total, dtype=float)
     dist_sq = np.empty(total, dtype=float)
+
+    def _chunk(start: int, stop: int):
+        def task() -> None:
+            idx = indices[start:stop]
+            own = owners[start:stop]
+            dx = point_x[idx] - centers[own, 0]
+            dy = point_y[idx] - centers[own, 1]
+            dist[start:stop] = np.hypot(dx, dy)
+            dist_sq[start:stop] = dx * dx + dy * dy
+
+        return task
+
     # Transient footprint per pair: owner row, gathered coordinates and
-    # the dx/dy temporaries (~6 float64 lanes).
-    for start, stop in plan_chunks(total, 48, budget):
-        idx = indices[start:stop]
-        own = owners[start:stop]
-        dx = point_x[idx] - centers[own, 0]
-        dy = point_y[idx] - centers[own, 1]
-        dist[start:stop] = np.hypot(dx, dy)
-        dist_sq[start:stop] = dx * dx + dy * dy
+    # the dx/dy temporaries (~6 float64 lanes).  Chunks write disjoint
+    # output slices, so dispatching them across the kernel thread pool
+    # is bitwise invisible.
+    workers = kernel_threads()
+    run_chunk_tasks(
+        [_chunk(start, stop) for start, stop in plan_chunks(total, 48, budget, workers)],
+        workers,
+    )
     return dist, dist_sq
 
 

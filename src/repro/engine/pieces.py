@@ -74,6 +74,32 @@ class PieceAccumulator:
         self._counts.append(np.asarray(counts, dtype=np.int64))
         self._owners.append(np.asarray(owners, dtype=np.int64))
 
+    def extend_csr(
+        self,
+        vx: np.ndarray,
+        vy: np.ndarray,
+        piece_indptr: np.ndarray,
+        owners: np.ndarray,
+        rows: Optional[np.ndarray] = None,
+    ) -> None:
+        """Append pieces straight from ``clip_cells_batch`` CSR output.
+
+        ``owners[p]`` is the owning node row of piece ``p``.  With
+        ``rows`` given, only those piece rows are appended (one ragged
+        gather); otherwise the arrays are appended as-is, with no
+        materialisation at all.
+        """
+        counts = np.diff(piece_indptr)
+        if rows is None:
+            self.extend(vx, vy, counts, owners)
+            return
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        sub_counts = counts[rows]
+        gidx = ragged_indices(piece_indptr[:-1][rows], sub_counts)
+        self.extend(vx[gidx], vy[gidx], sub_counts, owners[rows])
+
     def finalize(self, n_rows: int) -> EmittedPieces:
         """Regroup every emitted piece by ascending owner row."""
         if not self._counts:

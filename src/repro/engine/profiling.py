@@ -60,8 +60,19 @@ class StageTimer:
                 time.perf_counter() - start
             )
 
-    def result(self) -> Optional[Dict[str, float]]:
-        """The accumulated ``{stage: seconds}`` dict, or ``None`` when off."""
+    def result(self, **meta: object) -> Optional[Dict[str, object]]:
+        """The accumulated ``{stage: seconds}`` dict, or ``None`` when off.
+
+        Keyword arguments are attached under a ``"meta"`` sub-dict —
+        the engines record the execution context the timings were
+        measured under (kernel ``tier``, worker ``threads``), so a
+        profile is self-describing when exported or compared across
+        configurations.  Consumers iterating stages must skip the
+        ``"meta"`` key.
+        """
         if not self.enabled:
             return None
-        return dict(self._acc)
+        out: Dict[str, object] = dict(self._acc)
+        if meta:
+            out["meta"] = dict(meta)
+        return out

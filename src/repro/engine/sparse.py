@@ -48,8 +48,8 @@ import numpy as np
 from repro.engine.arrays import NodeArrayState
 from repro.engine.base import EngineRound, register_engine, summarize_regions
 from repro.engine.batch import BatchedRoundEngine
-from repro.engine.jit_kernels import ragged_indices, segment_ids
-from repro.engine.kernels import chunk_budget_bytes
+from repro.engine.jit_kernels import kernel_tier, ragged_indices, segment_ids
+from repro.engine.kernels import chunk_budget_bytes, kernel_threads
 from repro.engine.pieces import LazyRegions, PieceAccumulator, materialize_pieces
 from repro.engine.profiling import StageTimer
 from repro.engine.sparse_kernels import clip_cells_batch, mec_batch
@@ -247,21 +247,10 @@ class SparseRoundEngine(BatchedRoundEngine):
                 fin_rows = np.nonzero(finished)[0]
                 if fin_rows.size:
                     fin_piece = finished[piece_owner]
-                    if fin_piece.all():
-                        emit.extend(
-                            vx, vy, vert_counts, act_nodes[piece_owner]
-                        )
-                    elif fin_piece.any():
-                        sel = np.nonzero(fin_piece)[0]
-                        g = ragged_indices(
-                            piece_indptr[:-1][sel], vert_counts[sel]
-                        )
-                        emit.extend(
-                            vx[g],
-                            vy[g],
-                            vert_counts[sel],
-                            act_nodes[piece_owner[sel]],
-                        )
+                    emit.extend_csr(
+                        vx, vy, piece_indptr, act_nodes[piece_owner],
+                        rows=None if fin_piece.all() else np.nonzero(fin_piece)[0],
+                    )
                     used[act_nodes[fin_rows]] = comp_counts[fin_rows]
                     search_radius[act_nodes[fin_rows]] = rho_act[fin_rows]
                 rho[act_nodes[~finished]] *= 2.0
@@ -337,9 +326,7 @@ class SparseRoundEngine(BatchedRoundEngine):
             vx, vy, piece_indptr, piece_owner = clip_cells_batch(
                 positions[rows], px[flat], py[flat], comp_indptr, area_pieces, k
             )
-            emit.extend(
-                vx, vy, np.diff(piece_indptr), rows[piece_owner]
-            )
+            emit.extend_csr(vx, vy, piece_indptr, rows[piece_owner])
         evx, evy, piece_indptr, piece_owner, vert_indptr = emit.finalize(count)
         self._flat_regions = (evx, evy, vert_indptr, alive_ids)
         used = np.full(count, count - 1, dtype=np.int64)
@@ -396,5 +383,5 @@ class SparseRoundEngine(BatchedRoundEngine):
             ranges_from_position=ranges.tolist(),
             displacements=displacements.tolist(),
             max_ring_hops=max_hops,
-            profile=timer.result(),
+            profile=timer.result(threads=kernel_threads(), tier=kernel_tier()),
         )

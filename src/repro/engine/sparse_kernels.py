@@ -34,7 +34,13 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.jit_kernels import halfplane_minmax, ragged_indices, segment_ids
+from repro.engine.jit_kernels import (
+    classify_first_events,
+    clip_crossing_pieces,
+    compress_rings,
+    ragged_indices,
+    segment_ids,
+)
 from repro.geometry.primitives import EPS, Point
 from repro.geometry.welzl import welzl_disk
 from repro.voronoi.dominating import _MIN_PIECE_AREA
@@ -51,59 +57,9 @@ _CUTOFF_MARGIN = 1e-7
 _ragged_indices = ragged_indices
 
 
-def _compress_rings(
-    ex: np.ndarray,
-    ey: np.ndarray,
-    ring_of_slot: np.ndarray,
-    emit: np.ndarray,
-    nrings: int,
-    eps: float,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Compact emitted clip vertices into deduped rings.
-
-    Consecutive vertices within ``eps`` (per axis) are collapsed, then
-    trailing vertices cyclically equal to the ring head are dropped —
-    array-pass analogues of the scalar running dedupe in
-    ``split_ring_halfplane`` (identical except on chains of 3+ vertices
-    that are pairwise but not transitively within ``eps``, which the
-    sparse tier's tolerance contract covers).
-    """
-    x = ex[emit]
-    y = ey[emit]
-    ring = ring_of_slot[emit]
-    counts = np.bincount(ring, minlength=nrings)
-    while x.size:
-        starts = np.cumsum(counts) - counts
-        first = np.zeros(x.size, dtype=bool)
-        first[starts[counts > 0]] = True
-        prev = np.arange(x.size, dtype=np.int64) - 1
-        dup = ~first & (np.abs(x - x[prev]) <= eps) & (np.abs(y - y[prev]) <= eps)
-        if not dup.any():
-            break
-        keep = ~dup
-        x = x[keep]
-        y = y[keep]
-        ring = ring[keep]
-        counts = np.bincount(ring, minlength=nrings)
-    while x.size:
-        starts = np.cumsum(counts) - counts
-        rows = np.nonzero(counts >= 2)[0]
-        if rows.size == 0:
-            break
-        lasts = starts[rows] + counts[rows] - 1
-        close = (np.abs(x[lasts] - x[starts[rows]]) <= eps) & (
-            np.abs(y[lasts] - y[starts[rows]]) <= eps
-        )
-        if not close.any():
-            break
-        drop = np.zeros(x.size, dtype=bool)
-        drop[lasts[close]] = True
-        keep = ~drop
-        x = x[keep]
-        y = y[keep]
-        ring = ring[keep]
-        counts = np.bincount(ring, minlength=nrings)
-    return x, y, counts
+#: Ring compression is a kernel seam now (see ``jit_kernels``); the
+#: historic name remains for existing call sites and tests.
+_compress_rings = compress_rings
 
 
 def _ring_areas(x: np.ndarray, y: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -295,43 +251,27 @@ def clip_cells_batch(
                 break
 
         # Fused classification of each live piece's next (lookahead
-        # many) competitors against its current geometry.  The
-        # per-entry bisector coefficients are the same float values as
-        # the historic per-owner gather, so the signed extrema are
-        # bitwise unchanged (see ``jit_kernels.halfplane_minmax``).
+        # many) competitors against its current geometry — a kernel
+        # seam (``jit_kernels.classify_first_events``) reading the pool
+        # and the per-piece walk descriptors directly.  The per-entry
+        # bisector coefficients are the same float values as the
+        # historic per-owner gather, so the signed extrema (and every
+        # decision derived from them) are bitwise unchanged.
         nblk = np.minimum(pblk, ncomp[po] - pptr)
-        blk_starts = np.cumsum(nblk) - nblk
-        total_blk = int(nblk.sum())
-        blk_piece = segment_ids(nblk, total_blk)
-        blk_pos = np.arange(total_blk, dtype=np.int64) - blk_starts[blk_piece]
-        cidx = comp_indptr[po[blk_piece]] + pptr[blk_piece] + blk_pos
-        pmax, pmin = halfplane_minmax(
-            pool_x,
-            pool_y,
-            pstart[blk_piece],
-            pc[blk_piece],
-            coeff_a[cidx],
-            coeff_b[cidx],
-            coeff_c[cidx],
+        centry = comp_indptr[po] + pptr
+        first_evt, evt_kind = classify_first_events(
+            pool_x, pool_y, pstart, pc, centry, nblk,
+            coeff_a, coeff_b, coeff_c, comp_separated, eps,
         )
-        # Co-located competitors are skipped outright (never strictly
-        # closer); they count as untouched so the walk consumes them.
-        untouched_blk = ~comp_separated[cidx] | (pmax <= eps)
-        allout_blk = ~untouched_blk & (pmin >= -eps)
-        # First event (all-out or crossing) per piece; entries past it
-        # were evaluated against geometry the event may invalidate and
-        # are discarded.
-        pos_or_sent = np.where(untouched_blk, np.iinfo(np.int64).max, blk_pos)
-        first_evt = np.minimum.reduceat(pos_or_sent, blk_starts)
-        has_evt = first_evt < nblk
-        evt_entry = blk_starts + np.where(has_evt, first_evt, 0)
-        allout_evt = has_evt & allout_blk[evt_entry]
-        cross_evt = has_evt & ~allout_blk[evt_entry]
+        has_evt = evt_kind != 0
+        allout_evt = evt_kind == 1
+        cross_evt = evt_kind == 2
         allout_keep_evt = allout_evt & (pv + 1 <= budget)
         allout_drop_evt = allout_evt & ~allout_keep_evt
         # Competitors consumed this pass: everything before the event
-        # plus the event itself, or the whole block when none fired.
-        ptr_advanced = np.where(has_evt, pptr + first_evt + 1, pptr + nblk)
+        # plus the event itself, or the whole block when none fired
+        # (``first_evt == nblk`` then, so one expression covers both).
+        ptr_advanced = pptr + first_evt + has_evt
         blk_next = np.where(has_evt, 1, np.minimum(pblk * 2, max_block))
         if not cross_evt.any() and not allout_drop_evt.any():
             pv = pv + allout_keep_evt
@@ -339,95 +279,22 @@ def clip_cells_batch(
             pblk = blk_next
             continue
 
-        # ---- fused two-sided Sutherland–Hodgman over crossing pieces
+        # ---- fused two-sided Sutherland–Hodgman over crossing pieces,
+        # the second kernel seam: split every crossing piece by its
+        # event bisector, dedupe the children, and hand back compacted
+        # rings.  The farther side exists only for pieces that still
+        # have clip budget (``pv + 1 <= budget``); once a piece's
+        # budget is spent — for k=2, after its very first split — its
+        # farther child is discarded unconditionally (count 0).
         cross_pieces_global = np.nonzero(cross_evt)[0]
-        a_cross = coeff_a[cidx[evt_entry[cross_pieces_global]]]
-        b_cross = coeff_b[cidx[evt_entry[cross_pieces_global]]]
-        c_cross = coeff_c[cidx[evt_entry[cross_pieces_global]]]
-        ccounts = pc[cross_pieces_global]
-        ctotal = int(ccounts.sum())
-        cgather = _ragged_indices(pstart[cross_pieces_global], ccounts)
-        cvx = pool_x[cgather]
-        cvy = pool_y[cgather]
-        # Signed values of the crossing vertices only, recomputed with
-        # the same coefficients and expression as the kernel seam — the
-        # untouched/all-out majority never materialises per-vertex
-        # values at all.
-        vert_piece = segment_ids(ccounts, ctotal)
-        cval = (
-            a_cross[vert_piece] * cvx
-            + b_cross[vert_piece] * cvy
-            - c_cross[vert_piece]
-        )
-        cstarts = np.cumsum(ccounts) - ccounts
-        prev = np.arange(ctotal, dtype=np.int64) - 1
-        prev[cstarts] = cstarts + ccounts - 1
-        pvx = cvx[prev]
-        pvy = cvy[prev]
-        pval = cval[prev]
-        inside_c = cval <= eps
-        prev_in_c = pval <= eps
-        cross_c = inside_c != prev_in_c
-        # Edge/bisector intersections: one evaluation shared by both
-        # sides, in the exact scalar grouping (midpoint fallback for
-        # degenerate edges, clamped interpolation parameter).
-        denom = pval - cval
-        degen = np.abs(denom) <= EPS * EPS
-        t = np.clip(pval / np.where(degen, 1.0, denom), 0.0, 1.0)
-        ipx = np.where(degen, (pvx + cvx) / 2.0, pvx + t * (cvx - pvx))
-        ipy = np.where(degen, (pvy + cvy) / 2.0, pvy + t * (cvy - pvy))
-        # Emission slots per vertex: [intersection, current vertex] —
-        # the scalar append order.
-        n2 = 2 * ctotal
-        ex = np.empty(n2)
-        ey = np.empty(n2)
-        ex[0::2] = ipx
-        ex[1::2] = cvx
-        ey[0::2] = ipy
-        ey[1::2] = cvy
-        slot_piece = np.repeat(vert_piece, 2)
-        emit_c = np.empty(n2, dtype=bool)
-        emit_c[0::2] = cross_c
-        emit_c[1::2] = inside_c
-        clo_x, clo_y, clo_counts = _compress_rings(
-            ex, ey, slot_piece, emit_c, cross_pieces_global.size, eps
-        )
-        # The farther side exists only for pieces that still have clip
-        # budget (``pv + 1 <= budget``); once a piece's budget is spent
-        # — for k=2, after its very first split — its farther child is
-        # discarded unconditionally, so the ring machinery is run on
-        # the budgeted subset only instead of emitting empty rings for
-        # everyone.  Identical per-entry arithmetic, restricted.
+        evt_cidx = centry[cross_pieces_global] + first_evt[cross_pieces_global]
         want_farther = pv[cross_pieces_global] + 1 <= budget
-        wsel = np.nonzero(want_farther)[0]
-        if wsel.size:
-            fcounts = ccounts[wsel]
-            fg = _ragged_indices(cstarts[wsel], fcounts)
-            cval_f = cval[fg]
-            pval_f = pval[fg]
-            inside_f = cval_f >= -eps
-            prev_in_f = pval_f >= -eps
-            cross_f = inside_f != prev_in_f
-            nf2 = 2 * fg.shape[0]
-            fx = np.empty(nf2)
-            fy = np.empty(nf2)
-            fx[0::2] = ipx[fg]
-            fx[1::2] = cvx[fg]
-            fy[0::2] = ipy[fg]
-            fy[1::2] = cvy[fg]
-            slot_piece_f = np.repeat(
-                segment_ids(fcounts, fg.shape[0]), 2
-            )
-            emit_f = np.empty(nf2, dtype=bool)
-            emit_f[0::2] = cross_f
-            emit_f[1::2] = inside_f
-            far_x, far_y, far_counts = _compress_rings(
-                fx, fy, slot_piece_f, emit_f, wsel.size, eps
-            )
-        else:
-            far_x = np.zeros(0)
-            far_y = np.zeros(0)
-            far_counts = np.zeros(0, dtype=np.int64)
+        clo_x, clo_y, clo_counts, far_x, far_y, far_counts = clip_crossing_pieces(
+            pool_x, pool_y,
+            pstart[cross_pieces_global], pc[cross_pieces_global],
+            coeff_a[evt_cidx], coeff_b[evt_cidx], coeff_c[evt_cidx],
+            want_farther, eps,
+        )
         keep_closer = (clo_counts >= 3) & (
             _ring_areas(clo_x, clo_y, clo_counts) > _MIN_PIECE_AREA
         )
@@ -436,11 +303,12 @@ def clip_cells_batch(
         )
         # Circumradii of the clipped children (the only pieces whose
         # vertices changed this level), same expression as the cached
-        # state they feed.
+        # state they feed.  Areas and radii stay NumPy on *both* tiers:
+        # given identical rings the keep decisions are then identical
+        # by construction.
         cross_owner = po[cross_pieces_global]
-        far_owner = cross_owner[wsel]
         clo_rad = _ring_radii(clo_x, clo_y, clo_counts, sx[cross_owner], sy[cross_owner])
-        far_rad = _ring_radii(far_x, far_y, far_counts, sx[far_owner], sy[far_owner])
+        far_rad = _ring_radii(far_x, far_y, far_counts, sx[cross_owner], sy[cross_owner])
 
         # ---- append the kept children to the pool and rebuild the
         # descriptor arrays: survivors keep their pool slices verbatim.
@@ -474,7 +342,7 @@ def clip_cells_batch(
         keep_orig = ~cross_evt & ~allout_drop_evt
         orig_rows = np.nonzero(keep_orig)[0]
         clo_rows = cross_pieces_global[keep_closer]
-        far_rows = cross_pieces_global[wsel[keep_farther]]
+        far_rows = cross_pieces_global[keep_farther]
         pstart = np.concatenate(
             (pstart[orig_rows], clo_child_start, far_child_start)
         )

@@ -42,7 +42,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.engine.jit_kernels import closer_counts, segment_ids
+from repro.engine.jit_kernels import closer_counts, kernel_tier, segment_ids
+from repro.engine.kernels import kernel_threads
 from repro.engine.pieces import LazyRegions, materialize_pieces
 from repro.engine.profiling import StageTimer
 from repro.engine.sparse_kernels import clip_cells_batch, mec_batch
@@ -593,5 +594,5 @@ class SparseDistributedEngine(BatchedDistributedEngine):
             ranges_from_position=ranges.tolist(),
             displacements=displacements.tolist(),
             proposed_targets=proposed,
-            profile=timer.result(),
+            profile=timer.result(threads=kernel_threads(), tier=kernel_tier()),
         )

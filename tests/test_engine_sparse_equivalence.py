@@ -27,6 +27,7 @@ from repro.core.config import LaacadConfig
 from repro.engine import available_engines, make_engine
 from repro.engine.kernels import (
     DENSE_MATRIX_BYTES_ENV,
+    KERNEL_THREADS_ENV,
     pairwise_distance_and_sq,
     pairwise_distance_matrix,
     plan_chunks,
@@ -44,6 +45,18 @@ from repro.runtime.scheduler import SynchronousScheduler
 from repro.runtime.sparse import SparseDistributedEngine
 
 TOL = 1e-9
+
+
+@pytest.fixture(params=[1, 2, 7], ids=lambda t: f"threads{t}")
+def kernel_thread_count(request, monkeypatch):
+    """Sweep the kernel worker knob: equivalence must hold at any count.
+
+    The chunk-ordered reduction contract (DESIGN.md "Kernel tiers")
+    promises that ``REPRO_KERNEL_THREADS`` is bitwise invisible, so the
+    tolerance results pinned by this suite cannot depend on it either.
+    """
+    monkeypatch.setenv(KERNEL_THREADS_ENV, str(request.param))
+    return request.param
 
 
 # ----------------------------------------------------------------------
@@ -187,7 +200,7 @@ def _centralized_round(engine_name, seed, count=60, k=2, region=None):
 class TestCentralizedSparseEquivalence:
     @pytest.mark.parametrize("seed", [1, 12])
     @pytest.mark.parametrize("k", [1, 2, 3])
-    def test_round_summary_matches_batched(self, seed, k):
+    def test_round_summary_matches_batched(self, seed, k, kernel_thread_count):
         batched = _centralized_round("batched", seed, k=k)
         sparse = _centralized_round("sparse", seed, k=k)
         assert set(sparse.centers) == set(batched.centers)
@@ -298,7 +311,7 @@ def _assert_equivalent(batched, sparse):
 class TestDistributedSparseEquivalence:
     @pytest.mark.parametrize("seed", [1, 7, 23])
     @pytest.mark.parametrize("drop_probability", [0.0, 0.02, 0.15])
-    def test_loss_rates_and_seeds(self, seed, drop_probability):
+    def test_loss_rates_and_seeds(self, seed, drop_probability, kernel_thread_count):
         batched = _run_distributed(
             "batched", seed, drop_probability=drop_probability
         )
@@ -338,6 +351,45 @@ class TestDistributedSparseEquivalence:
         batched = _run_distributed("batched", 31 + k, drop_probability=0.05, k=k)
         sparse = _run_distributed("sparse", 31 + k, drop_probability=0.05, k=k)
         _assert_equivalent(batched, sparse)
+
+
+# ----------------------------------------------------------------------
+# Thread-count determinism: the worker knob is bitwise invisible
+# ----------------------------------------------------------------------
+class TestKernelThreadDeterminism:
+    """Stronger than the tolerance contract: for a *fixed* engine, any
+    ``REPRO_KERNEL_THREADS`` value must reproduce the serial floats
+    bitwise — the chunk-ordered reduction promise that lets CI compare
+    baselines recorded on machines with different core counts.
+    """
+
+    def test_centralized_sparse_bitwise_across_thread_counts(self, monkeypatch):
+        def run(threads):
+            monkeypatch.setenv(KERNEL_THREADS_ENV, str(threads))
+            return _centralized_round("sparse", 17, count=80, k=2)
+
+        base = run(1)
+        for threads in (2, 7):
+            other = run(threads)
+            assert other.centers == base.centers
+            assert list(other.circumradii) == list(base.circumradii)
+            assert list(other.ranges_from_position) == list(
+                base.ranges_from_position
+            )
+            assert list(other.displacements) == list(base.displacements)
+
+    def test_distributed_sparse_bitwise_across_thread_counts(self, monkeypatch):
+        def run(threads):
+            monkeypatch.setenv(KERNEL_THREADS_ENV, str(threads))
+            return _run_distributed("sparse", 23, drop_probability=0.1)
+
+        base = run(1)
+        for threads in (2, 7):
+            other = run(threads)
+            assert other.rounds_executed == base.rounds_executed
+            assert list(other.final_positions) == list(base.final_positions)
+            assert list(other.sensing_ranges) == list(base.sensing_ranges)
+            assert other.communication == base.communication
 
 
 # ----------------------------------------------------------------------

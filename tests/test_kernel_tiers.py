@@ -26,17 +26,34 @@ import pytest
 import repro.engine.jit_kernels as jk
 from repro.engine.jit_kernels import (
     KERNELS_ENV,
+    _classify_first_events_loops,
+    _clip_crossing_loops,
     _closer_counts_loops,
+    _compress_rings_loops,
     _halfplane_minmax_loops,
+    classify_first_events,
+    clip_crossing_pieces,
     closer_counts,
+    compress_rings,
     halfplane_minmax,
     kernel_tier,
     numba_available,
     ragged_indices,
     segment_ids,
 )
-from repro.engine.kernels import plan_chunks
+from repro.engine.kernels import (
+    KERNEL_THREADS_ENV,
+    kernel_threads,
+    plan_chunks,
+    run_chunk_tasks,
+    split_ranges,
+)
 from repro.engine.pieces import PieceAccumulator
+
+#: The worker counts every seam determinism test sweeps: serial (the
+#: bitwise-anchored path), an even split, and a prime that leaves a
+#: ragged tail range.
+THREAD_COUNTS = pytest.mark.parametrize("threads", [1, 2, 7])
 
 
 # ----------------------------------------------------------------------
@@ -64,6 +81,44 @@ def _counting_problem(rng, n_rows=25, n_samples=16, max_known=30):
     sample_y = rng.uniform(0.0, 1.0, size=(n_rows, n_samples))
     threshold_sq = rng.uniform(0.0, 0.05, size=(n_rows, n_samples))
     return kx, ky, offsets, counts, sample_x, sample_y, threshold_sq
+
+
+def _classify_problem(rng, n_pieces=60, max_verts=8, max_blk=6):
+    """Pieces plus a contiguous competitor-lookahead block per piece."""
+    counts = rng.integers(3, max_verts, size=n_pieces).astype(np.int64)
+    starts = (np.cumsum(counts) - counts).astype(np.int64)
+    total = int(counts.sum())
+    vx = rng.uniform(-2.0, 2.0, size=total)
+    vy = rng.uniform(-2.0, 2.0, size=total)
+    nblk = rng.integers(1, max_blk, size=n_pieces).astype(np.int64)
+    centry = (np.cumsum(nblk) - nblk).astype(np.int64)
+    ncomp = int(nblk.sum())
+    ca = rng.uniform(-1.5, 1.5, size=ncomp)
+    cb = rng.uniform(-1.5, 1.5, size=ncomp)
+    cc = rng.uniform(-1.5, 1.5, size=ncomp)
+    sep = rng.random(ncomp) < 0.8
+    return vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep
+
+
+def _clip_loops_oracle(pool_x, pool_y, pstart, pc, ca, cb, cc, want, eps):
+    """Run the scalar clip body through slot buffers and compact."""
+    from repro.geometry.primitives import EPS
+
+    slot_start = (2 * (np.cumsum(pc) - pc)).astype(np.int64)
+    cap = int(2 * pc.sum())
+    clo_x = np.empty(cap)
+    clo_y = np.empty(cap)
+    far_x = np.empty(cap)
+    far_y = np.empty(cap)
+    clo_n = np.zeros(pc.shape[0], dtype=np.int64)
+    far_n = np.zeros(pc.shape[0], dtype=np.int64)
+    _clip_crossing_loops(
+        pool_x, pool_y, pstart, pc, ca, cb, cc, want, eps, EPS * EPS,
+        slot_start, clo_x, clo_y, clo_n, far_x, far_y, far_n,
+    )
+    cidx = ragged_indices(slot_start, clo_n)
+    fidx = ragged_indices(slot_start, far_n)
+    return clo_x[cidx], clo_y[cidx], clo_n, far_x[fidx], far_y[fidx], far_n
 
 
 @pytest.fixture
@@ -176,6 +231,347 @@ class TestLoopFormOracles:
 
 
 # ----------------------------------------------------------------------
+# Clip-pass seams: classification, fused two-sided clip, compression
+# ----------------------------------------------------------------------
+EPS = 1e-9
+
+
+class TestClassifyFirstEvents:
+    @THREAD_COUNTS
+    def test_loops_bitwise_match_numpy_seam(self, rng, threads, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        monkeypatch.setenv(KERNEL_THREADS_ENV, str(threads))
+        # Big enough that the numpy seam genuinely splits into multiple
+        # worker ranges (min_per_worker=2048) when threads > 1.
+        vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep = (
+            _classify_problem(rng, n_pieces=4500)
+        )
+        first, kind = classify_first_events(
+            vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep, EPS
+        )
+        lf = np.empty_like(first)
+        lk = np.empty_like(kind)
+        _classify_first_events_loops(
+            vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep, EPS, lf, lk
+        )
+        np.testing.assert_array_equal(first, lf)
+        np.testing.assert_array_equal(kind, lk)
+
+    def test_zero_event_pass(self, rng, monkeypatch):
+        # Every bisector far on the negative side: the whole block is
+        # untouched, so no event fires — first_evt parks at nblk.
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep = (
+            _classify_problem(rng)
+        )
+        cc = np.full_like(cc, 100.0)  # value = a*x + b*y - 100 << -eps
+        first, kind = classify_first_events(
+            vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep, EPS
+        )
+        np.testing.assert_array_equal(kind, 0)
+        np.testing.assert_array_equal(first, nblk)
+
+    def test_all_out_first_event(self, rng, monkeypatch):
+        # Every separated bisector strictly positive over every vertex:
+        # the first separated block entry is an all-out (kind 1) event.
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep = (
+            _classify_problem(rng)
+        )
+        ca = np.ones_like(ca)
+        cb = np.zeros_like(cb)
+        cc = np.full_like(cc, -100.0)  # value = x + 100 >> eps
+        first, kind = classify_first_events(
+            vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep, EPS
+        )
+        for p in range(starts.shape[0]):
+            blk_sep = sep[centry[p] : centry[p] + nblk[p]]
+            if blk_sep.any():
+                assert kind[p] == 1
+                assert first[p] == int(np.argmax(blk_sep))
+            else:
+                assert kind[p] == 0
+                assert first[p] == nblk[p]
+
+    def test_non_separated_competitors_skipped(self, rng, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep = (
+            _classify_problem(rng)
+        )
+        sep = np.zeros_like(sep)
+        first, kind = classify_first_events(
+            vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep, EPS
+        )
+        np.testing.assert_array_equal(kind, 0)
+        np.testing.assert_array_equal(first, nblk)
+
+    def test_empty_input(self):
+        e_f = np.zeros(0)
+        e_i = np.zeros(0, dtype=np.int64)
+        first, kind = classify_first_events(
+            e_f, e_f, e_i, e_i, e_i, e_i, e_f, e_f, e_f,
+            np.zeros(0, dtype=bool), EPS,
+        )
+        assert first.shape == (0,) and kind.shape == (0,)
+
+
+class TestClipCrossingPieces:
+    def _random_rings(self, rng, n_pieces=50):
+        counts = rng.integers(3, 9, size=n_pieces).astype(np.int64)
+        starts = (np.cumsum(counts) - counts).astype(np.int64)
+        total = int(counts.sum())
+        # Rings scattered around distinct centers so the random
+        # bisectors produce a healthy mix of crossing/one-sided cases.
+        centers = rng.uniform(-3.0, 3.0, size=(n_pieces, 2))
+        seg = np.repeat(np.arange(n_pieces), counts)
+        vx = centers[seg, 0] + rng.uniform(-0.5, 0.5, size=total)
+        vy = centers[seg, 1] + rng.uniform(-0.5, 0.5, size=total)
+        ca = rng.uniform(-1.0, 1.0, size=n_pieces)
+        cb = rng.uniform(-1.0, 1.0, size=n_pieces)
+        cc = rng.uniform(-1.0, 1.0, size=n_pieces)
+        want = rng.random(n_pieces) < 0.7
+        return vx, vy, starts, counts, ca, cb, cc, want
+
+    @THREAD_COUNTS
+    def test_loops_bitwise_match_numpy_seam(self, rng, threads, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        monkeypatch.setenv(KERNEL_THREADS_ENV, str(threads))
+        # 1200 pieces > 2 * min_per_worker(512): the seam splits into
+        # multiple chunk-ordered ranges when threads > 1.
+        vx, vy, starts, counts, ca, cb, cc, want = self._random_rings(
+            rng, n_pieces=1200
+        )
+        got = clip_crossing_pieces(
+            vx, vy, starts, counts, ca, cb, cc, want, EPS
+        )
+        ref = _clip_loops_oracle(vx, vy, starts, counts, ca, cb, cc, want, EPS)
+        for g, r in zip(got, ref):
+            np.testing.assert_array_equal(g, r)
+
+    def test_zero_crossing_pass_keeps_piece_whole(self, monkeypatch):
+        # Bisector x = 10 far right of a unit triangle: the closer side
+        # is the untouched ring, the farther side is empty.
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        vx = np.asarray([0.0, 1.0, 0.0])
+        vy = np.asarray([0.0, 0.0, 1.0])
+        starts = np.asarray([0], dtype=np.int64)
+        counts = np.asarray([3], dtype=np.int64)
+        one = np.ones(1)
+        clo_x, clo_y, clo_n, far_x, far_y, far_n = clip_crossing_pieces(
+            vx, vy, starts, counts, one, np.zeros(1), np.full(1, 10.0),
+            np.ones(1, dtype=bool), EPS,
+        )
+        np.testing.assert_array_equal(clo_n, [3])
+        np.testing.assert_array_equal(clo_x, vx)
+        np.testing.assert_array_equal(clo_y, vy)
+        np.testing.assert_array_equal(far_n, [0])
+        assert far_x.size == 0 and far_y.size == 0
+
+    def test_all_out_piece_moves_to_farther_side(self, monkeypatch):
+        # Bisector x = -10 far left: the closer child vanishes and the
+        # farther child is the untouched ring.
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        vx = np.asarray([0.0, 1.0, 0.0])
+        vy = np.asarray([0.0, 0.0, 1.0])
+        starts = np.asarray([0], dtype=np.int64)
+        counts = np.asarray([3], dtype=np.int64)
+        clo_x, clo_y, clo_n, far_x, far_y, far_n = clip_crossing_pieces(
+            vx, vy, starts, counts, np.ones(1), np.zeros(1),
+            np.full(1, -10.0), np.ones(1, dtype=bool), EPS,
+        )
+        np.testing.assert_array_equal(clo_n, [0])
+        assert clo_x.size == 0
+        np.testing.assert_array_equal(far_n, [3])
+        np.testing.assert_array_equal(far_x, vx)
+
+    def test_want_farther_false_discards_far_child(self, rng, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        vx, vy, starts, counts, ca, cb, cc, _ = self._random_rings(rng)
+        none = np.zeros(counts.shape[0], dtype=bool)
+        _, _, _, far_x, far_y, far_n = clip_crossing_pieces(
+            vx, vy, starts, counts, ca, cb, cc, none, EPS
+        )
+        np.testing.assert_array_equal(far_n, 0)
+        assert far_x.size == 0 and far_y.size == 0
+
+    def test_clip_through_vertex_collapses_child(self, monkeypatch):
+        # Bisector x <= 0 grazes the triangle's left edge: the closer
+        # child degenerates to that edge (2 vertices after dedupe),
+        # which the engine's area filter later discards.
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        vx = np.asarray([0.0, 1.0, 0.0])
+        vy = np.asarray([0.0, 0.0, 1.0])
+        starts = np.asarray([0], dtype=np.int64)
+        counts = np.asarray([3], dtype=np.int64)
+        want = np.ones(1, dtype=bool)
+        got = clip_crossing_pieces(
+            vx, vy, starts, counts, np.ones(1), np.zeros(1), np.zeros(1),
+            want, EPS,
+        )
+        ref = _clip_loops_oracle(
+            vx, vy, starts, counts, np.ones(1), np.zeros(1), np.zeros(1),
+            want, EPS,
+        )
+        for g, r in zip(got, ref):
+            np.testing.assert_array_equal(g, r)
+        assert got[2][0] < 3  # closer child collapsed below a polygon
+        assert got[5][0] == 3  # farther child keeps the full triangle
+
+    def test_empty_input(self):
+        e_f = np.zeros(0)
+        e_i = np.zeros(0, dtype=np.int64)
+        out = clip_crossing_pieces(
+            e_f, e_f, e_i, e_i, e_f, e_f, e_f, np.zeros(0, dtype=bool), EPS
+        )
+        assert all(a.size == 0 for a in out)
+
+
+class TestCompressRingsSeam:
+    def _dup_chain_case(self):
+        # Ring 0: duplicate run + cyclic tail equal to the head; ring 1
+        # collapses below 3 vertices (all four slots within eps).
+        ex = np.asarray(
+            [0.0, 0.0, 1.0, 1.0 + 1e-12, 2.0, 0.0, 5.0, 5.0, 5.0 + 1e-12, 5.0]
+        )
+        ey = np.asarray(
+            [0.0, 0.0, 0.5, 0.5, 1.0, 1e-12, 5.0, 5.0 + 1e-11, 5.0, 5.0]
+        )
+        ring = np.asarray([0, 0, 0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
+        emit = np.ones(10, dtype=bool)
+        return ex, ey, ring, emit
+
+    def test_loops_match_numpy_on_degenerate_rings(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        ex, ey, ring, emit = self._dup_chain_case()
+        x, y, counts = compress_rings(ex, ey, ring, emit, 2, EPS)
+        # Ring 1 collapsed to a single point: below the 3-vertex polygon
+        # floor, exactly the case the engine's area filter then drops.
+        np.testing.assert_array_equal(counts, [3, 1])
+        lx = ex.copy()
+        ly = ey.copy()
+        starts = np.asarray([0, 6], dtype=np.int64)
+        cnt = np.asarray([6, 4], dtype=np.int64)
+        out = np.empty(2, dtype=np.int64)
+        _compress_rings_loops(lx, ly, starts, cnt, EPS, out)
+        np.testing.assert_array_equal(out, counts)
+        np.testing.assert_array_equal(lx[:3], x[:3])
+        np.testing.assert_array_equal(ly[:3], y[:3])
+        np.testing.assert_array_equal(lx[6:7], x[3:])
+        np.testing.assert_array_equal(ly[6:7], y[3:])
+
+    def test_unemitted_slots_are_dropped(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        ex = np.asarray([0.0, 9.0, 1.0, 2.0])
+        ey = np.asarray([0.0, 9.0, 1.0, 2.0])
+        ring = np.zeros(4, dtype=np.int64)
+        emit = np.asarray([True, False, True, True])
+        x, y, counts = compress_rings(ex, ey, ring, emit, 1, EPS)
+        np.testing.assert_array_equal(counts, [3])
+        np.testing.assert_array_equal(x, [0.0, 1.0, 2.0])
+
+    def test_empty_ring_set(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        x, y, counts = compress_rings(
+            np.zeros(0), np.zeros(0), np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=bool), 3, EPS,
+        )
+        assert x.size == 0 and y.size == 0
+        np.testing.assert_array_equal(counts, [0, 0, 0])
+
+
+# ----------------------------------------------------------------------
+# Kernel thread pool: knob resolution and chunk-ordered reduction
+# ----------------------------------------------------------------------
+class TestKernelThreads:
+    def test_default_is_available_cores(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_THREADS_ENV, raising=False)
+        assert kernel_threads() >= 1
+
+    def test_explicit_count(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_THREADS_ENV, " 3 ")
+        assert kernel_threads() == 3
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two", "1.5"])
+    def test_invalid_values_rejected(self, bad, monkeypatch):
+        monkeypatch.setenv(KERNEL_THREADS_ENV, bad)
+        with pytest.raises(ValueError, match=KERNEL_THREADS_ENV):
+            kernel_threads()
+
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    def test_run_chunk_tasks_preserves_submission_order(self, workers):
+        results = run_chunk_tasks(
+            [lambda i=i: i for i in range(20)], workers=workers
+        )
+        assert results == list(range(20))
+
+    def test_split_ranges_cover_contiguously(self):
+        for total in (1, 7, 100, 1001):
+            for workers in (1, 2, 7):
+                ranges = split_ranges(total, workers=workers)
+                assert ranges[0][0] == 0 and ranges[-1][1] == total
+                for (_, a_hi), (b_lo, _) in zip(ranges, ranges[1:]):
+                    assert a_hi == b_lo
+                assert len(ranges) <= workers
+
+    def test_split_ranges_respects_min_per_worker(self):
+        assert split_ranges(100, workers=8, min_per_worker=64) == [(0, 100)]
+        assert len(split_ranges(100, workers=8, min_per_worker=25)) <= 4
+
+    def test_split_ranges_empty(self):
+        assert split_ranges(0, workers=4) == []
+
+    def test_plan_chunks_worker_dimension_caps_chunk(self):
+        # Budget would allow one giant chunk; workers=4 forces at least
+        # four so the pool has something to overlap.
+        chunks = list(plan_chunks(1000, bytes_per_item=8, budget=10**9, workers=4))
+        assert len(chunks) == 4
+        assert chunks[0] == (0, 250) and chunks[-1] == (750, 1000)
+        serial = list(plan_chunks(1000, bytes_per_item=8, budget=10**9, workers=1))
+        assert serial == [(0, 1000)]
+
+
+# ----------------------------------------------------------------------
+# Broken-numba fallback: REPRO_KERNELS=jit degrades to numpy, loudly once
+# ----------------------------------------------------------------------
+class TestBrokenJitFallback:
+    def test_compile_failure_falls_back_with_single_warning(
+        self, rng, monkeypatch
+    ):
+        import sys
+        import types
+        import warnings as warnings_mod
+
+        fake = types.ModuleType("numba")
+
+        def njit(*args, **kwargs):
+            raise RuntimeError("cannot write to numba cache dir")
+
+        fake.njit = njit
+        monkeypatch.setitem(sys.modules, "numba", fake)
+        monkeypatch.setattr(jk, "_NUMBA_OK", True)
+        monkeypatch.setattr(jk, "_JIT_BROKEN", False)
+        monkeypatch.setattr(jk, "_JIT_CACHE", {})
+        monkeypatch.setenv(KERNELS_ENV, "jit")
+        # First acquisition: warns once, naming the env knob.
+        with pytest.warns(RuntimeWarning, match=KERNELS_ENV):
+            assert jk._get_jit("halfplane_minmax") is None
+        # The process is now pinned to numpy — silently.
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert jk._get_jit("closer_counts") is None
+            assert kernel_tier() == "numpy"
+            # And the seams still produce the numpy-tier answer.
+            vx, vy, starts, counts, ca, cb, cc = _ragged_pieces(rng)
+            pmax, pmin = halfplane_minmax(vx, vy, starts, counts, ca, cb, cc)
+            monkeypatch.setenv(KERNELS_ENV, "numpy")
+            ref_max, ref_min = halfplane_minmax(
+                vx, vy, starts, counts, ca, cb, cc
+            )
+        np.testing.assert_array_equal(pmax, ref_max)
+        np.testing.assert_array_equal(pmin, ref_min)
+
+
+# ----------------------------------------------------------------------
 # JIT tier (only with numba present; CI runs a leg without it)
 # ----------------------------------------------------------------------
 needs_numba = pytest.mark.skipif(
@@ -203,6 +599,48 @@ class TestJitTier:
         monkeypatch.setenv(KERNELS_ENV, "jit")
         jit = closer_counts(kx, ky, offsets, counts, sx, sy, tsq, cap, k)
         np.testing.assert_array_equal(ref, jit)
+
+    @THREAD_COUNTS
+    def test_classify_jit_bitwise_matches_numpy(self, rng, threads, monkeypatch):
+        vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep = (
+            _classify_problem(rng, n_pieces=1500)
+        )
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        ref = classify_first_events(
+            vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep, 1e-9
+        )
+        monkeypatch.setenv(KERNELS_ENV, "jit")
+        monkeypatch.setenv(KERNEL_THREADS_ENV, str(threads))
+        jit = classify_first_events(
+            vx, vy, starts, counts, centry, nblk, ca, cb, cc, sep, 1e-9
+        )
+        np.testing.assert_array_equal(ref[0], jit[0])
+        np.testing.assert_array_equal(ref[1], jit[1])
+
+    @THREAD_COUNTS
+    def test_clip_crossing_jit_bitwise_matches_numpy(
+        self, rng, threads, monkeypatch
+    ):
+        probe = TestClipCrossingPieces()
+        vx, vy, starts, counts, ca, cb, cc, want = probe._random_rings(
+            rng, n_pieces=600
+        )
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        ref = clip_crossing_pieces(vx, vy, starts, counts, ca, cb, cc, want, 1e-9)
+        monkeypatch.setenv(KERNELS_ENV, "jit")
+        monkeypatch.setenv(KERNEL_THREADS_ENV, str(threads))
+        jit = clip_crossing_pieces(vx, vy, starts, counts, ca, cb, cc, want, 1e-9)
+        for r, j in zip(ref, jit):
+            np.testing.assert_array_equal(r, j)
+
+    def test_compress_rings_jit_matches_numpy(self, monkeypatch):
+        ex, ey, ring, emit = TestCompressRingsSeam()._dup_chain_case()
+        monkeypatch.setenv(KERNELS_ENV, "numpy")
+        ref = compress_rings(ex, ey, ring, emit, 2, 1e-9)
+        monkeypatch.setenv(KERNELS_ENV, "jit")
+        jit = compress_rings(ex, ey, ring, emit, 2, 1e-9)
+        for r, j in zip(ref, jit):
+            np.testing.assert_array_equal(r, j)
 
 
 # ----------------------------------------------------------------------
@@ -276,6 +714,39 @@ class TestPieceAccumulatorOrdering:
         acc.extend(np.zeros(0), np.zeros(0), np.zeros(0, dtype=np.int64),
                    np.zeros(0, dtype=np.int64))
         _, _, piece_indptr, piece_owner, _ = acc.finalize(1)
+        np.testing.assert_array_equal(piece_indptr, [0])
+        assert piece_owner.size == 0
+
+    def test_extend_csr_matches_extend(self, rng):
+        # CSR-direct appends (all rows, and a row subset) must finalize
+        # identically to the historic counts-based extend.
+        counts = rng.integers(1, 6, size=12).astype(np.int64)
+        indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        total = int(counts.sum())
+        vx = rng.uniform(-1.0, 1.0, size=total)
+        vy = rng.uniform(-1.0, 1.0, size=total)
+        owners = rng.integers(0, 5, size=12).astype(np.int64)
+        rows = np.asarray([1, 4, 5, 9], dtype=np.int64)
+
+        ref = PieceAccumulator()
+        ref.extend(vx, vy, counts, owners)
+        gidx = ragged_indices(indptr[:-1][rows], counts[rows])
+        ref.extend(vx[gidx], vy[gidx], counts[rows], owners[rows])
+
+        acc = PieceAccumulator()
+        acc.extend_csr(vx, vy, indptr, owners)
+        acc.extend_csr(vx, vy, indptr, owners, rows=rows)
+
+        for r, a in zip(ref.finalize(5), acc.finalize(5)):
+            np.testing.assert_array_equal(r, a)
+
+    def test_extend_csr_empty_rows_is_noop(self):
+        acc = PieceAccumulator()
+        acc.extend_csr(
+            np.zeros(3), np.zeros(3), np.asarray([0, 3], dtype=np.int64),
+            np.zeros(1, dtype=np.int64), rows=np.zeros(0, dtype=np.int64),
+        )
+        _, _, piece_indptr, piece_owner, _ = acc.finalize(2)
         np.testing.assert_array_equal(piece_indptr, [0])
         assert piece_owner.size == 0
 
