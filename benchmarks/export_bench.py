@@ -73,6 +73,8 @@ Usage::
     PYTHONPATH=src python benchmarks/export_bench.py --compare-tiers jit.json benchmarks/BENCH_PR7.json
     PYTHONPATH=src python benchmarks/export_bench.py --profile      # sparse per-stage breakdown
     PYTHONPATH=src python benchmarks/export_bench.py --profile --threads 1,2,4
+    PYTHONPATH=src python benchmarks/export_bench.py --profile --profile-out profile.json
+    PYTHONPATH=src python benchmarks/export_bench.py --check-overhead benchmarks/BENCH_PR9.json
 
 ``--profile`` runs one sparse round per size with ``REPRO_PROFILE=1``
 and prints the per-stage wall-clock breakdown (gather / circle_check /
@@ -82,6 +84,10 @@ With ``--threads 1,2,4`` the profile becomes a sweep: each round runs
 once per worker count and every stage reports its parallel efficiency
 ``t_1 / (t_n * n)`` against the serial run, showing exactly which
 stages scale and where the thread dimension saturates.
+``--profile-out PATH`` additionally writes the breakdown as JSON for
+machine diffing, and ``--check-overhead BENCH_PR9.json`` gates the
+*telemetry-disabled* hot path against the committed PR9 cells — the
+observability hooks must cost nothing when no trace is active.
 
 ``--check`` re-measures the regression-relevant subset (round times and
 the deployment transient; the sweep is skipped — its wall-clock is
@@ -182,13 +188,20 @@ def build_transient_deployment(engine_name: str) -> Callable[[], object]:
     return deploy
 
 
+#: Clock behind ``_best_of``.  ``--check-overhead`` swaps in
+#: ``time.process_time`` for its single-threaded cells: CPU time is
+#: immune to scheduler preemption (the dominant noise on shared
+#: runners) yet counts every cycle a hot-path hook would add.
+_CLOCK = time.perf_counter
+
+
 def _best_of(fn: Callable[[], None], repeats: int = 3) -> float:
     """Minimum wall-clock of ``repeats`` runs (noise-robust point estimate)."""
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = _CLOCK()
         fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, _CLOCK() - start)
     return best
 
 
@@ -408,11 +421,10 @@ def collect_sparse() -> Dict[str, object]:
 
 
 def _stage_items(profile):
-    """Stage → seconds pairs, hottest first, skipping the ``meta`` entry."""
-    return sorted(
-        ((name, secs) for name, secs in (profile or {}).items() if name != "meta"),
-        key=lambda kv: -kv[1],
-    )
+    """Stage → seconds pairs, hottest first (``meta`` skipped upstream)."""
+    from repro.engine.profiling import profile_stages
+
+    return sorted(profile_stages(profile).items(), key=lambda kv: -kv[1])
 
 
 def _profiled_round(kind: str, n: int):
@@ -437,7 +449,7 @@ def _profiled_round(kind: str, n: int):
     return time.perf_counter() - start, result.profile or {}
 
 
-def profile_sparse(sizes=SPARSE_SIZES, thread_counts=None) -> int:
+def profile_sparse(sizes=SPARSE_SIZES, thread_counts=None, out=None) -> int:
     """Per-stage breakdown of one sparse round per size (``--profile``).
 
     Forces ``REPRO_PROFILE=1`` for the measured rounds and prints the
@@ -446,15 +458,21 @@ def profile_sparse(sizes=SPARSE_SIZES, thread_counts=None) -> int:
     ``thread_counts`` (the ``--threads`` sweep) every round runs once
     per worker count and each stage additionally reports its parallel
     efficiency ``t_1 / (t_n * n)`` against the serial measurement.
+    With ``out`` (``--profile-out``) the same measurements are also
+    written as machine-readable JSON — one row per (kind, size, threads)
+    with the total, the stage dict and the profile's ``meta`` — so two
+    profile runs can be diffed by a script instead of by eyeball.
     """
     import os
 
     from repro.engine.jit_kernels import kernel_tier
     from repro.engine.kernels import KERNEL_THREADS_ENV
+    from repro.engine.profiling import profile_meta
 
     os.environ["REPRO_PROFILE"] = "1"
     print(f"kernel tier: {kernel_tier()}")
     counts = list(thread_counts) if thread_counts else [None]
+    rows = []
     for n in sizes:
         for kind in ("centralized", "distributed"):
             serial_stages: Dict[str, float] = {}
@@ -463,6 +481,16 @@ def profile_sparse(sizes=SPARSE_SIZES, thread_counts=None) -> int:
                     os.environ[KERNEL_THREADS_ENV] = str(threads)
                 total, profile = _profiled_round(kind, n)
                 stages = _stage_items(profile)
+                rows.append(
+                    {
+                        "kind": kind,
+                        "n": n,
+                        "threads": threads,
+                        "total_seconds": total,
+                        "stages": dict(stages),
+                        "meta": profile_meta(profile),
+                    }
+                )
                 tag = "" if threads is None else f" threads={threads}"
                 print(f"{kind} n={n}{tag}: {total:.3f}s  "
                       + "  ".join(f"{name}={secs:.3f}" for name, secs in stages))
@@ -475,6 +503,14 @@ def profile_sparse(sizes=SPARSE_SIZES, thread_counts=None) -> int:
                         if name in serial_stages and secs > 0.0
                     )
                     print(f"{kind} n={n} threads={threads} efficiency: {effs}")
+    if out is not None:
+        payload = {
+            "profile_format_version": 1,
+            "kernel_tier": kernel_tier(),
+            "rows": rows,
+        }
+        Path(out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
     return 0
 
 
@@ -684,6 +720,112 @@ def check_pr9(baseline_payload: Dict, factor: float) -> int:
         print(f"\nFAILED: {len(failures)} regression(s): {', '.join(failures)}")
         return 1
     print("\nOK: no measurement regressed beyond the allowed factor")
+    return 0
+
+
+#: Allowed telemetry-disabled slowdown vs the committed PR9 baseline:
+#: the hooks' disabled path is one module-global check, so 2% covers it
+#: with margin on a quiet machine.  CI passes a looser ``--overhead-
+#: factor`` to absorb shared-runner noise.
+OVERHEAD_FACTOR = 1.02
+
+
+def check_overhead(baseline_payload: Dict, factor: float) -> int:
+    """Telemetry-disabled overhead gate (``--check-overhead``).
+
+    Replays the numpy/threads=1 N=2000 cells of a PR9-format baseline
+    with tracing and profiling both off — the default hot-path
+    configuration — and fails when either round exceeds ``baseline *
+    machine_scale * factor``.  This is the enforcement of the obs
+    contract: with no active collector, every span site costs one
+    module-global check, which must be invisible at round granularity.
+    """
+    import os
+
+    from repro.engine.jit_kernels import KERNELS_ENV
+    from repro.engine.kernels import KERNEL_THREADS_ENV
+    from repro.engine.profiling import PROFILE_ENV
+    from repro.obs import trace
+
+    if trace.tracing_active():
+        raise RuntimeError("--check-overhead must run with tracing off")
+    base_cell = baseline_payload["tiers"]["numpy"]["threads"]["1"]
+
+    failures = []
+    # The gate's cells are single-threaded and CPU-bound, so measure
+    # them on the process CPU clock: time stolen by other processes (the
+    # dominant noise on shared single-core runners) does not count,
+    # while an extra hot-path attribute check — pure CPU work — counts
+    # in full.  The baseline's wall-clock seconds are an upper bound on
+    # its CPU seconds, so the budget only gets tighter, never looser.
+    global _CLOCK
+    saved_clock = _CLOCK
+    _CLOCK = time.process_time
+
+    # One-sided machine calibration: a *slower* checking machine gets a
+    # proportionally larger budget (as in the other gates), but a faster
+    # one keeps the absolute baseline budget — hook cost cannot be
+    # negative, so a run on faster hardware must still come in at or
+    # under the recorded pre-telemetry seconds.  This keeps a tight
+    # factor meaningful when the scalar calibration workload and the
+    # numpy-bound rounds speed up by different ratios.
+    raw_scale = measure_calibration() / baseline_payload["calibration_seconds"]
+    scale = max(1.0, raw_scale)
+    print(f"machine-speed scale vs baseline: {raw_scale:.2f}x "
+          f"(applied: {scale:.2f}x, one-sided)\n")
+
+    saved = {
+        key: os.environ.get(key)
+        for key in (KERNELS_ENV, KERNEL_THREADS_ENV, PROFILE_ENV)
+    }
+    try:
+        os.environ[KERNELS_ENV] = "numpy"
+        os.environ[KERNEL_THREADS_ENV] = "1"
+        os.environ.pop(PROFILE_ENV, None)
+        sizes = (PR9_SIZES[0],)
+        # A tight factor needs a converging best-of: single-cell
+        # readings wobble ±20% under background load, while the floor —
+        # which is what a hot-path attribute check would raise — is
+        # stable.  Replay the cell until every floor is under budget or
+        # the attempts run out; retries cannot mask a real regression
+        # because genuine overhead elevates the floor itself.
+        cell = _pr9_matrix_cell(sizes)
+        for _ in range(5):
+            if all(
+                cell[key][n] <= base_cell[key][n] * scale * factor
+                for key in cell
+                for n in cell[key]
+            ):
+                break
+            again = _pr9_matrix_cell(sizes)
+            for key, per_size in again.items():
+                for n, seconds in per_size.items():
+                    cell[key][n] = min(cell[key][n], seconds)
+        for key in sorted(cell):
+            for n in cell[key]:
+                base_seconds = base_cell[key][n]
+                new_seconds = cell[key][n]
+                label = f"telemetry-off {key}[{n}]"
+                status = "ok"
+                if new_seconds > base_seconds * scale * factor:
+                    status = f"REGRESSION (> {factor:.2f}x speed-scaled baseline)"
+                    failures.append(label)
+                print(f"{label:62s} baseline {base_seconds:8.3f}s "
+                      f"now {new_seconds:8.3f}s  {status}")
+    finally:
+        _CLOCK = saved_clock
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    if failures:
+        print(f"\nFAILED: telemetry hooks cost measurable time when disabled: "
+              f"{', '.join(failures)}")
+        return 1
+    print(f"\nOK: disabled telemetry within {factor:.2f}x of the "
+          f"speed-scaled baseline")
     return 0
 
 
@@ -1025,6 +1167,18 @@ def main(argv=None) -> int:
                         help="with --profile: sweep REPRO_KERNEL_THREADS over "
                              "these counts and report per-stage scaling "
                              "efficiency (start the list at 1)")
+    parser.add_argument("--profile-out", type=Path, default=None, metavar="PATH",
+                        help="with --profile: also write the breakdown as "
+                             "machine-readable JSON for profile diffing")
+    parser.add_argument("--check-overhead", type=Path, default=None,
+                        metavar="PR9_BASELINE",
+                        help="gate the telemetry-disabled hot path: replay the "
+                             "numpy/threads=1 N=2000 cells of a PR9-format "
+                             "baseline with tracing/profiling off and fail on "
+                             "any slowdown beyond --overhead-factor")
+    parser.add_argument("--overhead-factor", type=float, default=OVERHEAD_FACTOR,
+                        help="allowed telemetry-disabled slowdown in "
+                             f"--check-overhead (default {OVERHEAD_FACTOR})")
     args = parser.parse_args(argv)
 
     if args.profile:
@@ -1033,10 +1187,15 @@ def main(argv=None) -> int:
             if args.threads
             else None
         )
-        return profile_sparse(thread_counts=thread_counts)
+        return profile_sparse(thread_counts=thread_counts, out=args.profile_out)
 
     if args.compare_tiers is not None:
         return compare_tiers(*args.compare_tiers, factor=args.tier_factor)
+
+    if args.check_overhead is not None:
+        return check_overhead(
+            json.loads(args.check_overhead.read_text()), args.overhead_factor
+        )
 
     if args.check is not None:
         return check(args.check, args.factor)

@@ -6,6 +6,9 @@ through the ``repro.api`` session with a live observer (the convergence
 of the maximum circumradius is printed *while the run executes*, not
 reconstructed afterwards), verifies the resulting 2-coverage on a grid,
 and reports the sensing-load balance.
+
+To watch a run from the inside — engine stages and kernel chunks on a
+Perfetto timeline — see ``traced_run.py``.
 """
 
 from __future__ import annotations

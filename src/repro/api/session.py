@@ -46,6 +46,7 @@ from repro.api.results import SimulationResult
 from repro.core.config import LaacadConfig
 from repro.network.mobility import MobilityModel
 from repro.network.network import SensorNetwork
+from repro.obs import trace as _trace
 
 Observer = Callable[[RoundEvent], None]
 
@@ -304,11 +305,13 @@ class Simulation:
         observer is logged and detached so the remaining observers (and
         all future rounds) keep receiving events.
         """
-        event = self.deployer.step()
+        with _trace.span("round", index=self.state.rounds_executed):
+            event = self.deployer.step()
         self._idle_since = time.monotonic()
         for observer in list(self._observers):
             try:
-                observer(event)
+                with _trace.span("observer", round=event.round_index):
+                    observer(event)
             except Exception:
                 logger.exception(
                     "observer %r raised on round %d; detaching it "

@@ -49,6 +49,7 @@ import numpy as np
 from repro.geometry.clipping import dedupe_ring
 from repro.geometry.polygon import polygon_area
 from repro.geometry.primitives import EPS, Point
+from repro.obs import trace as _trace
 from repro.voronoi.dominating import _MIN_PIECE_AREA
 
 Polygon = List[Point]
@@ -182,6 +183,13 @@ def run_chunk_tasks(tasks, workers: Optional[int] = None) -> list:
     tasks = list(tasks)
     if workers is None:
         workers = kernel_threads()
+    if _trace._ACTIVE is not None:
+        # Traced run: each chunk becomes a span parented to the caller's
+        # current span even when executed on a pool thread (the wrapper
+        # copies the submitting context).  Chunk count, order and the
+        # thunks themselves are unchanged, so results stay bitwise
+        # identical; with tracing off this costs the one global check.
+        tasks = _trace.wrap_chunk_tasks(tasks)
     if workers <= 1 or len(tasks) <= 1:
         return [task() for task in tasks]
     executor = _shared_executor(workers)

@@ -29,8 +29,22 @@ import numpy as np
 
 from repro.engine.jit_kernels import ragged_indices
 from repro.geometry.primitives import Point
+from repro.obs import metrics as _metrics
 
 __all__ = ["LazyRegions", "PieceAccumulator", "materialize_pieces"]
+
+#: Pool telemetry (process-wide): freezes are `extend` calls that grew
+#: the pool (one per finishing expanding-radius iteration with output),
+#: pieces the total frozen piece count.  Incremented per iteration, not
+#: per piece, so the counters stay off the per-item hot path.
+_POOL_FREEZES = _metrics.counter(
+    "repro_piece_pool_freezes_total",
+    "Piece-pool freeze events (iterations that emitted finished pieces)",
+)
+_POOL_PIECES = _metrics.counter(
+    "repro_piece_pool_pieces_total",
+    "Region pieces frozen into the preallocated piece pools",
+)
 
 Polygon = List[Point]
 
@@ -69,6 +83,8 @@ class PieceAccumulator:
         """Append pieces: flat vertices, per-piece counts, per-piece owner rows."""
         if counts.size == 0:
             return
+        _POOL_FREEZES.inc()
+        _POOL_PIECES.inc(int(counts.size))
         self._vx.append(vx)
         self._vy.append(vy)
         self._counts.append(np.asarray(counts, dtype=np.int64))

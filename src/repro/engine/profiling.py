@@ -9,9 +9,18 @@ on the distributed path) and attach a ``{stage: seconds}`` dict to the
 round result's ``profile`` field; ``benchmarks/export_bench.py
 --profile`` prints the breakdown for the acceptance workloads.
 
-When the knob is off (the default) the timer degrades to a no-op whose
-per-stage overhead is one attribute check, so the hooks can stay on the
-hot path permanently.
+:class:`StageTimer` is a thin adapter over :mod:`repro.obs.trace`
+spans: every stage entry opens a span named after the stage, so a
+traced run (``REPRO_TRACE`` / ``--trace-out``) sees the same stage
+boundaries as the profile dict, and the profile accumulates the span's
+measured duration — one clock, two projections.  The ``REPRO_PROFILE``
+semantics are unchanged: the dict accumulates across re-entered stages
+and ``result()`` returns ``None`` when the knob is off.
+
+When both knobs are off (the default) the per-stage overhead is one
+attribute check plus the tracing module-global check, so the hooks can
+stay on the hot path permanently — the contract is enforced by
+``benchmarks/export_bench.py --check-overhead``.
 """
 
 from __future__ import annotations
@@ -21,7 +30,15 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Optional
 
-__all__ = ["PROFILE_ENV", "StageTimer", "profiling_enabled"]
+from repro.obs import trace as _trace
+
+__all__ = [
+    "PROFILE_ENV",
+    "StageTimer",
+    "profile_meta",
+    "profile_stages",
+    "profiling_enabled",
+]
 
 #: Environment knob: any value but ``""``/``"0"`` enables stage timing.
 PROFILE_ENV = "REPRO_PROFILE"
@@ -30,6 +47,28 @@ PROFILE_ENV = "REPRO_PROFILE"
 def profiling_enabled() -> bool:
     """Whether ``REPRO_PROFILE`` asks for per-stage timings."""
     return os.environ.get(PROFILE_ENV, "0") not in ("", "0")
+
+
+def profile_stages(profile: Optional[Dict[str, object]]) -> Dict[str, float]:
+    """The ``{stage: seconds}`` entries of a profile dict, ``meta`` skipped.
+
+    The one implementation of the "skip the ``meta`` key" convention:
+    :meth:`StageTimer.result` attaches the execution context (kernel
+    tier, worker count) under ``"meta"``, so every consumer iterating
+    stages — the bench ``--profile`` printer, ``--profile-out`` JSON,
+    efficiency reports — must come through here instead of re-filtering.
+    """
+    return {
+        name: secs
+        for name, secs in (profile or {}).items()
+        if name != "meta"
+    }
+
+
+def profile_meta(profile: Optional[Dict[str, object]]) -> Dict[str, object]:
+    """The ``meta`` sub-dict of a profile (``{}`` when absent)."""
+    meta = (profile or {}).get("meta") or {}
+    return dict(meta)
 
 
 class StageTimer:
@@ -49,16 +88,29 @@ class StageTimer:
 
     @contextmanager
     def stage(self, name: str):
-        if not self.enabled:
-            yield
+        if _trace._ACTIVE is None:
+            if not self.enabled:
+                yield
+                return
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self._acc[name] = self._acc.get(name, 0.0) + (
+                    time.perf_counter() - start
+                )
             return
-        start = time.perf_counter()
+        # Traced path: the span is the clock; the profile dict (when
+        # REPRO_PROFILE is also on) accumulates the span's duration so
+        # both projections report the identical measurement.
+        handle = _trace.span(name)
+        handle.__enter__()
         try:
             yield
         finally:
-            self._acc[name] = self._acc.get(name, 0.0) + (
-                time.perf_counter() - start
-            )
+            handle.__exit__(None, None, None)
+            if self.enabled:
+                self._acc[name] = self._acc.get(name, 0.0) + handle.duration
 
     def result(self, **meta: object) -> Optional[Dict[str, object]]:
         """The accumulated ``{stage: seconds}`` dict, or ``None`` when off.
@@ -68,7 +120,7 @@ class StageTimer:
         measured under (kernel ``tier``, worker ``threads``), so a
         profile is self-describing when exported or compared across
         configurations.  Consumers iterating stages must skip the
-        ``"meta"`` key.
+        ``"meta"`` key (use :func:`profile_stages`).
         """
         if not self.enabled:
             return None

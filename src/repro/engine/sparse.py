@@ -55,7 +55,16 @@ from repro.engine.profiling import StageTimer
 from repro.engine.sparse_kernels import clip_cells_batch, mec_batch
 from repro.geometry.primitives import EPS
 from repro.network.neighbors import SpatialGrid
+from repro.obs import metrics as _metrics
 from repro.voronoi.dominating import DominatingRegion
+
+#: Candidate volume actually fetched from the spatial grid, summed per
+#: query wave — the series that shows when a workload's density pushes
+#: the expanding-radius search toward quadratic candidate counts.
+_GRID_CANDIDATES = _metrics.counter(
+    "repro_grid_candidates_total",
+    "Candidate neighbors returned by spatial-grid radius queries",
+)
 
 #: Flat per-node region geometry stashed between ``compute_regions`` and
 #: ``compute_round``: (vert_x, vert_y, per-node indptr, alive ids).
@@ -153,6 +162,7 @@ class SparseRoundEngine(BatchedRoundEngine):
             with timer.stage("candidates"):
                 counts_all = np.diff(cand_indptr)
                 total_cand = cand.shape[0]
+                _GRID_CANDIDATES.inc(total_cand)
                 owners = segment_ids(counts_all, total_cand)
                 sub_px = px[pending]
                 sub_py = py[pending]

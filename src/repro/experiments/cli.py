@@ -20,6 +20,7 @@ Preemptible runs (full mid-run checkpoints, bitwise-identical resume)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -41,6 +42,7 @@ from repro.experiments.common import (
     default_output_dir,
 )
 from repro.experiments.fig1_voronoi import run_fig1_voronoi
+from repro.obs import trace as _trace
 from repro.experiments.fig2_rings import run_fig2_rings
 from repro.experiments.fig5_deployment import run_fig5_deployment
 from repro.experiments.fig6_convergence import run_fig6_convergence
@@ -80,6 +82,17 @@ def _positive_int(text: str) -> int:
 
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     """Options shared by every command that executes scenarios."""
+    parser.add_argument(
+        "--trace-out",
+        default=os.environ.get(_trace.TRACE_ENV) or None,
+        metavar="PATH",
+        help=(
+            "Record trace spans for the whole command and write them at "
+            "the end: *.jsonl for span rows, anything else for Chrome "
+            "trace-event JSON (open it at https://ui.perfetto.dev).  "
+            f"Default: the {_trace.TRACE_ENV} environment variable."
+        ),
+    )
     parser.add_argument(
         "--engine",
         choices=["batched", "legacy", "sparse"],
@@ -266,6 +279,24 @@ def _apply_sweep_options(args: argparse.Namespace) -> None:
         os.environ.setdefault(CHECKPOINT_EVERY_ENV, "25")
 
 
+@contextlib.contextmanager
+def _maybe_tracing(args: argparse.Namespace):
+    """Trace the whole command when ``--trace-out`` (or the env) asks.
+
+    ``""``/``"0"`` mean off; ``"1"`` collects without writing (the env
+    knob's collect-only form); anything else is the output path.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out in (None, "", "0"):
+        yield
+        return
+    with _trace.tracing() as collector:
+        yield
+    if trace_out != "1":
+        collector.write(trace_out)
+        print(f"trace written to {trace_out} ({len(collector)} spans)")
+
+
 def _resume_single(args: argparse.Namespace) -> int:
     """Resume one checkpointed simulation to completion and report it."""
     import json as _json
@@ -427,7 +458,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         _apply_sweep_options(args)
         if args.resume_from is not None and args.resume_from.is_file():
-            return _resume_single(args)
+            with _maybe_tracing(args):
+                return _resume_single(args)
         if args.experiment is None:
             print(
                 "an experiment name is required unless --resume-from points "
@@ -445,13 +477,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
         names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-        for name in names:
-            _run_one(name, args.output_dir, not args.no_files, args.max_rows)
+        with _maybe_tracing(args):
+            for name in names:
+                _run_one(name, args.output_dir, not args.no_files, args.max_rows)
         return 0
 
     if args.command == "sweep":
         _apply_sweep_options(args)
-        return _run_sweep(args)
+        with _maybe_tracing(args):
+            return _run_sweep(args)
 
     return 2  # pragma: no cover - argparse enforces valid commands
 

@@ -1,0 +1,60 @@
+"""Unified telemetry: trace spans and a metrics registry (stdlib-only).
+
+The two halves every layer of the system reports through:
+
+* :mod:`repro.obs.trace` — low-overhead trace spans with context
+  propagation across engine stages, ``REPRO_KERNEL_THREADS`` chunk
+  tasks, :class:`~repro.api.Simulation` rounds, ``SweepRunner`` pool
+  workers and service requests; exported as JSONL or Chrome trace-event
+  JSON (open directly in https://ui.perfetto.dev).
+* :mod:`repro.obs.metrics` — process-wide counters / gauges /
+  histograms with Prometheus text exposition, served by the session
+  service at ``GET /metrics``.
+
+Disabled telemetry must be invisible on the hot paths: ``span()`` with
+no active collector returns a shared no-op object after a single module
+attribute check, and metric increments only happen at coarse events
+(pool growth, round summaries, request completions) — the contract is
+enforced by ``benchmarks/export_bench.py --check-overhead``.
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    exposition,
+    validate_exposition,
+)
+from repro.obs.trace import (
+    TRACE_ENV,
+    TraceCollector,
+    span,
+    start_tracing,
+    stop_tracing,
+    tracing,
+    tracing_active,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "TRACE_ENV",
+    "TraceCollector",
+    "exposition",
+    "metrics",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "trace",
+    "tracing",
+    "tracing_active",
+    "validate_chrome_trace",
+    "validate_exposition",
+]

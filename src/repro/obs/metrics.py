@@ -1,0 +1,445 @@
+"""Counters, gauges and histograms with Prometheus text exposition.
+
+The metric model is deliberately the Prometheus one, because the wire
+format is the only part that matters: ``GET /metrics`` on the session
+service must serve text any Prometheus-compatible scraper ingests.
+
+Naming scheme (enforced for validity, followed by convention):
+
+* every series is prefixed ``repro_``;
+* counters end in ``_total`` and only ever go up;
+* units are spelled out in the name (``_seconds``, ``_bytes``);
+* subsystem comes right after the prefix — ``repro_service_*`` for the
+  session manager, ``repro_http_*`` for the front end, ``repro_sweep_*``
+  for the orchestrator, engine-internal series keep the bare prefix
+  (``repro_piece_pool_*``, ``repro_grid_*``).
+
+Two registry scopes exist on purpose: the module-level :data:`REGISTRY`
+collects process-wide engine/sweep series, while each
+:class:`~repro.service.manager.SessionManager` owns a private
+:class:`MetricsRegistry` so concurrent managers (tests spin up many)
+never bleed counts into each other; the service's ``/metrics`` endpoint
+renders both via :func:`exposition`.
+
+Increments are threadsafe (one lock per metric) and cheap (~a dict-free
+locked float add), but still only belong at *coarse* events — per
+round, per request, per pool growth — never inside per-item kernels.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "exposition",
+    "gauge",
+    "histogram",
+    "validate_exposition",
+]
+
+#: The exposition content type (Prometheus text format 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds): sub-ms to multi-second, the span
+#: of one HTTP request against the service.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Metric:
+    """Shared base: name/help/labels bookkeeping and child management."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], "_Metric"] = {}
+
+    def labels(self, *labelvalues: Any) -> "_Metric":
+        """The child series for one label-value combination."""
+        if not self.labelnames:
+            raise ValueError(f"metric {self.name} has no labels")
+        if len(labelvalues) != len(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes {len(self.labelnames)} label "
+                f"value(s), got {len(labelvalues)}"
+            )
+        key = tuple(str(v) for v in labelvalues)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _make_child(self) -> "_Metric":
+        return type(self)(self.name, self.help_text)
+
+    def _samples(self) -> Iterable[Tuple[str, Dict[str, str], float]]:
+        """``(suffix, labels, value)`` rows for the exposition."""
+        raise NotImplementedError
+
+    def _all_samples(self) -> List[Tuple[str, Dict[str, str], float]]:
+        if not self.labelnames:
+            return list(self._samples())
+        rows: List[Tuple[str, Dict[str, str], float]] = []
+        with self._lock:
+            children = list(self._children.items())
+        for key, child in children:
+            labels = dict(zip(self.labelnames, key))
+            for suffix, extra, value in child._samples():
+                merged = dict(labels)
+                merged.update(extra)
+                rows.append((suffix, merged, value))
+        return rows
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (name it ``*_total``)."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _samples(self):
+        return [("", {}, self.value)]
+
+
+class Gauge(_Metric):
+    """A value that can go either way; optionally computed at scrape.
+
+    :meth:`set_function` turns the gauge into a callback read at
+    exposition time — the pattern for derived state (live sessions,
+    resident bytes) that already has one source of truth elsewhere.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._value = 0.0
+        self._function: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        self._function = function
+
+    @property
+    def value(self) -> float:
+        if self._function is not None:
+            return float(self._function())
+        with self._lock:
+            return self._value
+
+    def _samples(self):
+        return [("", {}, self.value)]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (the Prometheus layout).
+
+    ``observe(v)`` increments every bucket with ``le >= v`` plus the
+    running sum/count — quantiles are the scraper's job, the process
+    only pays a ``bisect`` and one locked add per observation.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.bounds = tuple(bounds)
+        self._counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.help_text, buckets=self.bounds)
+
+    def observe(self, value: float) -> None:
+        # bisect_left keeps ``le`` inclusive: a value equal to a bucket
+        # bound counts inside that bucket, as the Prometheus model says.
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def _samples(self):
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            running_sum = self._sum
+        rows: List[Tuple[str, Dict[str, str], float]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, counts):
+            cumulative += bucket_count
+            rows.append(("_bucket", {"le": _format_value(bound)}, cumulative))
+        rows.append(("_bucket", {"le": "+Inf"}, total))
+        rows.append(("_sum", {}, running_sum))
+        rows.append(("_count", {}, total))
+        return rows
+
+
+class MetricsRegistry:
+    """An ordered, get-or-create collection of metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help_text, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames=labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labelnames=labelnames, buckets=buckets
+        )
+
+    def collect(self) -> List[_Metric]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def exposition(self) -> str:
+        return exposition(self)
+
+
+#: The process-wide default registry (engine / sweep / piece-pool
+#: series).  Service managers hold private registries on top of it.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help_text: str = "", labelnames: Sequence[str] = ()) -> Counter:
+    """Get-or-create a counter on the default registry."""
+    return REGISTRY.counter(name, help_text, labelnames)
+
+
+def gauge(name: str, help_text: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+    """Get-or-create a gauge on the default registry."""
+    return REGISTRY.gauge(name, help_text, labelnames)
+
+
+def histogram(
+    name: str,
+    help_text: str = "",
+    labelnames: Sequence[str] = (),
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+) -> Histogram:
+    """Get-or-create a histogram on the default registry."""
+    return REGISTRY.histogram(name, help_text, labelnames, buckets)
+
+
+def exposition(*registries: MetricsRegistry) -> str:
+    """Render registries as Prometheus text format 0.0.4.
+
+    Each metric family renders once — on a name collision the earliest
+    registry wins; the service passes its private registry before the
+    process-wide one.
+    """
+    seen = set()
+    lines: List[str] = []
+    for registry in registries:
+        for metric in registry.collect():
+            if metric.name in seen:
+                continue
+            seen.add(metric.name)
+            help_text = metric.help_text.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {metric.name} {help_text}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for suffix, labels, value in metric._all_samples():
+                if labels:
+                    rendered = ",".join(
+                        f'{key}="{_escape_label(str(val))}"'
+                        for key, val in labels.items()
+                    )
+                    lines.append(
+                        f"{metric.name}{suffix}{{{rendered}}} {_format_value(value)}"
+                    )
+                else:
+                    lines.append(f"{metric.name}{suffix} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+-]+|[+-]Inf|NaN)$"
+)
+
+
+def validate_exposition(text: str) -> Dict[str, str]:
+    """Validate Prometheus text exposition; returns ``{family: type}``.
+
+    Raises ``ValueError`` on the first malformed line.  Checks the
+    format rules a scraper depends on: every sample parses, every
+    sample's family was declared by a preceding ``# TYPE``, counters
+    end in ``_total``, histograms expose ``_bucket``/``_sum``/``_count``
+    with a ``+Inf`` bucket, and the payload ends with a newline.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    families: Dict[str, str] = {}
+    histogram_state: Dict[str, set] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                raise ValueError(f"line {line_number}: malformed TYPE line")
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {line_number}: unknown type {kind!r}")
+            if kind == "counter" and not name.endswith("_total"):
+                raise ValueError(
+                    f"line {line_number}: counter {name!r} must end in _total"
+                )
+            families[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: unparseable sample: {line!r}")
+        sample_name = match.group(1)
+        family = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if trimmed and families.get(trimmed) == "histogram":
+                family = trimmed
+                histogram_state.setdefault(trimmed, set()).add(suffix)
+                if suffix == "_bucket" and 'le="+Inf"' in (match.group(2) or ""):
+                    histogram_state[trimmed].add("+Inf")
+                break
+        if family not in families:
+            raise ValueError(
+                f"line {line_number}: sample {sample_name!r} has no TYPE "
+                f"declaration"
+            )
+    for name, seen in histogram_state.items():
+        for required in ("_bucket", "_sum", "_count", "+Inf"):
+            if required not in seen:
+                raise ValueError(
+                    f"histogram {name!r} is missing its {required} series"
+                )
+    return families

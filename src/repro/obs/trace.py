@@ -1,0 +1,439 @@
+"""Trace spans: timed, parented, exportable to JSONL and Chrome format.
+
+A *span* is one timed region of execution (an engine stage, a kernel
+chunk, a simulation round, an HTTP request) with a name, key/value
+attributes, and a parent — the span that was open on the current
+logical context when it started.  Parentage rides on a
+:class:`contextvars.ContextVar`, so it follows ``await`` points and can
+be carried into worker threads (:func:`wrap_chunk_tasks`) and across
+process boundaries (:meth:`TraceCollector.adopt`).
+
+Tracing is off by default and must cost nothing on the hot paths: with
+no active collector, :func:`span` returns one shared no-op object after
+a single module-global check — no allocation, no clock read.  Enabling
+is process-global (:func:`start_tracing` / the :func:`tracing` context
+manager / the ``REPRO_TRACE`` environment knob read by the CLIs), which
+matches how the knob is used: one run, one trace file.
+
+Export formats:
+
+* ``*.jsonl`` — one JSON object per span, the machine-diffable form;
+* Chrome trace-event JSON (any other extension) — complete (``"X"``)
+  events grouped per process/thread, so a trace of a threaded sparse
+  round opens directly in https://ui.perfetto.dev and shows per-worker
+  parallel efficiency as stacked thread tracks.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "TRACE_ENV",
+    "TraceCollector",
+    "annotate",
+    "current_collector",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+    "tracing_active",
+    "validate_chrome_trace",
+    "wrap_chunk_tasks",
+]
+
+#: Environment knob read by the CLIs (``repro serve --trace-out`` /
+#: ``laacad-experiments --trace-out`` default to it): a path to write
+#: the trace to, or ``1`` for collect-only (tests, pool workers).
+TRACE_ENV = "REPRO_TRACE"
+
+#: The span currently open on this logical context (``None`` at root).
+_CURRENT: "contextvars.ContextVar[Optional[_Span]]" = contextvars.ContextVar(
+    "repro_trace_span", default=None
+)
+
+#: The process-global active collector; ``span()`` is a no-op while it
+#: is ``None`` — this single module-global check is the entire disabled
+#: overhead.
+_ACTIVE: Optional["TraceCollector"] = None
+
+
+class _NoopSpan:
+    """The shared disabled-path span: enter/exit do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """One live span: context-manager handle while open, row when closed."""
+
+    __slots__ = (
+        "collector",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "duration",
+        "_start",
+        "_token",
+    )
+
+    def __init__(self, collector: "TraceCollector", name: str, attrs: Dict[str, Any]):
+        self.collector = collector
+        self.name = name
+        self.attrs = attrs
+        self.duration = 0.0
+
+    def __enter__(self) -> "_Span":
+        parent = _CURRENT.get()
+        self.parent_id = parent.span_id if parent is not None else 0
+        self.span_id = self.collector._next_id()
+        self._token = _CURRENT.set(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = time.perf_counter()
+        _CURRENT.reset(self._token)
+        self.duration = end - self._start
+        self.collector._record(self, self._start)
+        return False
+
+
+class TraceCollector:
+    """Accumulates closed spans; thread-safe; exports JSONL / Chrome.
+
+    Span rows are plain dicts (the JSONL schema)::
+
+        {"name": str, "id": int, "parent": int, "ts": float (epoch s),
+         "dur": float (s), "pid": int, "tid": int, "thread": str,
+         "args": {...}}
+
+    ``parent == 0`` marks a root span.  Timestamps are wall-clock
+    anchored (``epoch + perf_counter``) so spans adopted from other
+    processes land on one shared timeline.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rows: List[Dict[str, Any]] = []
+        self._ids = itertools.count(1)
+        # perf_counter → wall-clock anchor, fixed for the collector's
+        # lifetime so every span shares one timebase.
+        self._epoch = time.time() - time.perf_counter()
+
+    def _next_id(self) -> int:
+        with self._lock:
+            return next(self._ids)
+
+    def _record(self, span: "_Span", start_perf: float) -> None:
+        thread = threading.current_thread()
+        row = {
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "ts": self._epoch + start_perf,
+            "dur": span.duration,
+            "pid": os.getpid(),
+            "tid": thread.ident,
+            "thread": thread.name,
+            "args": dict(span.attrs) if span.attrs else {},
+        }
+        with self._lock:
+            self._rows.append(row)
+
+    # ------------------------------------------------------------------
+    # Reading / merging
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Dict[str, Any]]:
+        """A snapshot of the recorded span rows (closure order)."""
+        with self._lock:
+            return [dict(row) for row in self._rows]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+    def adopt(
+        self, rows: Iterable[Dict[str, Any]], parent_id: Optional[int] = None
+    ) -> None:
+        """Merge spans recorded by another collector (e.g. a pool worker).
+
+        Foreign span ids are remapped onto this collector's id space so
+        they cannot collide; foreign *root* spans (``parent == 0``) are
+        re-parented under ``parent_id`` when given, stitching a worker's
+        subtree under the dispatching span.  Timestamps and pids are
+        kept verbatim — the wall-clock anchor is the shared timebase.
+        """
+        rows = list(rows)
+        remap: Dict[int, int] = {}
+        adopted = []
+        for row in rows:
+            remap[row["id"]] = self._next_id()
+        for row in rows:
+            row = dict(row)
+            row["id"] = remap[row["id"]]
+            old_parent = row["parent"]
+            if old_parent in remap:
+                row["parent"] = remap[old_parent]
+            elif parent_id is not None:
+                row["parent"] = parent_id
+            adopted.append(row)
+        with self._lock:
+            self._rows.extend(adopted)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in closure order."""
+        return "".join(json.dumps(row, sort_keys=True) + "\n" for row in self.rows())
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The Chrome trace-event projection (Perfetto-loadable).
+
+        Every span becomes one complete (``"ph": "X"``) event with
+        microsecond timestamps relative to the earliest span; process
+        and thread name metadata events give Perfetto readable track
+        labels (one track per worker thread).
+        """
+        rows = self.rows()
+        base = min((row["ts"] for row in rows), default=0.0)
+        events: List[Dict[str, Any]] = []
+        named_tracks: Dict[tuple, str] = {}
+        for row in rows:
+            named_tracks.setdefault((row["pid"], row["tid"]), row["thread"])
+            args = dict(row["args"])
+            args["span_id"] = row["id"]
+            if row["parent"]:
+                args["parent_id"] = row["parent"]
+            events.append(
+                {
+                    "name": row["name"],
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": (row["ts"] - base) * 1e6,
+                    "dur": row["dur"] * 1e6,
+                    "pid": row["pid"],
+                    "tid": row["tid"],
+                    "args": args,
+                }
+            )
+        for (pid, tid), thread_name in sorted(named_tracks.items()):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread_name},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str) -> str:
+        """Write the trace: ``*.jsonl`` → JSONL, anything else → Chrome."""
+        if str(path).endswith(".jsonl"):
+            payload = self.to_jsonl()
+        else:
+            payload = json.dumps(self.to_chrome())
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        return str(path)
+
+
+# ----------------------------------------------------------------------
+# The span API
+# ----------------------------------------------------------------------
+def span(name: str, **attrs: Any):
+    """Open a span: ``with span("clip", round=r, tier=t): ...``.
+
+    With tracing off this returns the shared no-op object — the cost is
+    the one module-global check above, which is the overhead contract
+    the hot paths rely on (see ``--check-overhead``).
+    """
+    if _ACTIVE is None:
+        return _NOOP
+    return _Span(_ACTIVE, name, attrs)
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the innermost open span (no-op untraced).
+
+    Lets code deep inside a request/round add context (HTTP method,
+    status, cell digest) to a span opened further up the stack.
+    """
+    if _ACTIVE is None:
+        return
+    current = _CURRENT.get()
+    if current is not None:
+        current.attrs.update(attrs)
+
+
+def current_collector() -> Optional[TraceCollector]:
+    """The active collector, or ``None`` when tracing is off."""
+    return _ACTIVE
+
+
+def tracing_active() -> bool:
+    return _ACTIVE is not None
+
+
+def start_tracing(collector: Optional[TraceCollector] = None) -> TraceCollector:
+    """Activate tracing process-wide; returns the active collector."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("tracing is already active; stop_tracing() first")
+    _ACTIVE = collector if collector is not None else TraceCollector()
+    return _ACTIVE
+
+
+def stop_tracing() -> Optional[TraceCollector]:
+    """Deactivate tracing; returns the collector that was active."""
+    global _ACTIVE
+    collector = _ACTIVE
+    _ACTIVE = None
+    return collector
+
+
+@contextmanager
+def tracing(collector: Optional[TraceCollector] = None):
+    """``with tracing() as collector: ...`` — scoped start/stop."""
+    active = start_tracing(collector)
+    try:
+        yield active
+    finally:
+        stop_tracing()
+
+
+@contextmanager
+def collecting():
+    """Run with a fresh *private* collector, restoring the previous state.
+
+    The pool-worker entry hook: a forked worker may have inherited the
+    parent's active collector, whose rows would be lost with the child
+    process — this swaps in a local one whose rows the worker returns
+    explicitly (the dispatcher stitches them back via :meth:`adopt`).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    local = TraceCollector()
+    _ACTIVE = local
+    # A fork also inherits the parent's *current span*, whose id means
+    # nothing in (and may collide with) the local collector's id space —
+    # spans recorded here must be roots, re-parented by the adopter.
+    token = _CURRENT.set(None)
+    try:
+        yield local
+    finally:
+        _CURRENT.reset(token)
+        _ACTIVE = previous
+
+
+def wrap_chunk_tasks(
+    tasks: Sequence[Callable[[], Any]], name: str = "chunk"
+) -> List[Callable[[], Any]]:
+    """Wrap chunk thunks so each runs inside its own child span.
+
+    Each wrapped task runs under a *copy* of the submitting context, so
+    a chunk executed on a pool thread is still parented to the span
+    that dispatched it (``ThreadPoolExecutor`` does not propagate
+    contextvars by itself).  ``seq`` records the submission index — the
+    reduction order — so a Perfetto view of the worker tracks shows
+    which chunks ran where.  Wrapping changes scheduling metadata only,
+    never results: the thunks run unchanged, in the same order.
+    """
+    wrapped: List[Callable[[], Any]] = []
+    for index, task in enumerate(tasks):
+        context = contextvars.copy_context()
+
+        def run(task=task, index=index, context=context):
+            return context.run(_run_chunk, name, index, task)
+
+        wrapped.append(run)
+    return wrapped
+
+
+def _run_chunk(name: str, index: int, task: Callable[[], Any]) -> Any:
+    with span(name, seq=index):
+        return task()
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event schema check
+# ----------------------------------------------------------------------
+#: The subset of the Chrome trace-event format the exporter emits;
+#: :func:`validate_chrome_trace` enforces it field by field (the CI
+#: round-trip check and the tests share this single definition).
+CHROME_TRACE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "event": {
+        "X": {
+            "required": {
+                "name": str,
+                "ph": str,
+                "ts": (int, float),
+                "dur": (int, float),
+                "pid": int,
+                "tid": int,
+                "args": dict,
+            },
+        },
+        "M": {
+            "required": {"name": str, "ph": str, "pid": int, "args": dict},
+        },
+    },
+}
+
+
+def validate_chrome_trace(payload: Any) -> int:
+    """Validate a Chrome trace-event payload; returns the event count.
+
+    Raises ``ValueError`` naming the first offending event and field.
+    Checks the envelope, the per-phase required fields and types, and
+    that durations/timestamps are non-negative — the properties Perfetto
+    needs to render the trace at all.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace payload must have a 'traceEvents' array")
+    schemas = CHROME_TRACE_SCHEMA["event"]
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{position}] is not an object")
+        phase = event.get("ph")
+        schema = schemas.get(phase)
+        if schema is None:
+            raise ValueError(
+                f"traceEvents[{position}] has unsupported phase {phase!r}"
+            )
+        for field, expected in schema["required"].items():
+            if field not in event:
+                raise ValueError(f"traceEvents[{position}] lacks {field!r}")
+            if not isinstance(event[field], expected):
+                raise ValueError(
+                    f"traceEvents[{position}].{field} has type "
+                    f"{type(event[field]).__name__}"
+                )
+        if phase == "X" and (event["ts"] < 0 or event["dur"] < 0):
+            raise ValueError(f"traceEvents[{position}] has a negative time")
+    return len(events)

@@ -48,6 +48,7 @@ from repro.engine.pieces import LazyRegions, materialize_pieces
 from repro.engine.profiling import StageTimer
 from repro.engine.sparse_kernels import clip_cells_batch, mec_batch
 from repro.network.neighbors import SpatialGrid
+from repro.obs import metrics as _metrics
 from repro.runtime.engines import (
     BatchedDistributedEngine,
     DistributedEngineRound,
@@ -57,6 +58,13 @@ from repro.runtime.engines import (
 from repro.voronoi.dominating import DominatingRegion
 
 __all__ = ["SparseDistributedEngine"]
+
+#: Same process-wide counter as the centralized engine's candidates
+#: stage — get-or-create on the shared registry returns one object.
+_GRID_CANDIDATES = _metrics.counter(
+    "repro_grid_candidates_total",
+    "Candidate neighbors returned by spatial-grid radius queries",
+)
 
 
 def _extend_schedule(rhos: List[float], thresholds: List[float], upto: int, step: float) -> None:
@@ -191,6 +199,7 @@ class SparseDistributedEngine(BatchedDistributedEngine):
                     cand, indptr = grid.query_radius_many(
                         positions[owners_nodes], radius
                     )
+                    _GRID_CANDIDATES.inc(int(cand.shape[0]))
                     ow_row = rows_active[
                         segment_ids(np.diff(indptr), cand.shape[0])
                     ]

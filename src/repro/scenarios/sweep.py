@@ -30,7 +30,20 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.scenarios.spec import RESULT_SCHEMA_VERSION, ScenarioSpec
+
+#: Cache accounting, process-wide: the same hit/miss totals the
+#: :class:`SweepReport` carries per sweep, accumulated across sweeps so
+#: the ``/metrics`` endpoint (and any long-lived orchestrator) can watch
+#: cache effectiveness over time.
+_CACHE_HITS = _metrics.counter(
+    "repro_sweep_cache_hits_total", "Sweep cells served from the result cache"
+)
+_CACHE_MISSES = _metrics.counter(
+    "repro_sweep_cache_misses_total", "Sweep cells computed (cache misses)"
+)
 
 
 def _execute_spec_dict(payload: Tuple[str, Dict[str, Any]]) -> Tuple[str, Dict[str, Any]]:
@@ -40,7 +53,23 @@ def _execute_spec_dict(payload: Tuple[str, Dict[str, Any]]) -> Tuple[str, Dict[s
     """
     digest, spec_dict = payload
     spec = ScenarioSpec.from_dict(spec_dict)
-    return digest, spec.run()
+    with _trace.span("sweep_cell", digest=digest[:12]):
+        return digest, spec.run()
+
+
+def _execute_spec_dict_traced(
+    payload: Tuple[str, Dict[str, Any]],
+) -> Tuple[str, Dict[str, Any], List[Dict[str, Any]]]:
+    """Traced worker entry: also returns the cell's span rows.
+
+    A forked worker inherits the parent's collector object, but its rows
+    would die with the child process — so the traced dispatch records
+    into a private collector and ships the rows home with the result for
+    the parent to :meth:`~repro.obs.trace.TraceCollector.adopt`.
+    """
+    with _trace.collecting() as local:
+        digest, result = _execute_spec_dict(payload)
+    return digest, result, local.rows()
 
 
 @dataclasses.dataclass
@@ -207,12 +236,29 @@ class SweepRunner:
 
         # Compute the missing cells (deduplicated), serially or pooled.
         misses = len(missing)
+        _CACHE_HITS.inc(hits)
+        _CACHE_MISSES.inc(misses)
         if missing:
             work = [(digest, spec.to_dict()) for digest, spec in missing.items()]
-            with self._checkpoint_env():
+            with self._checkpoint_env(), _trace.span(
+                "sweep", cells=len(work), jobs=self.jobs
+            ) as sweep_span:
                 if self.jobs > 1 and len(work) > 1:
                     with multiprocessing.Pool(min(self.jobs, len(work))) as pool:
-                        computed = pool.map(_execute_spec_dict, work)
+                        if _trace.tracing_active():
+                            # Workers trace into private collectors and
+                            # return their rows; stitch each cell's
+                            # subtree under this sweep span.
+                            collector = _trace.current_collector()
+                            parent = getattr(sweep_span, "span_id", None)
+                            computed = []
+                            for digest, result, rows in pool.map(
+                                _execute_spec_dict_traced, work
+                            ):
+                                collector.adopt(rows, parent_id=parent)
+                                computed.append((digest, result))
+                        else:
+                            computed = pool.map(_execute_spec_dict, work)
                 else:
                     computed = [_execute_spec_dict(item) for item in work]
             for digest, result in computed:

@@ -58,6 +58,7 @@ class Subscriber:
         max_latency: float,
         max_pending: int,
         include_positions: bool = False,
+        drop_counter: Optional[Any] = None,
     ) -> None:
         if max_events < 1:
             raise ValueError("max_events must be >= 1")
@@ -73,6 +74,7 @@ class Subscriber:
         self.buffer: List[Dict[str, Any]] = []
         self.pending: Deque[Dict[str, Any]] = deque()
         self.dropped_batches = 0
+        self._drop_counter = drop_counter
         self.batches_flushed = 0
         self.events_seen = 0
         self.closed = False
@@ -84,6 +86,8 @@ class Subscriber:
         if len(self.pending) >= self.max_pending:
             self.pending.popleft()
             self.dropped_batches += 1
+            if self._drop_counter is not None:
+                self._drop_counter.inc()
         self.pending.append(batch)
         self._wakeup.set()
 
@@ -132,11 +136,13 @@ class EventBatcher:
         max_events: int = DEFAULT_MAX_EVENTS,
         max_latency: float = DEFAULT_MAX_LATENCY,
         max_pending: int = DEFAULT_MAX_PENDING,
+        drop_counter: Optional[Any] = None,
     ) -> None:
         self.session_name = session_name
         self.max_events = max_events
         self.max_latency = max_latency
         self.max_pending = max_pending
+        self.drop_counter = drop_counter
         self._subscribers: Dict[str, Subscriber] = {}
         self._ids = itertools.count(1)
 
@@ -157,6 +163,7 @@ class EventBatcher:
             max_latency=self.max_latency if max_latency is None else max_latency,
             max_pending=self.max_pending,
             include_positions=include_positions,
+            drop_counter=self.drop_counter,
         )
         self._subscribers[subscriber.id] = subscriber
         return subscriber

@@ -18,8 +18,10 @@ from __future__ import annotations
 import argparse
 import asyncio
 import logging
+import os
 from typing import List, Optional
 
+from repro.obs import trace as _trace
 from repro.service.batching import DEFAULT_MAX_EVENTS, DEFAULT_MAX_LATENCY
 
 
@@ -75,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default {DEFAULT_MAX_LATENCY})",
     )
     serve.add_argument(
+        "--trace-out",
+        default=os.environ.get(_trace.TRACE_ENV) or None,
+        metavar="PATH",
+        help="record trace spans and write them on shutdown: *.jsonl for "
+        "span rows, anything else for Chrome trace-event JSON "
+        f"(default: the {_trace.TRACE_ENV} environment variable)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log requests and evictions"
     )
     return parser
@@ -91,6 +101,12 @@ async def _serve(args: argparse.Namespace) -> int:
         batch_max_events=args.flush_count,
         batch_max_latency=args.flush_window,
     )
+    # "" / "0" mean off; "1" collects without writing (the env knob's
+    # collect-only form); anything else is the output path.
+    trace_out = getattr(args, "trace_out", None)
+    collector = None
+    if trace_out not in (None, "", "0"):
+        collector = _trace.start_tracing()
     server = ServiceServer(manager, host=args.host, port=args.port)
     await server.start()
     budget = (
@@ -109,6 +125,11 @@ async def _serve(args: argparse.Namespace) -> int:
         pass
     finally:
         await server.stop()
+        if collector is not None:
+            _trace.stop_tracing()
+            if trace_out != "1":
+                collector.write(trace_out)
+                print(f"trace written to {trace_out} ({len(collector)} spans)")
     return 0
 
 

@@ -12,6 +12,7 @@ Endpoints (table mirrored in DESIGN.md, "The service layer"):
     Method      Path                                       Meaning
     ==========  =========================================  ==========================
     GET         /stats                                     manager-wide hosting stats
+    GET         /metrics                                   Prometheus text exposition
     GET         /sessions                                  list session infos
     POST        /sessions                                  create ``{"name"?, "scenario": {...}}``
     GET         /sessions/{name}                           one session's info
@@ -36,9 +37,12 @@ import asyncio
 import json
 import logging
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.service.manager import (
     DuplicateSessionError,
     SessionCompletedError,
@@ -47,6 +51,21 @@ from repro.service.manager import (
 )
 
 logger = logging.getLogger(__name__)
+
+
+class RawBody:
+    """A non-JSON response payload: bytes plus their content type.
+
+    Routes normally return JSON-able dicts; ``/metrics`` must serve the
+    Prometheus text format instead, so it wraps the rendered exposition
+    in one of these and the connection handler sends it verbatim.
+    """
+
+    __slots__ = ("data", "content_type")
+
+    def __init__(self, data: bytes, content_type: str) -> None:
+        self.data = data
+        self.content_type = content_type
 
 #: Longest body accepted (a scenario spec is tiny; this guards sockets).
 MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -83,6 +102,15 @@ class ServiceServer:
         self.host = host
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        self._requests_total = manager.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by response status",
+            labelnames=("status",),
+        )
+        self._request_seconds = manager.metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request wall-clock latency in seconds",
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -119,20 +147,30 @@ class ServiceServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        try:
-            status, payload = await self._handle_request(reader)
-        except _HttpError as exc:
-            status, payload = exc.status, {"error": exc.message}
-        except (asyncio.IncompleteReadError, ConnectionError):
-            writer.close()
-            return
-        except Exception:  # noqa: BLE001 - the server must not die
-            logger.exception("unhandled error serving a request")
-            status, payload = 500, {"error": "internal server error"}
-        body = json.dumps(payload).encode("utf-8")
+        start = time.perf_counter()
+        with _trace.span("http_request"):
+            try:
+                status, payload = await self._handle_request(reader)
+            except _HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except (asyncio.IncompleteReadError, ConnectionError):
+                writer.close()
+                return
+            except Exception:  # noqa: BLE001 - the server must not die
+                logger.exception("unhandled error serving a request")
+                status, payload = 500, {"error": "internal server error"}
+            _trace.annotate(status=status)
+        self._requests_total.labels(status).inc()
+        self._request_seconds.observe(time.perf_counter() - start)
+        if isinstance(payload, RawBody):
+            body = payload.data
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode("ascii")
@@ -146,7 +184,7 @@ class ServiceServer:
 
     async def _handle_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Union[Dict[str, Any], RawBody]]:
         request_line = (await reader.readline()).decode("ascii", "replace").strip()
         if not request_line:
             raise _HttpError(400, "empty request")
@@ -176,6 +214,7 @@ class ServiceServer:
         split = urlsplit(target)
         query = {k: v[-1] for k, v in parse_qs(split.query).items()}
         parts = [p for p in split.path.split("/") if p]
+        _trace.annotate(method=method.upper(), path=split.path)
         try:
             return await self._route(method.upper(), parts, query, body)
         except UnknownSessionError as exc:
@@ -196,12 +235,19 @@ class ServiceServer:
         parts: List[str],
         query: Dict[str, str],
         body: Dict[str, Any],
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Union[Dict[str, Any], RawBody]]:
         manager = self.manager
         if parts == ["stats"]:
             if method != "GET":
                 raise _HttpError(405, "use GET /stats")
             return 200, manager.stats()
+        if parts == ["metrics"]:
+            if method != "GET":
+                raise _HttpError(405, "use GET /metrics")
+            # The manager's private registry first (its names win any
+            # collision), then the process-wide engine/sweep series.
+            text = _metrics.exposition(manager.metrics, _metrics.REGISTRY)
+            return 200, RawBody(text.encode("utf-8"), _metrics.CONTENT_TYPE)
         if parts == ["sessions"]:
             if method == "GET":
                 return 200, {"sessions": manager.list_sessions()}

@@ -38,6 +38,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional
 
 from repro.api.session import Simulation
+from repro.obs.metrics import MetricsRegistry
 from repro.service.batching import (
     DEFAULT_MAX_EVENTS,
     DEFAULT_MAX_LATENCY,
@@ -165,11 +166,68 @@ class SessionManager:
         self._sessions: Dict[str, SessionRecord] = {}
         self._reserved: set = set()
         self._names = itertools.count(1)
-        self.total_created = 0
-        self.total_evictions = 0
-        self.total_resurrections = 0
-        self.total_steps = 0
         self._closed = False
+        # Per-manager registry: the single source of truth for hosting
+        # counters (stats() and /metrics both read it), private so tests
+        # running many managers in one process never share state.
+        self.metrics = MetricsRegistry()
+        self._created_total = self.metrics.counter(
+            "repro_service_sessions_created_total", "Sessions created or adopted"
+        )
+        self._steps_total = self.metrics.counter(
+            "repro_service_session_steps_total", "Simulation rounds executed"
+        )
+        self._evictions_total = self.metrics.counter(
+            "repro_service_session_evictions_total",
+            "Sessions checkpoint-evicted to free the live budget",
+        )
+        self._resurrections_total = self.metrics.counter(
+            "repro_service_session_resurrections_total",
+            "Evicted sessions restored from their checkpoint blob",
+        )
+        self._batcher_drops_total = self.metrics.counter(
+            "repro_service_batcher_dropped_batches_total",
+            "Event batches dropped on saturated subscriber queues",
+        )
+        self.metrics.gauge(
+            "repro_service_live_sessions", "Sessions currently resident"
+        ).set_function(
+            lambda: sum(1 for r in self._sessions.values() if r.live)
+        )
+        self.metrics.gauge(
+            "repro_service_evicted_sessions", "Sessions currently evicted"
+        ).set_function(
+            lambda: sum(1 for r in self._sessions.values() if not r.live)
+        )
+        self.metrics.gauge(
+            "repro_service_live_bytes_estimate",
+            "Estimated resident bytes of the live sessions",
+        ).set_function(
+            lambda: sum(r.nbytes for r in self._sessions.values() if r.live)
+        )
+
+    # ------------------------------------------------------------------
+    # Counter-backed totals (the registry is the single source of truth)
+    # ------------------------------------------------------------------
+    @property
+    def total_created(self) -> int:
+        return int(self._created_total.value)
+
+    @property
+    def total_evictions(self) -> int:
+        return int(self._evictions_total.value)
+
+    @property
+    def total_resurrections(self) -> int:
+        return int(self._resurrections_total.value)
+
+    @property
+    def total_steps(self) -> int:
+        return int(self._steps_total.value)
+
+    @property
+    def batcher_dropped_batches(self) -> int:
+        return int(self._batcher_drops_total.value)
 
     # ------------------------------------------------------------------
     # Lookup / listing
@@ -203,6 +261,7 @@ class SessionManager:
             "total_evictions": self.total_evictions,
             "total_resurrections": self.total_resurrections,
             "total_steps": self.total_steps,
+            "batcher_dropped_batches": self.batcher_dropped_batches,
         }
 
     # ------------------------------------------------------------------
@@ -238,10 +297,11 @@ class SessionManager:
             max_events=self.batch_max_events,
             max_latency=self.batch_max_latency,
             max_pending=self.max_pending_batches,
+            drop_counter=self._batcher_drops_total,
         )
         record = SessionRecord(name, simulation, batcher)
         self._sessions[name] = record
-        self.total_created += 1
+        self._created_total.inc()
         await self._maybe_evict(exclude=name)
         return record.info()
 
@@ -255,12 +315,13 @@ class SessionManager:
             max_events=self.batch_max_events,
             max_latency=self.batch_max_latency,
             max_pending=self.max_pending_batches,
+            drop_counter=self._batcher_drops_total,
         )
         record = SessionRecord(name, simulation, batcher)
         record.rounds_executed = simulation.state.rounds_executed
         record.done = simulation.done
         self._sessions[name] = record
-        self.total_created += 1
+        self._created_total.inc()
         await self._maybe_evict(exclude=name)
         return record.info()
 
@@ -349,7 +410,8 @@ class SessionManager:
         self, record: SessionRecord, simulation: Simulation, events: List[Any]
     ) -> None:
         record.steps += len(events)
-        self.total_steps += len(events)
+        if events:
+            self._steps_total.inc(len(events))
         record.rounds_executed = simulation.state.rounds_executed
         record.done = simulation.done
         for event in events:
@@ -444,7 +506,7 @@ class SessionManager:
         record.simulation = simulation
         record.blob = None
         record.resurrections += 1
-        self.total_resurrections += 1
+        self._resurrections_total.inc()
         return simulation
 
     def _over_budget(self, live: List[SessionRecord]) -> bool:
@@ -493,7 +555,7 @@ class SessionManager:
             record.simulation = None
             record._evicted_idle_since = time.monotonic()
             record.evictions += 1
-            self.total_evictions += 1
+            self._evictions_total.inc()
 
     async def evict(self, name: str) -> Dict[str, Any]:
         """Force-evict one session (testing / admin endpoint)."""

@@ -1,0 +1,185 @@
+"""Unit tests for the metrics half of ``repro.obs``.
+
+The exposition text is the contract — a Prometheus-compatible scraper
+must ingest it — so most assertions run through ``validate_exposition``
+and exact rendered lines rather than internal state.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exposition,
+    validate_exposition,
+)
+
+
+class TestCounter:
+    def test_increments_and_rejects_negative(self):
+        c = Counter("repro_things_total", "things")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_concurrent_increments_are_lossless(self):
+        c = Counter("repro_races_total")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("bad-name")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("repro_live")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_set_function_reads_at_scrape(self):
+        state = {"n": 1}
+        g = Gauge("repro_derived")
+        g.set_function(lambda: state["n"])
+        assert g.value == 1
+        state["n"] = 7
+        assert g.value == 7  # one source of truth, read live
+
+
+class TestHistogram:
+    def test_cumulative_buckets_sum_count(self):
+        h = Histogram("repro_latency_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+        rows = {(suffix, labels.get("le")): value
+                for suffix, labels, value in h._samples()}
+        assert rows[("_bucket", "0.1")] == 1
+        assert rows[("_bucket", "1")] == 2  # cumulative, not per-bucket
+        assert rows[("_bucket", "+Inf")] == 3
+        assert rows[("_count", None)] == 3
+
+    def test_boundary_lands_in_its_bucket(self):
+        h = Histogram("repro_edges_seconds", buckets=(1.0,))
+        h.observe(1.0)  # le is inclusive in the Prometheus model
+        rows = {labels.get("le"): value
+                for _, labels, value in h._samples() if _ == "_bucket"}
+        assert rows["1"] == 1
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("repro_empty_seconds", buckets=())
+
+
+class TestLabels:
+    def test_children_are_stable_and_rendered(self):
+        registry = MetricsRegistry()
+        c = registry.counter(
+            "repro_http_requests_total", "requests", labelnames=("status",)
+        )
+        c.labels(200).inc(3)
+        c.labels(404).inc()
+        assert c.labels("200") is c.labels(200)  # values stringified
+        text = registry.exposition()
+        assert 'repro_http_requests_total{status="200"} 3' in text
+        assert 'repro_http_requests_total{status="404"} 1' in text
+
+    def test_label_arity_enforced(self):
+        c = Counter("repro_pairs_total", labelnames=("a", "b"))
+        with pytest.raises(ValueError, match="takes 2"):
+            c.labels("only-one")
+        plain = Counter("repro_plain_total")
+        with pytest.raises(ValueError, match="no labels"):
+            plain.labels("x")
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_shared_total", "shared")
+        second = registry.counter("repro_shared_total", "different help ignored")
+        assert first is second
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_clash_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("repro_clash_total")
+
+    def test_exposition_is_valid_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_events_total", "events").inc(2)
+        registry.gauge("repro_live_sessions", "live").set(4)
+        registry.histogram(
+            "repro_http_request_seconds", "latency", buckets=(0.01, 0.1)
+        ).observe(0.05)
+        text = registry.exposition()
+        families = validate_exposition(text)
+        assert families == {
+            "repro_events_total": "counter",
+            "repro_live_sessions": "gauge",
+            "repro_http_request_seconds": "histogram",
+        }
+        assert text.endswith("\n")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_multi_registry_first_wins(self):
+        private = MetricsRegistry()
+        shared = MetricsRegistry()
+        private.counter("repro_dup_total", "private").inc(1)
+        shared.counter("repro_dup_total", "shared").inc(9)
+        shared.counter("repro_only_shared_total").inc(5)
+        text = exposition(private, shared)
+        assert "# HELP repro_dup_total private" in text
+        assert "repro_dup_total 1" in text  # the private registry's value
+        assert "repro_dup_total 9" not in text
+        assert "repro_only_shared_total 5" in text
+        validate_exposition(text)
+
+
+class TestValidateExposition:
+    def test_rejects_missing_trailing_newline(self):
+        with pytest.raises(ValueError, match="newline"):
+            validate_exposition("# TYPE repro_x_total counter\nrepro_x_total 1")
+
+    def test_rejects_counter_without_total_suffix(self):
+        with pytest.raises(ValueError, match="_total"):
+            validate_exposition("# TYPE repro_x counter\nrepro_x 1\n")
+
+    def test_rejects_undeclared_sample(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            validate_exposition("repro_mystery 1\n")
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 1\n'
+            "repro_h_sum 0.5\n"
+            "repro_h_count 1\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_exposition(text)
+
+    def test_rejects_unparseable_sample(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            validate_exposition("# TYPE repro_x gauge\nrepro_x one\n")
